@@ -1,0 +1,142 @@
+"""E10 — ablations: churn budget, the competitive parameter α and edge stability σ.
+
+The adversary-competitive measure (Definition 1.3) is the paper's main
+modelling contribution.  These ablations show how the measured quantities
+react to the knobs the definition introduces:
+
+* sweeping the per-round churn budget raises the raw message count of the
+  Single-Source-Unicast algorithm roughly linearly in TC(E), while the
+  α = 1 competitive cost stays inside the O(n² + nk) envelope;
+* sweeping α interpolates between raw message complexity (α = 0) and a
+  fully churn-discounted cost;
+* sweeping the stability parameter σ shows the round complexity stabilising
+  once σ ≥ 3 (the assumption of Theorems 3.4 / 3.6).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.helpers import print_section, run_once, summary_table
+from repro.adversaries import ControlledChurnAdversary, ScheduleAdversary
+from repro.algorithms.single_source import SingleSourceUnicastAlgorithm
+from repro.analysis.bounds import single_source_competitive_bound
+from repro.core.problem import single_source_problem
+from repro.dynamics.generators import star_oscillator_schedule
+from repro.dynamics.stability import stabilize_schedule
+
+NUM_NODES = 14
+NUM_TOKENS = 28
+CHURN_SWEEP = [0, 2, 5, 10, 20]
+ALPHA_SWEEP = [0.0, 0.5, 1.0, 2.0]
+SIGMA_SWEEP = [1, 2, 3, 5]
+
+
+def _run_with_churn(churn: int, seed: int = 0):
+    return run_once(
+        lambda: single_source_problem(NUM_NODES, NUM_TOKENS),
+        lambda: SingleSourceUnicastAlgorithm(),
+        lambda: ControlledChurnAdversary(changes_per_round=churn, edge_probability=0.3),
+        seed=seed,
+    )
+
+
+@pytest.mark.parametrize("churn", [0, 5, 20])
+def test_single_source_churn_ablation(benchmark, churn):
+    """Time the single-source algorithm under a specific churn budget."""
+    result = benchmark.pedantic(_run_with_churn, args=(churn,), rounds=2, iterations=1)
+    assert result.completed
+
+
+def test_e10_churn_budget_sweep(benchmark):
+    """Raw cost grows with TC(E); the competitive cost stays in the envelope."""
+
+    def build_series():
+        rows = []
+        for churn in CHURN_SWEEP:
+            result = _run_with_churn(churn, seed=81)
+            rows.append(
+                {
+                    "churn/round": churn,
+                    "TC(E)": result.topological_changes,
+                    "total messages": result.total_messages,
+                    "competitive (alpha=1)": round(result.adversary_competitive_messages(), 1),
+                    "paper envelope n^2 + nk": single_source_competitive_bound(
+                        NUM_NODES, NUM_TOKENS
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_series, rounds=1, iterations=1)
+    table = summary_table(
+        rows,
+        ["churn/round", "TC(E)", "total messages", "competitive (alpha=1)",
+         "paper envelope n^2 + nk"],
+    )
+    print_section("E10a: churn-budget sweep (Single-Source-Unicast)", table)
+    tcs = [row["TC(E)"] for row in rows]
+    assert tcs == sorted(tcs)
+    envelope = 3 * single_source_competitive_bound(NUM_NODES, NUM_TOKENS)
+    for row in rows:
+        assert row["competitive (alpha=1)"] <= envelope
+
+
+def test_e10_alpha_sweep(benchmark):
+    """The α knob of Definition 1.3 interpolates the discounted cost."""
+
+    def build_series():
+        result = _run_with_churn(10, seed=91)
+        rows = []
+        for alpha in ALPHA_SWEEP:
+            rows.append(
+                {
+                    "alpha": alpha,
+                    "TC(E)": result.topological_changes,
+                    "competitive cost": round(
+                        result.adversary_competitive_messages(alpha=alpha), 1
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_series, rounds=1, iterations=1)
+    table = summary_table(rows, ["alpha", "TC(E)", "competitive cost"])
+    print_section("E10b: alpha sweep of the adversary-competitive measure", table)
+    costs = [row["competitive cost"] for row in rows]
+    assert costs == sorted(costs, reverse=True)
+
+
+def test_e10_edge_stability_sweep(benchmark):
+    """Round complexity on a churn-heavy star drops sharply once σ ≥ 3."""
+
+    def build_series():
+        rows = []
+        base = star_oscillator_schedule(NUM_NODES, 12 * NUM_NODES * NUM_TOKENS, period=1, seed=97)
+        for sigma in SIGMA_SWEEP:
+            schedule = stabilize_schedule(base, sigma)
+            result = run_once(
+                lambda: single_source_problem(NUM_NODES, NUM_TOKENS),
+                lambda: SingleSourceUnicastAlgorithm(),
+                lambda: ScheduleAdversary(schedule, name=f"star sigma={sigma}"),
+                seed=97,
+                max_rounds=6 * NUM_NODES * NUM_TOKENS,
+            )
+            rows.append(
+                {
+                    "sigma": sigma,
+                    "completed": result.completed,
+                    "rounds": result.rounds,
+                    "total messages": result.total_messages,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_series, rounds=1, iterations=1)
+    table = summary_table(rows, ["sigma", "completed", "rounds", "total messages"])
+    print_section("E10c: edge-stability (sigma) sweep on an oscillating star", table)
+    by_sigma = {row["sigma"]: row for row in rows}
+    # The Theorem 3.4 assumption: 3-edge stability guarantees completion in O(nk).
+    assert by_sigma[3]["completed"]
+    assert by_sigma[5]["completed"]
+    assert by_sigma[3]["rounds"] <= 4 * NUM_NODES * NUM_TOKENS

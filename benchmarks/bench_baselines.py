@@ -1,0 +1,126 @@
+"""E8 / E9 — baselines: static spanning-tree dissemination and flooding.
+
+E8 (Section 1): on a static network, building a spanning tree and pipelining
+the tokens costs O(n² + nk) messages, i.e. O(n²/k + n) amortized — linear per
+token once k = Ω(n).
+
+E9 (Sections 1-2): naive flooding costs O(n²) amortized local broadcasts and
+naive unicast O(n²) amortized unicast messages, independent of k.  Together
+these regenerate the baseline columns the paper compares against.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.helpers import print_section, run_once, summary_table
+from repro.adversaries import ScheduleAdversary
+from repro.algorithms.flooding import FloodingAlgorithm
+from repro.algorithms.naive_unicast import NaiveUnicastAlgorithm
+from repro.algorithms.spanning_tree import SpanningTreeAlgorithm
+from repro.analysis.bounds import (
+    flooding_amortized_upper_bound,
+    static_spanning_tree_amortized,
+)
+from repro.core.problem import single_source_problem
+from repro.dynamics.generators import static_random_schedule
+
+NUM_NODES = 16
+K_SWEEP = [4, 16, 64]
+
+
+def _static_adversary(seed: int = 0):
+    return ScheduleAdversary(
+        static_random_schedule(NUM_NODES, edge_probability=0.35, seed=seed), name="static"
+    )
+
+
+@pytest.mark.parametrize("num_tokens", K_SWEEP)
+def test_spanning_tree_static_baseline(benchmark, num_tokens):
+    """Time the spanning-tree baseline for one k on a static random graph."""
+    result = benchmark.pedantic(
+        run_once,
+        args=(
+            lambda: single_source_problem(NUM_NODES, num_tokens),
+            SpanningTreeAlgorithm,
+            _static_adversary,
+        ),
+        kwargs={"seed": 61},
+        rounds=2,
+        iterations=1,
+    )
+    assert result.completed
+
+
+def test_e8_spanning_tree_amortized_series(benchmark):
+    """E8: measured amortized cost of the static baseline vs O(n²/k + n)."""
+
+    def build_series():
+        rows = []
+        for num_tokens in K_SWEEP:
+            result = run_once(
+                lambda: single_source_problem(NUM_NODES, num_tokens),
+                SpanningTreeAlgorithm,
+                _static_adversary,
+                seed=61,
+            )
+            rows.append(
+                {
+                    "k": num_tokens,
+                    "completed": result.completed,
+                    "total messages": result.total_messages,
+                    "measured amortized": round(result.amortized_messages(), 1),
+                    "paper bound n^2/k + n": round(
+                        static_spanning_tree_amortized(NUM_NODES, num_tokens), 1
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_series, rounds=1, iterations=1)
+    table = summary_table(
+        rows, ["k", "completed", "total messages", "measured amortized", "paper bound n^2/k + n"]
+    )
+    print_section(f"E8: static spanning-tree baseline, n = {NUM_NODES}", table)
+    amortized = [row["measured amortized"] for row in rows]
+    # Amortized cost per token drops as k grows and approaches O(n).
+    assert amortized == sorted(amortized, reverse=True)
+    assert amortized[-1] <= 4 * NUM_NODES
+
+
+def test_e9_flooding_and_naive_unicast_series(benchmark):
+    """E9: amortized cost of the naive algorithms is roughly k-independent."""
+
+    def build_series():
+        rows = []
+        for num_tokens in K_SWEEP:
+            flood = run_once(
+                lambda: single_source_problem(NUM_NODES, num_tokens),
+                FloodingAlgorithm,
+                _static_adversary,
+                seed=71,
+            )
+            unicast = run_once(
+                lambda: single_source_problem(NUM_NODES, num_tokens),
+                NaiveUnicastAlgorithm,
+                _static_adversary,
+                seed=71,
+            )
+            rows.append(
+                {
+                    "k": num_tokens,
+                    "flooding amortized": round(flood.amortized_messages(), 1),
+                    "naive unicast amortized": round(unicast.amortized_messages(), 1),
+                    "paper bound n^2": flooding_amortized_upper_bound(NUM_NODES),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_series, rounds=1, iterations=1)
+    table = summary_table(
+        rows, ["k", "flooding amortized", "naive unicast amortized", "paper bound n^2"]
+    )
+    print_section(f"E9: naive baselines, n = {NUM_NODES}", table)
+    for row in rows:
+        assert row["flooding amortized"] <= row["paper bound n^2"]
+        assert row["naive unicast amortized"] <= row["paper bound n^2"]

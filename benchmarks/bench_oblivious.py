@@ -1,0 +1,139 @@
+"""E6 — Theorem 3.8: the Oblivious-Multi-Source algorithm under an oblivious adversary.
+
+For many-source instances (s large, k = o(n²)) the random-walk source
+reduction gives total message complexity O(n^{5/2} k^{1/4} log^{5/4} n) and
+subquadratic amortized cost, versus the Ω(n²) amortized cost of running the
+Multi-Source-Unicast algorithm directly on n-gossip-style instances.  We
+compare the two algorithms on the same instances and print the paper-vs-
+measured series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.helpers import print_section, run_once, summary_table
+from repro.adversaries import ScheduleAdversary
+from repro.algorithms.multi_source import MultiSourceUnicastAlgorithm
+from repro.algorithms.oblivious_multi_source import ObliviousMultiSourceAlgorithm
+from repro.analysis.bounds import oblivious_amortized_bound
+from repro.core.problem import n_gossip_problem
+from repro.dynamics.generators import rewiring_regular_schedule
+
+SIZES = [12, 16, 20]
+
+
+def _adversary(num_nodes: int, seed: int):
+    return ScheduleAdversary(
+        rewiring_regular_schedule(num_nodes, 300, degree=6, seed=seed), name="expander"
+    )
+
+
+def _run(algorithm_factory, num_nodes: int, seed: int = 0):
+    return run_once(
+        lambda: n_gossip_problem(num_nodes),
+        algorithm_factory,
+        lambda: _adversary(num_nodes, seed),
+        seed=seed,
+        max_rounds=6000,
+    )
+
+
+@pytest.mark.parametrize("num_nodes", SIZES)
+def test_oblivious_algorithm_on_n_gossip(benchmark, num_nodes):
+    """Time Algorithm 2 (forced two-phase) on an n-gossip instance."""
+    result = benchmark.pedantic(
+        _run,
+        args=(
+            lambda: ObliviousMultiSourceAlgorithm(
+                force_two_phase=True, center_probability=0.2
+            ),
+            num_nodes,
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.completed
+
+
+def test_theorem_3_8_vs_multi_source_series(benchmark):
+    """E6: total and amortized cost of Algorithm 2 vs plain Multi-Source-Unicast."""
+
+    def build_series():
+        rows = []
+        for num_nodes in SIZES:
+            plain = _run(MultiSourceUnicastAlgorithm, num_nodes, seed=41)
+            walks = _run(
+                lambda: ObliviousMultiSourceAlgorithm(
+                    force_two_phase=True, center_probability=0.2
+                ),
+                num_nodes,
+                seed=41,
+            )
+            rows.append(
+                {
+                    "n": num_nodes,
+                    "k = s = n": num_nodes,
+                    "multi-source msgs": plain.total_messages,
+                    "oblivious msgs": walks.total_messages,
+                    "oblivious amortized": round(walks.amortized_messages(), 1),
+                    "naive n^2": num_nodes**2,
+                    "paper bound (amortized)": round(
+                        oblivious_amortized_bound(num_nodes, num_nodes), 1
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_series, rounds=1, iterations=1)
+    table = summary_table(
+        rows,
+        [
+            "n",
+            "k = s = n",
+            "multi-source msgs",
+            "oblivious msgs",
+            "oblivious amortized",
+            "naive n^2",
+            "paper bound (amortized)",
+        ],
+    )
+    print_section("E6 (Theorem 3.8): source reduction vs plain Multi-Source-Unicast", table)
+    for row in rows:
+        # Who wins: the random-walk source reduction beats the O(n²s) algorithm.
+        assert row["oblivious msgs"] < row["multi-source msgs"]
+        # Subquadratic amortized cost.
+        assert row["oblivious amortized"] < row["naive n^2"]
+
+
+def test_phase1_walk_cost_stays_moderate(benchmark):
+    """The random-walk phase itself costs only a fraction of the total messages."""
+
+    def run_and_split():
+        algorithm = ObliviousMultiSourceAlgorithm(force_two_phase=True, center_probability=0.2)
+        result = run_once(
+            lambda: n_gossip_problem(18),
+            lambda: algorithm,
+            lambda: _adversary(18, 51),
+            seed=51,
+            max_rounds=6000,
+        )
+        return algorithm, result
+
+    algorithm, result = benchmark.pedantic(run_and_split, rounds=1, iterations=1)
+    print_section(
+        "E6: phase breakdown",
+        summary_table(
+            [
+                {
+                    "phase-1 rounds": algorithm.phase1_rounds,
+                    "phase-1 token msgs": algorithm.phase1_messages,
+                    "total msgs": result.total_messages,
+                    "centers": len(algorithm.centers),
+                }
+            ],
+            ["phase-1 rounds", "phase-1 token msgs", "total msgs", "centers"],
+        ),
+    )
+    assert result.completed
+    assert algorithm.phase1_messages < result.total_messages

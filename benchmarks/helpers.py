@@ -1,0 +1,53 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every benchmark module regenerates one of the paper's evaluation artifacts
+(DESIGN.md experiment index E1-E10).  The helpers here run executions, fit
+scaling exponents and print the regenerated tables so that
+``pytest benchmarks/ --benchmark-only`` produces both timing numbers and the
+paper-shaped series.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.experiments import fit_power_law
+from repro.analysis.reporting import format_table
+from repro.core.engine import Simulator
+from repro.core.problem import DisseminationProblem
+from repro.core.result import ExecutionResult
+
+
+def run_once(
+    problem_factory: Callable[[], DisseminationProblem],
+    algorithm_factory: Callable[[], object],
+    adversary_factory: Callable[[], object],
+    seed: int = 0,
+    max_rounds: Optional[int] = None,
+) -> ExecutionResult:
+    """Run a single execution and return its result."""
+    simulator = Simulator(
+        problem_factory(),
+        algorithm_factory(),
+        adversary_factory(),
+        seed=seed,
+        max_rounds=max_rounds,
+    )
+    return simulator.run()
+
+
+def print_section(title: str, table: str) -> None:
+    """Print a titled table (captured by pytest, shown with ``-s`` or on failure)."""
+    banner = "=" * len(title)
+    print(f"\n{title}\n{banner}\n{table}\n")
+
+
+def scaling_row(xs: Sequence[float], ys: Sequence[float], label: str) -> List[object]:
+    """A table row with the fitted power-law exponent of ``ys`` against ``xs``."""
+    exponent, _ = fit_power_law(xs, ys)
+    return [label, f"{exponent:.2f}"]
+
+
+def summary_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> str:
+    """Format dictionaries as a table using a fixed column order."""
+    return format_table(columns, [[row.get(column, "") for column in columns] for row in rows])

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Scenario: watching the Section-2 lower bound bite.
+
+This example reproduces the mechanics of the Ω(n²/log²n) local-broadcast
+lower bound (Theorem 2.3).  The strongly adaptive adversary samples the
+"discount" sets K'_v, keeps every free edge it can, and only adds the few
+non-free edges needed to stay connected; the potential function
+Φ(t) = Σ_v |K_v(t) ∪ K'_v| then grows by at most O(log n) per round, which is
+what forces any local-broadcast algorithm to spend Ω(n²/log²n) amortized
+messages.
+
+The script runs naive flooding against this adversary, prints the potential
+trajectory and the per-round component counts, and compares the measured
+amortized cost with the analytic bounds.
+
+Run with::
+
+    python examples/adversarial_lower_bound.py
+"""
+
+from repro import (
+    FloodingAlgorithm,
+    LowerBoundAdversary,
+    PotentialTracker,
+    Simulator,
+    flooding_amortized_upper_bound,
+    format_table,
+    local_broadcast_lower_bound,
+    random_assignment_problem,
+)
+
+NUM_NODES = 20
+NUM_TOKENS = 20
+SEED = 5
+
+
+def main() -> None:
+    problem = random_assignment_problem(
+        NUM_NODES, NUM_TOKENS, inclusion_probability=0.25, seed=SEED
+    )
+    adversary = LowerBoundAdversary()
+    result = Simulator(problem, FloodingAlgorithm(), adversary, seed=SEED).run()
+
+    tracker = PotentialTracker(problem, adversary.kprime_sets)
+    trajectory = tracker.replay(result.events, result.rounds)
+
+    print("Flooding vs the Section-2 strongly adaptive adversary\n")
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["nodes (n) / tokens (k)", f"{NUM_NODES} / {NUM_TOKENS}"],
+                ["completed", result.completed],
+                ["rounds", result.rounds],
+                ["local broadcasts", result.total_messages],
+                ["measured amortized / token", round(result.amortized_messages(), 1)],
+                [
+                    "paper lower bound n^2/log^2 n",
+                    round(local_broadcast_lower_bound(NUM_NODES), 1),
+                ],
+                ["paper upper bound n^2", flooding_amortized_upper_bound(NUM_NODES)],
+            ],
+        )
+    )
+
+    print("\nPotential function Φ(t) = Σ_v |K_v(t) ∪ K'_v|")
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["Φ(0)", trajectory.initial],
+                ["target nk", tracker.maximum_potential()],
+                ["Φ(end)", trajectory.final],
+                ["max per-round increase", trajectory.max_round_increase],
+                ["max free-edge components", adversary.max_free_components()],
+                ["non-free edges ever added", adversary.total_non_free_edges()],
+            ],
+        )
+    )
+
+    # Show the first few rounds of the adversary's bookkeeping.
+    rows = [
+        [stats.round_index, stats.broadcasting_nodes, stats.free_components,
+         stats.non_free_edges_added, increase]
+        for stats, increase in list(zip(adversary.round_stats, trajectory.increases))[:12]
+    ]
+    print("\nFirst rounds of the execution (adversary view)")
+    print(
+        format_table(
+            ["round", "broadcasters", "free components", "non-free edges", "Φ increase"],
+            rows,
+        )
+    )
+    print(
+        "\nEvery round the potential grows by at most 2·(components − 1): the adversary "
+        "keeps almost all communication on free edges, which is exactly the mechanism "
+        "behind the Ω(n²/log²n) amortized lower bound."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Scenario: gossip in a churning peer-to-peer overlay (n-gossip).
+
+The paper's introduction motivates the problem with peer-to-peer and overlay
+networks where every peer has an update to share (k = n, one token per node)
+and the membership graph changes continuously.  This example compares three
+strategies on the same n-gossip instance under an oblivious churn adversary:
+
+* plain Multi-Source-Unicast (Section 3.2.1) — pays the O(n²s) announcement
+  term with s = n sources;
+* the Oblivious-Multi-Source algorithm (Algorithm 2) — first reduces the
+  sources to a few centers with random walks, then disseminates;
+* naive flooding — the O(n²)-amortized local broadcast baseline.
+
+Run with::
+
+    python examples/p2p_gossip.py
+"""
+
+from repro import (
+    FloodingAlgorithm,
+    MultiSourceUnicastAlgorithm,
+    ObliviousMultiSourceAlgorithm,
+    ScheduleAdversary,
+    Simulator,
+    format_table,
+    n_gossip_problem,
+    rewiring_regular_schedule,
+    schedule_summary,
+)
+
+NUM_NODES = 20
+NUM_ROUNDS = 600
+SEED = 11
+
+
+def build_adversary() -> ScheduleAdversary:
+    """An oblivious adversary driving a rewired quasi-regular overlay."""
+    schedule = rewiring_regular_schedule(
+        NUM_NODES, NUM_ROUNDS, degree=6, rewire_probability=0.4, seed=SEED
+    )
+    return ScheduleAdversary(schedule, name="p2p-overlay")
+
+
+def run(algorithm, label: str):
+    problem = n_gossip_problem(NUM_NODES)
+    result = Simulator(problem, algorithm, build_adversary(), seed=SEED, max_rounds=5000).run()
+    return {
+        "strategy": label,
+        "completed": result.completed,
+        "rounds": result.rounds,
+        "total messages": result.total_messages,
+        "amortized / token": round(result.amortized_messages(), 1),
+    }
+
+
+def main() -> None:
+    overlay = build_adversary().schedule
+    summary = schedule_summary(overlay.prefix(50))
+    print(
+        f"Overlay: n = {summary.num_nodes}, mean degree = {summary.degrees.mean_degree:.1f}, "
+        f"~{summary.churn.mean_insertions_per_round:.1f} edge insertions per round\n"
+    )
+
+    rows = [
+        run(MultiSourceUnicastAlgorithm(), "multi-source unicast (s = n)"),
+        run(
+            ObliviousMultiSourceAlgorithm(force_two_phase=True, center_probability=0.2),
+            "oblivious random-walk reduction",
+        ),
+        run(FloodingAlgorithm(), "naive flooding (local broadcast)"),
+    ]
+    print("n-gossip on a churning P2P overlay")
+    print(
+        format_table(
+            ["strategy", "completed", "rounds", "total messages", "amortized / token"],
+            [[row[c] for c in ("strategy", "completed", "rounds", "total messages",
+                               "amortized / token")] for row in rows],
+        )
+    )
+    print(
+        "\nThe random-walk source reduction (Algorithm 2) sends fewer messages than "
+        "running the multi-source protocol on all n sources, matching the paper's "
+        "motivation for the oblivious-adversary algorithm."
+    )
+
+
+if __name__ == "__main__":
+    main()

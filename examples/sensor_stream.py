@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Scenario: streaming many updates from one sink in a mobile sensor network.
+
+The single-source case of the paper (Section 3.1) models, e.g., a base
+station streaming a long sequence of configuration updates (k >> n tokens)
+to every sensor while the radio connectivity graph keeps changing as nodes
+move.  This example runs Algorithm 1 on a geometric-mobility workload and
+shows the paper's headline claim for this regime: once the adversary is
+charged for its topology changes, the amortized cost per update is linear in
+the network size, far below the Θ(n²) cost of flooding each update.
+
+Run with::
+
+    python examples/sensor_stream.py
+"""
+
+from repro import (
+    FloodingAlgorithm,
+    ScheduleAdversary,
+    Simulator,
+    SingleSourceUnicastAlgorithm,
+    format_table,
+    geometric_mobility_schedule,
+    single_source_problem,
+    stabilize_schedule,
+)
+
+NUM_NODES = 18
+NUM_TOKENS = 90          # a long update stream: k = 5n
+SEED = 23
+
+
+def build_adversary() -> ScheduleAdversary:
+    """Mobile sensors on the unit square; edges persist at least 3 rounds."""
+    schedule = geometric_mobility_schedule(
+        NUM_NODES, 4000, radius=0.35, speed=0.04, seed=SEED
+    )
+    return ScheduleAdversary(stabilize_schedule(schedule, sigma=3), name="mobile-sensors")
+
+
+def main() -> None:
+    problem = single_source_problem(NUM_NODES, NUM_TOKENS, source=0)
+
+    unicast = Simulator(
+        problem, SingleSourceUnicastAlgorithm(), build_adversary(), seed=SEED, max_rounds=20000
+    ).run()
+    unicast.verify_dissemination()
+
+    flooding = Simulator(
+        single_source_problem(NUM_NODES, NUM_TOKENS, source=0),
+        FloodingAlgorithm(),
+        build_adversary(),
+        seed=SEED,
+        max_rounds=20000,
+    ).run()
+
+    print("Streaming k = 5n updates from a base station over a mobile sensor network\n")
+    rows = [
+        [
+            "single-source unicast (Algorithm 1)",
+            unicast.rounds,
+            unicast.total_messages,
+            unicast.topological_changes,
+            round(unicast.amortized_messages(), 1),
+            round(unicast.amortized_adversary_competitive_messages(), 1),
+        ],
+        [
+            "flooding (local broadcast)",
+            flooding.rounds,
+            flooding.total_messages,
+            flooding.topological_changes,
+            round(flooding.amortized_messages(), 1),
+            round(flooding.messages.amortized_adversary_competitive(
+                NUM_TOKENS, flooding.topological_changes), 1),
+        ],
+    ]
+    print(
+        format_table(
+            [
+                "strategy",
+                "rounds",
+                "total messages",
+                "TC(E)",
+                "amortized / token",
+                "amortized competitive / token",
+            ],
+            rows,
+        )
+    )
+    print(
+        f"\nWith k = {NUM_TOKENS} = 5n tokens, the adversary-competitive amortized cost of "
+        f"Algorithm 1 is close to n = {NUM_NODES} (the optimal cost of delivering one token "
+        "to every node), while flooding pays on the order of n² per token."
+    )
+
+
+if __name__ == "__main__":
+    main()

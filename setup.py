@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` and ``python setup.py develop`` also work in offline
+environments whose setuptools lacks PEP 660 editable-wheel support.
+"""
+
+from setuptools import setup
+
+setup()

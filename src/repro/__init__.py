@@ -1,0 +1,184 @@
+"""repro — a reproduction of "The Communication Cost of Information Spreading
+in Dynamic Networks" (Ahmadi, Kuhn, Kutten, Molla, Pandurangan; ICDCS 2019).
+
+The library simulates k-token dissemination by token-forwarding algorithms on
+adversarial dynamic networks and measures the paper's cost metrics: total,
+amortized and adversary-competitive message complexity.
+
+Quickstart::
+
+    from repro import (
+        single_source_problem, SingleSourceUnicastAlgorithm,
+        ControlledChurnAdversary, Simulator,
+    )
+
+    problem = single_source_problem(num_nodes=30, num_tokens=60)
+    result = Simulator(
+        problem,
+        SingleSourceUnicastAlgorithm(),
+        ControlledChurnAdversary(changes_per_round=5),
+        seed=7,
+    ).run()
+    print(result.total_messages, result.amortized_adversary_competitive_messages())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table and theorem.
+"""
+
+from repro.core import (
+    CommunicationModel,
+    DisseminationProblem,
+    EventLog,
+    ExecutionResult,
+    MessageAccountant,
+    MessageStatistics,
+    RoundObservation,
+    Simulator,
+    Token,
+    TokenLearning,
+    make_tokens,
+    multi_source_problem,
+    n_gossip_problem,
+    random_assignment_problem,
+    single_source_problem,
+)
+from repro.core.problem import uniform_multi_source_problem
+from repro.core.engine import run_execution
+from repro.dynamics import (
+    DynamicGraphTrace,
+    GraphSchedule,
+    churn_schedule,
+    edge_markovian_schedule,
+    geometric_mobility_schedule,
+    is_sigma_edge_stable,
+    minimum_edge_stability,
+    path_shuffle_schedule,
+    rewiring_regular_schedule,
+    stabilize_schedule,
+    star_oscillator_schedule,
+    static_complete_schedule,
+    static_path_schedule,
+    static_star_schedule,
+    static_cycle_schedule,
+    schedule_summary,
+    schedule_to_json,
+    schedule_from_json,
+    trace_to_schedule_json,
+    save_schedule,
+    load_schedule,
+)
+from repro.adversaries import (
+    Adversary,
+    AdaptiveRewiringAdversary,
+    ControlledChurnAdversary,
+    LowerBoundAdversary,
+    RandomChurnObliviousAdversary,
+    RequestCuttingAdversary,
+    ScheduleAdversary,
+    StarRecenterAdversary,
+    StaticAdversary,
+)
+from repro.algorithms import (
+    FloodingAlgorithm,
+    MultiSourceUnicastAlgorithm,
+    NaiveUnicastAlgorithm,
+    ObliviousMultiSourceAlgorithm,
+    OneShotFloodingAlgorithm,
+    RandomWalkDisseminator,
+    SingleSourceUnicastAlgorithm,
+    SpanningTreeAlgorithm,
+)
+from repro.analysis import (
+    ExperimentRecord,
+    ExperimentRunner,
+    PotentialTracker,
+    aggregate_records,
+    fit_power_law,
+    flooding_amortized_upper_bound,
+    format_table,
+    local_broadcast_lower_bound,
+    multi_source_competitive_bound,
+    oblivious_amortized_bound,
+    render_table1,
+    single_source_competitive_bound,
+    table1_rows,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "CommunicationModel",
+    "DisseminationProblem",
+    "EventLog",
+    "ExecutionResult",
+    "MessageAccountant",
+    "MessageStatistics",
+    "RoundObservation",
+    "Simulator",
+    "run_execution",
+    "Token",
+    "TokenLearning",
+    "make_tokens",
+    "single_source_problem",
+    "multi_source_problem",
+    "uniform_multi_source_problem",
+    "n_gossip_problem",
+    "random_assignment_problem",
+    # dynamics
+    "DynamicGraphTrace",
+    "GraphSchedule",
+    "churn_schedule",
+    "edge_markovian_schedule",
+    "geometric_mobility_schedule",
+    "path_shuffle_schedule",
+    "rewiring_regular_schedule",
+    "star_oscillator_schedule",
+    "static_complete_schedule",
+    "static_path_schedule",
+    "static_star_schedule",
+    "static_cycle_schedule",
+    "is_sigma_edge_stable",
+    "minimum_edge_stability",
+    "stabilize_schedule",
+    "schedule_summary",
+    "schedule_to_json",
+    "schedule_from_json",
+    "trace_to_schedule_json",
+    "save_schedule",
+    "load_schedule",
+    # adversaries
+    "Adversary",
+    "AdaptiveRewiringAdversary",
+    "ControlledChurnAdversary",
+    "LowerBoundAdversary",
+    "RandomChurnObliviousAdversary",
+    "RequestCuttingAdversary",
+    "ScheduleAdversary",
+    "StarRecenterAdversary",
+    "StaticAdversary",
+    # algorithms
+    "FloodingAlgorithm",
+    "OneShotFloodingAlgorithm",
+    "NaiveUnicastAlgorithm",
+    "SpanningTreeAlgorithm",
+    "SingleSourceUnicastAlgorithm",
+    "MultiSourceUnicastAlgorithm",
+    "ObliviousMultiSourceAlgorithm",
+    "RandomWalkDisseminator",
+    # analysis
+    "ExperimentRecord",
+    "ExperimentRunner",
+    "PotentialTracker",
+    "aggregate_records",
+    "fit_power_law",
+    "flooding_amortized_upper_bound",
+    "format_table",
+    "local_broadcast_lower_bound",
+    "multi_source_competitive_bound",
+    "oblivious_amortized_bound",
+    "render_table1",
+    "single_source_competitive_bound",
+    "table1_rows",
+]

@@ -1,0 +1,73 @@
+"""The adversary protocol.
+
+An adversary produces the edge set ``E_r`` of every round.  The engine calls
+:meth:`Adversary.reset` once per execution (handing it the problem instance
+and a private random generator) and then :meth:`Adversary.edges_for_round`
+once per round.
+
+Adaptive adversaries receive a :class:`~repro.core.observation.RoundObservation`
+describing the algorithm's state; oblivious adversaries receive ``None`` —
+the engine enforces obliviousness structurally by never building an
+observation for an adversary whose :attr:`Adversary.oblivious` flag is set.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Iterable, Optional, Tuple
+
+from repro.core.observation import RoundObservation
+from repro.core.problem import DisseminationProblem
+from repro.utils.ids import Edge, NodeId
+from repro.utils.validation import SimulationError
+
+
+class Adversary(abc.ABC):
+    """Base class for all adversaries."""
+
+    #: Human-readable name used in results and reports.
+    name: str = "adversary"
+    #: True for adversaries that commit to the topology before the execution.
+    oblivious: bool = True
+
+    def __init__(self) -> None:
+        self._problem: Optional[DisseminationProblem] = None
+        self._rng: Optional[random.Random] = None
+
+    def reset(self, problem: DisseminationProblem, rng: random.Random) -> None:
+        """Prepare for a fresh execution on ``problem``."""
+        self._problem = problem
+        self._rng = rng
+        self.on_reset()
+
+    def on_reset(self) -> None:
+        """Subclass hook called at the end of :meth:`reset`."""
+
+    @property
+    def problem(self) -> DisseminationProblem:
+        """The problem of the current execution."""
+        if self._problem is None:
+            raise SimulationError("the adversary has not been reset with a problem yet")
+        return self._problem
+
+    @property
+    def nodes(self) -> Tuple[NodeId, ...]:
+        """The node set ``V``."""
+        return self.problem.nodes
+
+    @property
+    def rng(self) -> random.Random:
+        """The adversary's private random generator."""
+        if self._rng is None:
+            raise SimulationError("the adversary has not been reset with an RNG yet")
+        return self._rng
+
+    @abc.abstractmethod
+    def edges_for_round(
+        self, round_index: int, observation: Optional[RoundObservation]
+    ) -> Iterable[Edge]:
+        """Return the edge set ``E_r`` of round ``round_index`` (must be connected)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, oblivious={self.oblivious})"

@@ -1,0 +1,183 @@
+"""The Section-2 lower-bound adversary for the local broadcast model.
+
+The strongly adaptive adversary used in the proof of Theorem 2.3 works as
+follows.  Before the execution it samples, for every node ``v``, a set
+``K'_v`` containing each token independently with probability 1/4.  In every
+round, after the nodes have committed to the tokens they will broadcast
+(``i_v(r)``, or ⊥ for silent nodes), the adversary declares the potential
+edge ``{u, v}`` *free* iff
+
+    ``i_u ∈ {⊥} ∪ K_v(r-1) ∪ K'_v``  and  ``i_v ∈ {⊥} ∪ K_u(r-1) ∪ K'_u``,
+
+i.e. iff communication over the edge contributes nothing to the potential
+``Φ(t) = Σ_v |K_v(t) ∪ K'_v|``.  The adversary connects the round graph using
+free edges wherever possible and only adds ``(#components - 1)`` non-free
+edges to keep the graph connected, so the potential grows by at most
+``2 · (#components - 1)`` per round; Lemma 2.1 shows the number of components
+is O(log n) and Lemma 2.2 shows it is 1 whenever at most ``n / (c log n)``
+nodes broadcast.
+
+Implementation note: the proof adds *all* free edges.  Adding them all is
+irrelevant for the message count in the local broadcast model (a broadcast
+costs one message regardless of degree) and for the potential (free edges
+contribute nothing by definition), so to keep the simulated graphs sparse we
+include a spanning forest of the free-edge graph plus the minimal set of
+connecting non-free edges.  The number of connected components — the quantity
+the analysis is about — is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.adversaries.base import Adversary
+from repro.core.messages import TokenMessage
+from repro.core.observation import RoundObservation
+from repro.core.tokens import Token
+from repro.dynamics.connectivity import (
+    connected_components,
+    connecting_edges_between_components,
+    spanning_forest,
+)
+from repro.utils.ids import Edge, NodeId, normalize_edge
+from repro.utils.validation import ConfigurationError, SimulationError, require_probability
+
+
+@dataclass
+class LowerBoundRoundStats:
+    """Per-round bookkeeping of the lower-bound adversary."""
+
+    round_index: int
+    broadcasting_nodes: int
+    free_components: int
+    non_free_edges_added: int
+
+
+class LowerBoundAdversary(Adversary):
+    """The strongly adaptive free-edge adversary of Section 2.
+
+    Only meaningful for algorithms in the local broadcast model.  The
+    adversary exposes its sampled ``K'_v`` sets (:attr:`kprime_sets`) and
+    per-round statistics (:attr:`round_stats`) so the analysis package can
+    evaluate the potential function and verify the lemmas empirically.
+    """
+
+    oblivious = False
+
+    def __init__(self, inclusion_probability: float = 0.25, name: str = "lower-bound"):
+        super().__init__()
+        require_probability(inclusion_probability, "inclusion_probability")
+        self._inclusion_probability = inclusion_probability
+        self._kprime: Dict[NodeId, FrozenSet[Token]] = {}
+        self._round_stats: List[LowerBoundRoundStats] = []
+        self.name = name
+
+    # -- setup ---------------------------------------------------------------
+
+    def on_reset(self) -> None:
+        self._round_stats = []
+        tokens = self.problem.tokens
+        self._kprime = {
+            node: frozenset(
+                token for token in tokens if self.rng.random() < self._inclusion_probability
+            )
+            for node in self.nodes
+        }
+
+    @property
+    def kprime_sets(self) -> Dict[NodeId, FrozenSet[Token]]:
+        """The sampled ``K'_v`` sets of the current execution."""
+        return dict(self._kprime)
+
+    @property
+    def round_stats(self) -> List[LowerBoundRoundStats]:
+        """Per-round component/broadcast statistics recorded so far."""
+        return list(self._round_stats)
+
+    def initial_potential(self) -> int:
+        """``Φ(0) = Σ_v |K_v(0) ∪ K'_v|``."""
+        return sum(
+            len(set(self.problem.initial_knowledge[node]) | set(self._kprime[node]))
+            for node in self.nodes
+        )
+
+    # -- round graph ----------------------------------------------------------
+
+    @staticmethod
+    def _broadcast_token(payload) -> Optional[Token]:
+        if payload is None:
+            return None
+        if isinstance(payload, TokenMessage):
+            return payload.token
+        # Non-token broadcasts carry no token, so they can never increase the
+        # potential; treat them like silence for the free-edge test.
+        return None
+
+    def _is_free(
+        self,
+        token_u: Optional[Token],
+        token_v: Optional[Token],
+        knowledge_u: FrozenSet[Token],
+        knowledge_v: FrozenSet[Token],
+        kprime_u: FrozenSet[Token],
+        kprime_v: FrozenSet[Token],
+    ) -> bool:
+        u_harmless = token_u is None or token_u in knowledge_v or token_u in kprime_v
+        v_harmless = token_v is None or token_v in knowledge_u or token_v in kprime_u
+        return u_harmless and v_harmless
+
+    def free_edges(self, observation: RoundObservation) -> Set[Edge]:
+        """All free potential edges of the observed round (Section 2)."""
+        nodes = list(self.nodes)
+        tokens = {
+            node: self._broadcast_token(observation.broadcast_payloads.get(node))
+            for node in nodes
+        }
+        free: Set[Edge] = set()
+        for index, u in enumerate(nodes):
+            for v in nodes[index + 1 :]:
+                if self._is_free(
+                    tokens[u],
+                    tokens[v],
+                    observation.knowledge[u],
+                    observation.knowledge[v],
+                    self._kprime[u],
+                    self._kprime[v],
+                ):
+                    free.add(normalize_edge(u, v))
+        return free
+
+    def edges_for_round(
+        self, round_index: int, observation: Optional[RoundObservation]
+    ) -> Iterable[Edge]:
+        if observation is None:
+            raise SimulationError(
+                "LowerBoundAdversary is strongly adaptive and requires an observation; "
+                "it cannot be used as an oblivious adversary"
+            )
+        if not self._kprime:
+            raise ConfigurationError("adversary used before reset")
+        free = self.free_edges(observation)
+        forest = spanning_forest(self.nodes, free)
+        components = connected_components(self.nodes, free)
+        connectors = connecting_edges_between_components(components, self.rng)
+        self._round_stats.append(
+            LowerBoundRoundStats(
+                round_index=round_index,
+                broadcasting_nodes=len(observation.broadcasting_nodes()),
+                free_components=len(components),
+                non_free_edges_added=len(connectors),
+            )
+        )
+        return forest | connectors
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def max_free_components(self) -> int:
+        """The maximum number of free-edge components seen in any round."""
+        return max((stats.free_components for stats in self._round_stats), default=0)
+
+    def total_non_free_edges(self) -> int:
+        """Total number of non-free connecting edges the adversary had to add."""
+        return sum(stats.non_free_edges_added for stats in self._round_stats)

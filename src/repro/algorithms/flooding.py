@@ -1,0 +1,116 @@
+"""Naive flooding in the local broadcast model.
+
+Section 2 of the paper notes that an ``O(n²)`` amortized message upper bound
+per token "is straightforward to obtain by using flooding (each node
+broadcasts each token for n rounds)".  :class:`FloodingAlgorithm` implements
+this naive algorithm in its phase-by-phase form: the tokens are processed in
+a globally known order, and for ``rounds_per_token`` consecutive rounds every
+node that knows the current token broadcasts it.  Because every round graph
+is connected, at least one new node learns the token per round of its phase,
+so ``n - 1`` rounds per token always suffice — even against the strongly
+adaptive adversary.
+
+Cost: at most ``n`` broadcasts per node per token, i.e. ``O(n²k)`` messages
+in total and ``O(n²)`` amortized per token, matching the lower bound of
+Theorem 2.3 up to logarithmic factors.
+
+:class:`OneShotFloodingAlgorithm` is the optimistic variant in which every
+node broadcasts every token it knows exactly once (a work queue).  It is much
+cheaper on benign dynamic graphs but has no worst-case guarantee against an
+adaptive adversary; it is used as a comparison point in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.algorithms.base import LocalBroadcastAlgorithm
+from repro.core.messages import Payload, TokenMessage
+from repro.core.tokens import Token
+from repro.utils.ids import NodeId
+from repro.utils.validation import require_positive_int
+
+
+class FloodingAlgorithm(LocalBroadcastAlgorithm):
+    """Phase-based naive flooding: token ``i`` is flooded for ``rounds_per_token`` rounds.
+
+    Args:
+        rounds_per_token: length of each token's flooding phase.  Defaults to
+            ``n`` (the paper's description); ``n - 1`` already guarantees
+            dissemination on always-connected dynamic graphs.
+    """
+
+    name = "flooding"
+
+    def __init__(self, rounds_per_token: Optional[int] = None):
+        super().__init__()
+        if rounds_per_token is not None:
+            require_positive_int(rounds_per_token, "rounds_per_token")
+        self._rounds_per_token = rounds_per_token
+        self._token_order: Tuple[Token, ...] = ()
+        self._phase_length = 0
+
+    def on_setup(self) -> None:
+        self._token_order = tuple(sorted(self.problem.tokens))
+        self._phase_length = (
+            self._rounds_per_token
+            if self._rounds_per_token is not None
+            else max(1, self.problem.num_nodes)
+        )
+
+    def current_token(self, round_index: int) -> Optional[Token]:
+        """The token being flooded in the given round (None once all phases ended)."""
+        phase = (round_index - 1) // self._phase_length
+        if phase >= len(self._token_order):
+            return None
+        return self._token_order[phase]
+
+    def select_broadcasts(self, round_index: int) -> Dict[NodeId, Optional[Payload]]:
+        token = self.current_token(round_index)
+        broadcasts: Dict[NodeId, Optional[Payload]] = {}
+        for node in self.nodes:
+            if token is not None and self.knows(node, token):
+                broadcasts[node] = TokenMessage(token)
+            else:
+                broadcasts[node] = None
+        return broadcasts
+
+    def is_quiescent(self) -> bool:
+        return False
+
+
+class OneShotFloodingAlgorithm(LocalBroadcastAlgorithm):
+    """Optimistic flooding: every node broadcasts every token it knows exactly once.
+
+    Each node keeps a FIFO queue of tokens it has not broadcast yet (initial
+    tokens plus every newly learned token) and broadcasts the head of the
+    queue each round.  The total number of broadcasts is at most ``nk`` (each
+    node broadcasts each token at most once), i.e. ``O(n)`` amortized, but the
+    algorithm can fail to disseminate against worst-case dynamic graphs — it
+    exists as an optimistic baseline for benign schedules.
+    """
+
+    name = "one-shot-flooding"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queues: Dict[NodeId, Deque[Token]] = {}
+
+    def on_setup(self) -> None:
+        self._queues = {
+            node: deque(sorted(self.problem.initial_knowledge[node])) for node in self.nodes
+        }
+
+    def on_learn(self, node: NodeId, token: Token) -> None:
+        self._queues[node].append(token)
+
+    def select_broadcasts(self, round_index: int) -> Dict[NodeId, Optional[Payload]]:
+        broadcasts: Dict[NodeId, Optional[Payload]] = {}
+        for node in self.nodes:
+            queue = self._queues[node]
+            broadcasts[node] = TokenMessage(queue.popleft()) if queue else None
+        return broadcasts
+
+    def is_quiescent(self) -> bool:
+        return all(not queue for queue in self._queues.values())

@@ -1,0 +1,281 @@
+"""The Multi-Source-Unicast algorithm (Section 3.2.1).
+
+Tokens are initially distributed over ``s`` source nodes ``a_1 < … < a_s``.
+Completeness is now per source: a node is *complete with respect to source x*
+when it holds every token originating at ``x``.  Every node runs three tasks
+in parallel each round (for each adjacent edge ``{v, w}``):
+
+1. if there is a source ``x ∈ I_v`` (v complete w.r.t. x) with
+   ``w ∉ R_v(x)``, pick the minimum such ``x`` and announce v's completeness
+   w.r.t. ``x`` to ``w``;
+2. if ``w`` requested a token in the previous round, send it back;
+3. pick the minimum source ``x ∉ I_v`` with ``S_v(x) ≠ ∅`` (v knows some
+   neighbourly complete node for it) and behave exactly like the
+   Single-Source-Unicast algorithm for that one source: assign one distinct
+   request per known-complete edge, prioritising new, then idle, then
+   contributive edges.
+
+Message complexity (Theorem 3.5): ``O(nk)`` token messages, ``O(n²s)``
+completeness announcements and ``O(nk) + TC(E)`` requests, i.e.
+1-adversary-competitive message complexity ``O(n²s + nk)``.  On 3-edge-stable
+graphs it terminates in ``O(nk)`` rounds (Theorem 3.6).
+
+Implementation note on the *source catalog*: the algorithm object holds a
+mapping from each source to the ordered list of tokens it is responsible for.
+By default this is derived from the problem's initial distribution (source
+``x`` is responsible for the tokens ``⟨x, 1⟩ … ⟨x, k_x⟩`` it starts with);
+the Oblivious-Multi-Source algorithm re-targets it to the *centers* chosen in
+its first phase.  In the paper nodes derive the same information from the
+token identifiers ``⟨ID_x, i⟩`` together with the (assumed known) per-source
+token counts; holding the catalog in the shared algorithm object models that
+assumption without affecting any message count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.algorithms.base import UnicastAlgorithm
+from repro.core.messages import (
+    CompletenessMessage,
+    Payload,
+    ReceivedMessage,
+    RequestMessage,
+    TokenMessage,
+)
+from repro.core.tokens import Token, tokens_by_source
+from repro.utils.ids import NodeId
+from repro.utils.validation import ConfigurationError
+
+
+class MultiSourceUnicastAlgorithm(UnicastAlgorithm):
+    """Deterministic multi-source k-token dissemination (Section 3.2.1)."""
+
+    name = "multi-source-unicast"
+
+    def __init__(self, source_catalog: Optional[Mapping[NodeId, Sequence[Token]]] = None):
+        super().__init__()
+        self._configured_catalog = (
+            {source: tuple(tokens) for source, tokens in source_catalog.items()}
+            if source_catalog is not None
+            else None
+        )
+        self._catalog: Dict[NodeId, Tuple[Token, ...]] = {}
+        self._catalog_sources: List[NodeId] = []
+        # I_v, R_v(x), S_v(x) of the paper.
+        self._complete_wrt: Dict[NodeId, Set[NodeId]] = {}
+        self._informed: Dict[NodeId, Dict[NodeId, Set[NodeId]]] = {}
+        self._known_complete: Dict[NodeId, Dict[NodeId, Set[NodeId]]] = {}
+        # Request bookkeeping, as in the single-source algorithm.
+        self._requests_to_answer: Dict[NodeId, Dict[NodeId, Token]] = {}
+        self._requests_sent_previous: Dict[NodeId, Dict[NodeId, Token]] = {}
+        self._requests_sent_current: Dict[NodeId, Dict[NodeId, Token]] = {}
+
+    # -- catalog management --------------------------------------------------------
+
+    def default_catalog(self) -> Dict[NodeId, Tuple[Token, ...]]:
+        """The catalog derived from the problem's initial token placement."""
+        catalog: Dict[NodeId, Tuple[Token, ...]] = {}
+        for source, tokens in tokens_by_source(self.problem.tokens).items():
+            catalog[source] = tuple(sorted(tokens))
+        return catalog
+
+    def configure_catalog(self, catalog: Mapping[NodeId, Sequence[Token]]) -> None:
+        """(Re)initialize the per-source completeness machinery for a new catalog.
+
+        Used by the Oblivious-Multi-Source algorithm when it starts its second
+        phase with the centers as sources.  Token knowledge is preserved; all
+        completeness/request bookkeeping is reset.
+        """
+        covered: Set[Token] = set()
+        validated: Dict[NodeId, Tuple[Token, ...]] = {}
+        for source in sorted(catalog):
+            tokens = tuple(catalog[source])
+            if not tokens:
+                raise ConfigurationError(f"catalog source {source} has no tokens")
+            if source not in self.nodes:
+                raise ConfigurationError(f"catalog source {source} is not a node")
+            overlap = covered & set(tokens)
+            if overlap:
+                raise ConfigurationError(f"tokens assigned to multiple sources: {overlap}")
+            covered |= set(tokens)
+            validated[source] = tokens
+        if covered != set(self.problem.tokens):
+            raise ConfigurationError("the catalog must cover the token universe exactly")
+        self._catalog = validated
+        self._catalog_sources = sorted(validated)
+        self._complete_wrt = {node: set() for node in self.nodes}
+        self._informed = {
+            node: {source: set() for source in self._catalog_sources} for node in self.nodes
+        }
+        self._known_complete = {
+            node: {source: set() for source in self._catalog_sources} for node in self.nodes
+        }
+        self._requests_to_answer = {node: {} for node in self.nodes}
+        self._requests_sent_previous = {node: {} for node in self.nodes}
+        self._requests_sent_current = {node: {} for node in self.nodes}
+        for node in self.nodes:
+            for source in self._catalog_sources:
+                if self._holds_all_of(node, source):
+                    self._complete_wrt[node].add(source)
+
+    def on_setup(self) -> None:
+        catalog = (
+            self._configured_catalog
+            if self._configured_catalog is not None
+            else self.default_catalog()
+        )
+        self.configure_catalog(catalog)
+
+    # -- per-source completeness -----------------------------------------------------
+
+    def catalog_of(self, source: NodeId) -> Tuple[Token, ...]:
+        """The tokens the given source is responsible for."""
+        return self._catalog[source]
+
+    def catalog_sources(self) -> List[NodeId]:
+        """The sources of the active catalog, in increasing ID order."""
+        return list(self._catalog_sources)
+
+    def _holds_all_of(self, node: NodeId, source: NodeId) -> bool:
+        known = self.known_tokens(node)
+        return all(token in known for token in self._catalog[source])
+
+    def is_complete_wrt(self, node: NodeId, source: NodeId) -> bool:
+        """True iff ``node`` is complete with respect to ``source``."""
+        return source in self._complete_wrt[node]
+
+    def on_learn(self, node: NodeId, token: Token) -> None:
+        if not self._catalog:
+            return
+        for source in self._catalog_sources:
+            if source in self._complete_wrt[node]:
+                continue
+            if token in self._catalog[source] and self._holds_all_of(node, source):
+                self._complete_wrt[node].add(source)
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _pending_arrivals(self, node: NodeId, neighbors: FrozenSet[NodeId]) -> Set[Token]:
+        pending: Set[Token] = set()
+        for neighbor, token in self._requests_sent_previous[node].items():
+            if neighbor in neighbors:
+                pending.add(token)
+        return pending
+
+    def _active_source(self, node: NodeId) -> Optional[NodeId]:
+        """The minimum source v is incomplete w.r.t. and knows a complete node for."""
+        for source in self._catalog_sources:
+            if source in self._complete_wrt[node]:
+                continue
+            if self._known_complete[node][source]:
+                return source
+        return None
+
+    def _prioritized_edges(
+        self,
+        node: NodeId,
+        source: NodeId,
+        neighbors: FrozenSet[NodeId],
+        round_index: int,
+    ) -> List[NodeId]:
+        complete_neighbors = sorted(
+            neighbor
+            for neighbor in neighbors
+            if neighbor in self._known_complete[node][source]
+        )
+        new_edges = [
+            n for n in complete_neighbors if self.is_new_edge(node, n, round_index)
+        ]
+        idle_edges = [
+            n for n in complete_neighbors if self.is_idle_edge(node, n, round_index)
+        ]
+        contributive_edges = [
+            n for n in complete_neighbors if self.is_contributive_edge(node, n, round_index)
+        ]
+        return new_edges + idle_edges + contributive_edges
+
+    # -- round behaviour --------------------------------------------------------------
+
+    def select_messages(
+        self, round_index: int, neighbors: Mapping[NodeId, FrozenSet[NodeId]]
+    ) -> Dict[NodeId, Dict[NodeId, List[Payload]]]:
+        sends: Dict[NodeId, Dict[NodeId, List[Payload]]] = {}
+        self._requests_sent_current = {node: {} for node in self.nodes}
+
+        def out(sender: NodeId, receiver: NodeId, payload: Payload) -> None:
+            sends.setdefault(sender, {}).setdefault(receiver, []).append(payload)
+
+        for node in self.nodes:
+            current = neighbors.get(node, frozenset())
+
+            # Task 1: completeness announcements (minimum unannounced source per edge).
+            for neighbor in sorted(current):
+                for source in self._catalog_sources:
+                    if source not in self._complete_wrt[node]:
+                        continue
+                    if neighbor in self._informed[node][source]:
+                        continue
+                    out(node, neighbor, CompletenessMessage(source=source))
+                    self._informed[node][source].add(neighbor)
+                    break
+
+            # Task 2: answer the requests received in the previous round.
+            pending_answers = self._requests_to_answer[node]
+            for neighbor in sorted(current):
+                if neighbor in pending_answers:
+                    out(node, neighbor, TokenMessage(pending_answers[neighbor]))
+            self._requests_to_answer[node] = {}
+
+            # Task 3: request tokens of the highest-priority incomplete source.
+            source = self._active_source(node)
+            if source is None:
+                continue
+            pending = self._pending_arrivals(node, current)
+            missing = [
+                token
+                for token in self._catalog[source]
+                if not self.knows(node, token) and token not in pending
+            ]
+            if not missing:
+                continue
+            targets = self._prioritized_edges(node, source, current, round_index)
+            for position, neighbor in enumerate(targets):
+                if position >= len(missing):
+                    break
+                token = missing[position]
+                out(node, neighbor, RequestMessage(source=token.source, index=token.index))
+                self._requests_sent_current[node][neighbor] = token
+        return sends
+
+    def receive_messages(
+        self, round_index: int, inbox: Mapping[NodeId, List[ReceivedMessage]]
+    ) -> None:
+        for node, messages in inbox.items():
+            for message in messages:
+                payload = message.payload
+                if isinstance(payload, CompletenessMessage):
+                    if payload.source in self._known_complete[node]:
+                        self._known_complete[node][payload.source].add(message.sender)
+                elif isinstance(payload, TokenMessage):
+                    learned = self.learn(node, payload.token)
+                    if learned:
+                        self.record_token_over_edge(node, message.sender, round_index)
+                elif isinstance(payload, RequestMessage):
+                    self._requests_to_answer[node][message.sender] = payload.token
+        self._requests_sent_previous = self._requests_sent_current
+        self._requests_sent_current = {node: {} for node in self.nodes}
+
+    # -- diagnostics --------------------------------------------------------------------
+
+    def complete_sources_of(self, node: NodeId) -> List[NodeId]:
+        """``I_v`` — the sources the node is complete with respect to."""
+        return sorted(self._complete_wrt[node])
+
+    def observation_extra(self) -> Dict[str, object]:
+        return {
+            "catalog_sources": tuple(self._catalog_sources),
+            "complete_wrt": {
+                node: tuple(sorted(self._complete_wrt[node])) for node in self.nodes
+            },
+        }

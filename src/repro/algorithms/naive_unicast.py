@@ -1,0 +1,73 @@
+"""Naive unicast dissemination.
+
+Section 1 notes that in the unicast model "an O(n²) amortized upper bound is
+easy to obtain (each node sends each token at most once to each other node)".
+:class:`NaiveUnicastAlgorithm` realizes exactly that rule: every node keeps,
+per other node, the set of tokens it has already pushed to it; each round it
+sends to every current neighbour one token it knows and has not yet sent to
+that neighbour.
+
+Total messages are bounded by ``n(n-1)k`` pair-token sends, i.e. ``O(n²)``
+amortized per token.  Progress on every connected round graph: as long as
+some node misses some token, there is an edge between a knower and a
+non-knower, and the knower keeps pushing unsent tokens over it.  (Against a
+strongly adaptive adversary the round complexity can be large, but the
+message bound above always holds.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Set
+
+from repro.algorithms.base import UnicastAlgorithm
+from repro.core.messages import Payload, TokenMessage
+from repro.core.tokens import Token
+from repro.utils.ids import NodeId
+
+
+class NaiveUnicastAlgorithm(UnicastAlgorithm):
+    """Each node sends each token at most once to each other node."""
+
+    name = "naive-unicast"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._sent: Dict[NodeId, Dict[NodeId, Set[Token]]] = {}
+
+    def on_setup(self) -> None:
+        self._sent = {node: {} for node in self.nodes}
+
+    def _next_token_for(self, sender: NodeId, receiver: NodeId) -> Token:
+        """The smallest token the sender knows and has not yet sent to the receiver."""
+        already_sent = self._sent[sender].setdefault(receiver, set())
+        for token in sorted(self.known_tokens(sender)):
+            if token not in already_sent:
+                return token
+        return None  # type: ignore[return-value]
+
+    def select_messages(
+        self, round_index: int, neighbors: Mapping[NodeId, FrozenSet[NodeId]]
+    ) -> Dict[NodeId, Dict[NodeId, List[Payload]]]:
+        sends: Dict[NodeId, Dict[NodeId, List[Payload]]] = {}
+        for sender in self.nodes:
+            outgoing: Dict[NodeId, List[Payload]] = {}
+            for receiver in sorted(neighbors.get(sender, frozenset())):
+                token = self._next_token_for(sender, receiver)
+                if token is None:
+                    continue
+                self._sent[sender][receiver].add(token)
+                outgoing[receiver] = [TokenMessage(token)]
+            if outgoing:
+                sends[sender] = outgoing
+        return sends
+
+    def is_quiescent(self) -> bool:
+        """True when every node has pushed all of its tokens to every other node."""
+        total_pairs = len(self.nodes) * (len(self.nodes) - 1)
+        pushed = sum(
+            1
+            for sender in self.nodes
+            for receiver, tokens in self._sent[sender].items()
+            if len(tokens) >= len(self.known_tokens(sender))
+        )
+        return pushed >= total_pairs

@@ -1,0 +1,219 @@
+"""The Oblivious-Multi-Source-Unicast algorithm (Algorithm 2, Section 3.2.2).
+
+Designed for instances with many sources (``s`` large) and ``k = o(n²)``
+tokens, under an *oblivious* adversary.  The algorithm knows ``s`` and ``k``
+(an explicit input assumption of the paper) and runs in two phases:
+
+* if ``s ≤ n^{2/3} log^{5/3} n`` it simply runs the Multi-Source-Unicast
+  algorithm on the original sources;
+* otherwise, **phase 1** reduces the number of sources: every node marks
+  itself as a *center* with probability ``f/n`` (``f = √n k^{1/4} log^{5/4}
+  n``), and every token performs a random walk on the virtual n-regular
+  multigraph — with the congestion rule of one token per actual edge per
+  round and with high-degree nodes (degree ≥ ``γ = n log n / f``) handing
+  tokens directly to neighbouring centers — until it is owned by some
+  center;
+* **phase 2** runs Multi-Source-Unicast with the centers as sources.
+
+Theorem 3.8: the total message complexity is ``O(n^{5/2} k^{1/4} log^{5/4}
+n)``, i.e. ``O(n^{5/2} log^{5/4} n / k^{3/4})`` amortized — subquadratic as
+soon as ``k = ω(n^{2/3})`` (Table 1).
+
+Implementation notes (documented in DESIGN.md):
+
+* the pseudocode's per-token move probability (``1/d(u)``) and the prose
+  (``δ_v/n``, i.e. a step on the virtual n-regular multigraph) differ; we
+  follow the prose, which is what the analysis via Lemma 3.7 uses;
+* the asymptotic phase-1 round budget ``ℓ`` is astronomically large at
+  laptop scale, so phase 1 ends as soon as every token reached a center
+  (or after ``phase1_round_limit`` rounds, in which case the current holder
+  of each leftover token is promoted to a center — a correctness-preserving
+  safeguard that never triggers in the benchmark configurations);
+* whether a neighbour is a center is global knowledge in the simulation (in
+  the paper centers can announce themselves in one extra bit piggy-backed on
+  the first message, which does not change any asymptotic count).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.algorithms.multi_source import MultiSourceUnicastAlgorithm
+from repro.algorithms.random_walks import (
+    RandomWalkDisseminator,
+    default_degree_threshold,
+    default_num_centers,
+    phase_one_round_budget,
+    source_count_threshold,
+)
+from repro.core.messages import Payload, ReceivedMessage, TokenMessage
+from repro.core.tokens import Token
+from repro.utils.ids import NodeId
+from repro.utils.validation import ConfigurationError, require_positive_int
+
+
+class ObliviousMultiSourceAlgorithm(MultiSourceUnicastAlgorithm):
+    """Algorithm 2: random-walk source reduction + Multi-Source-Unicast."""
+
+    name = "oblivious-multi-source-unicast"
+
+    def __init__(
+        self,
+        *,
+        center_probability: Optional[float] = None,
+        degree_threshold: Optional[float] = None,
+        phase1_round_limit: Optional[int] = None,
+        force_two_phase: Optional[bool] = None,
+    ) -> None:
+        super().__init__()
+        if center_probability is not None and not 0.0 < center_probability <= 1.0:
+            raise ConfigurationError("center_probability must lie in (0, 1]")
+        if degree_threshold is not None and degree_threshold <= 0:
+            raise ConfigurationError("degree_threshold must be positive")
+        if phase1_round_limit is not None:
+            require_positive_int(phase1_round_limit, "phase1_round_limit")
+        self._center_probability_override = center_probability
+        self._degree_threshold_override = degree_threshold
+        self._phase1_round_limit_override = phase1_round_limit
+        self._force_two_phase = force_two_phase
+        self._phase = 2
+        self._walker: Optional[RandomWalkDisseminator] = None
+        self._phase1_rounds = 0
+        self._phase1_round_limit = 0
+        self._phase1_messages = 0
+
+    # -- setup -----------------------------------------------------------------------
+
+    def on_setup(self) -> None:
+        super().on_setup()
+        n = self.problem.num_nodes
+        k = self.problem.num_tokens
+        s = self.problem.num_sources
+        use_two_phase = (
+            self._force_two_phase
+            if self._force_two_phase is not None
+            else s > source_count_threshold(n)
+        )
+        self._phase1_rounds = 0
+        self._phase1_messages = 0
+        if not use_two_phase or n < 2:
+            self._phase = 2
+            self._walker = None
+            return
+
+        self._phase = 1
+        probability = self._center_probability_override
+        if probability is None:
+            probability = min(1.0, default_num_centers(n, k) / n)
+        centers = {node for node in self.nodes if self.rng.random() < probability}
+        if not centers:
+            centers = {self.rng.choice(list(self.nodes))}
+        # The high-degree threshold is γ = n·log n / f (a high-degree node has
+        # a neighbouring center w.h.p.).  Derive it from the *actual* expected
+        # number of centers so that overriding center_probability keeps the
+        # two parameters consistent.
+        if self._degree_threshold_override is not None:
+            threshold = self._degree_threshold_override
+        else:
+            expected_centers = max(probability * n, 1.0)
+            threshold = max(1.0, n * math.log2(max(n, 2)) / expected_centers)
+        # The asymptotic phase-1 budget ℓ is astronomically large at laptop
+        # scale; cap it so the force-delivery safeguard (promote the current
+        # holder to a center) always fires well before the engine round limit.
+        self._phase1_round_limit = (
+            self._phase1_round_limit_override
+            if self._phase1_round_limit_override is not None
+            else min(phase_one_round_budget(n, k), 4 * n * k + 8 * n)
+        )
+        positions: Dict[Token, NodeId] = {}
+        for node in self.nodes:
+            for token in self.problem.initial_knowledge[node]:
+                # Each token starts its walk at (one of) its initial holder(s).
+                positions.setdefault(token, node)
+        self._walker = RandomWalkDisseminator(
+            nodes=self.nodes,
+            centers=centers,
+            token_positions=positions,
+            degree_threshold=threshold,
+            rng=self.rng,
+        )
+        if self._walker.all_delivered():
+            self._start_phase_two()
+
+    # -- phase transition ---------------------------------------------------------------
+
+    def _start_phase_two(self) -> None:
+        if self._walker is None:
+            raise ConfigurationError("phase transition without a phase-1 walker")
+        ownership = self._walker.force_delivery_in_place()
+        self.configure_catalog({center: tuple(tokens) for center, tokens in ownership.items()})
+        self._phase = 2
+
+    # -- engine interface ----------------------------------------------------------------
+
+    @property
+    def phase(self) -> int:
+        """The currently running phase (1 = random walks, 2 = multi-source)."""
+        return self._phase
+
+    @property
+    def centers(self) -> Tuple[NodeId, ...]:
+        """The centers chosen in phase 1 (empty if phase 1 was skipped)."""
+        if self._walker is None:
+            return ()
+        return tuple(sorted(self._walker.centers))
+
+    @property
+    def phase1_rounds(self) -> int:
+        """Rounds spent in phase 1."""
+        return self._phase1_rounds
+
+    @property
+    def phase1_messages(self) -> int:
+        """Token messages sent over actual edges during phase 1."""
+        return self._phase1_messages
+
+    def select_messages(
+        self, round_index: int, neighbors: Mapping[NodeId, FrozenSet[NodeId]]
+    ) -> Dict[NodeId, Dict[NodeId, List[Payload]]]:
+        if self._phase == 1:
+            return self._select_phase_one(neighbors)
+        return super().select_messages(round_index, neighbors)
+
+    def _select_phase_one(
+        self, neighbors: Mapping[NodeId, FrozenSet[NodeId]]
+    ) -> Dict[NodeId, Dict[NodeId, List[Payload]]]:
+        assert self._walker is not None
+        self._phase1_rounds += 1
+        steps = self._walker.plan_round(neighbors)
+        sends: Dict[NodeId, Dict[NodeId, List[Payload]]] = {}
+        for step in steps:
+            sends.setdefault(step.sender, {}).setdefault(step.receiver, []).append(
+                TokenMessage(step.token)
+            )
+            self._walker.apply_step(step)
+            self._phase1_messages += 1
+        return sends
+
+    def receive_messages(
+        self, round_index: int, inbox: Mapping[NodeId, List[ReceivedMessage]]
+    ) -> None:
+        if self._phase == 1:
+            for node, messages in inbox.items():
+                for message in messages:
+                    if isinstance(message.payload, TokenMessage):
+                        learned = self.learn(node, message.payload.token)
+                        if learned:
+                            self.record_token_over_edge(node, message.sender, round_index)
+            assert self._walker is not None
+            if self._walker.all_delivered() or self._phase1_rounds >= self._phase1_round_limit:
+                self._start_phase_two()
+            return
+        super().receive_messages(round_index, inbox)
+
+    def observation_extra(self) -> Dict[str, object]:
+        extra = super().observation_extra()
+        extra["phase"] = self._phase
+        extra["centers"] = self.centers
+        return extra

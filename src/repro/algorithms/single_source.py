@@ -1,0 +1,201 @@
+"""The Single-Source-Unicast algorithm (Algorithm 1, Section 3.1).
+
+All k tokens initially reside at a single source node.  Only *complete*
+nodes (Definition 3.1: nodes that already hold all k tokens) ever send
+tokens.  The protocol per round r, run by every node v:
+
+* **complete node** — for every neighbour u: if u has never been told about
+  v's completeness, send a completeness announcement; otherwise, if u sent a
+  token request in round ``r - 1``, send back the requested token.
+* **incomplete node** — let ``{b_1, …, b_γ}`` be v's missing tokens (minus
+  the tokens guaranteed to arrive this round from requests sent in the
+  previous round over edges that still exist).  Assign exactly one distinct
+  token request per adjacent edge to a *known-complete* neighbour, giving
+  priority first to **new** edges (inserted in round r or r-1), then **idle**
+  edges, then **contributive** edges (Section 3.1.1), and send the requests.
+
+Message complexity (Theorem 3.1): at most ``O(nk)`` token messages, ``O(n²)``
+completeness announcements and ``O(nk) + TC(E)`` token requests, i.e.
+1-adversary-competitive message complexity ``O(n² + nk)``.  On 3-edge-stable
+dynamic graphs the algorithm terminates within ``O(nk)`` rounds
+(Theorem 3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.algorithms.base import UnicastAlgorithm
+from repro.core.messages import (
+    CompletenessMessage,
+    Payload,
+    ReceivedMessage,
+    RequestMessage,
+    TokenMessage,
+)
+from repro.core.tokens import Token
+from repro.utils.ids import NodeId
+from repro.utils.validation import ConfigurationError
+
+
+class SingleSourceUnicastAlgorithm(UnicastAlgorithm):
+    """Algorithm 1: deterministic single-source k-token dissemination."""
+
+    name = "single-source-unicast"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._source: NodeId = 0
+        # R_v: the nodes v has already informed about its completeness.
+        self._informed: Dict[NodeId, Set[NodeId]] = {}
+        # S_v: the nodes v knows to be complete.
+        self._known_complete: Dict[NodeId, Set[NodeId]] = {}
+        # Requests received in the previous round, to be answered this round.
+        self._requests_to_answer: Dict[NodeId, Dict[NodeId, Token]] = {}
+        # Requests sent in the previous round: node -> neighbour -> token.
+        self._requests_sent_previous: Dict[NodeId, Dict[NodeId, Token]] = {}
+        self._requests_sent_current: Dict[NodeId, Dict[NodeId, Token]] = {}
+
+    # -- setup -------------------------------------------------------------------
+
+    def on_setup(self) -> None:
+        sources = self.problem.sources
+        if len(sources) != 1:
+            raise ConfigurationError(
+                "SingleSourceUnicastAlgorithm requires a single-source problem; "
+                f"got {len(sources)} sources (use MultiSourceUnicastAlgorithm instead)"
+            )
+        self._source = sources[0]
+        if self.problem.initial_knowledge[self._source] != frozenset(self.problem.tokens):
+            raise ConfigurationError("the source node must initially hold all k tokens")
+        self._informed = {node: set() for node in self.nodes}
+        self._known_complete = {node: set() for node in self.nodes}
+        self._requests_to_answer = {node: {} for node in self.nodes}
+        self._requests_sent_previous = {node: {} for node in self.nodes}
+        self._requests_sent_current = {node: {} for node in self.nodes}
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _pending_arrivals(
+        self, node: NodeId, neighbors: FrozenSet[NodeId]
+    ) -> Set[Token]:
+        """Tokens requested in the previous round whose carrying edge survived.
+
+        Those tokens are guaranteed to arrive this round (complete nodes
+        respond immediately), so the node does not re-request them.
+        """
+        pending: Set[Token] = set()
+        for neighbor, token in self._requests_sent_previous[node].items():
+            if neighbor in neighbors:
+                pending.add(token)
+        return pending
+
+    def _prioritized_complete_edges(
+        self, node: NodeId, neighbors: FrozenSet[NodeId], round_index: int
+    ) -> List[NodeId]:
+        """Known-complete neighbours ordered by edge priority: new, idle, contributive."""
+        complete_neighbors = sorted(
+            neighbor for neighbor in neighbors if neighbor in self._known_complete[node]
+        )
+        new_edges = [
+            neighbor
+            for neighbor in complete_neighbors
+            if self.is_new_edge(node, neighbor, round_index)
+        ]
+        idle_edges = [
+            neighbor
+            for neighbor in complete_neighbors
+            if self.is_idle_edge(node, neighbor, round_index)
+        ]
+        contributive_edges = [
+            neighbor
+            for neighbor in complete_neighbors
+            if self.is_contributive_edge(node, neighbor, round_index)
+        ]
+        return new_edges + idle_edges + contributive_edges
+
+    # -- round behaviour ------------------------------------------------------------
+
+    def select_messages(
+        self, round_index: int, neighbors: Mapping[NodeId, FrozenSet[NodeId]]
+    ) -> Dict[NodeId, Dict[NodeId, List[Payload]]]:
+        sends: Dict[NodeId, Dict[NodeId, List[Payload]]] = {}
+        self._requests_sent_current = {node: {} for node in self.nodes}
+
+        def out(sender: NodeId, receiver: NodeId, payload: Payload) -> None:
+            sends.setdefault(sender, {}).setdefault(receiver, []).append(payload)
+
+        for node in self.nodes:
+            current = neighbors.get(node, frozenset())
+            if self.is_node_complete(node):
+                pending_answers = self._requests_to_answer[node]
+                for neighbor in sorted(current):
+                    if neighbor not in self._informed[node]:
+                        out(node, neighbor, CompletenessMessage(source=self._source))
+                        self._informed[node].add(neighbor)
+                    elif neighbor in pending_answers:
+                        token = pending_answers[neighbor]
+                        out(node, neighbor, TokenMessage(token))
+                # Unanswered requests (edge removed) are dropped; the requester
+                # will notice the missing token and re-request elsewhere.
+                self._requests_to_answer[node] = {}
+            else:
+                pending = self._pending_arrivals(node, current)
+                missing = [
+                    token for token in self.missing_tokens(node) if token not in pending
+                ]
+                if not missing:
+                    continue
+                targets = self._prioritized_complete_edges(node, current, round_index)
+                for position, neighbor in enumerate(targets):
+                    if position >= len(missing):
+                        break
+                    token = missing[position]
+                    out(node, neighbor, RequestMessage(source=token.source, index=token.index))
+                    self._requests_sent_current[node][neighbor] = token
+        return sends
+
+    def receive_messages(
+        self, round_index: int, inbox: Mapping[NodeId, List[ReceivedMessage]]
+    ) -> None:
+        for node, messages in inbox.items():
+            for message in messages:
+                payload = message.payload
+                if isinstance(payload, CompletenessMessage):
+                    self._known_complete[node].add(message.sender)
+                elif isinstance(payload, TokenMessage):
+                    learned = self.learn(node, payload.token)
+                    if learned:
+                        self.record_token_over_edge(node, message.sender, round_index)
+                elif isinstance(payload, RequestMessage):
+                    # Only complete nodes are asked; remember to answer next round.
+                    self._requests_to_answer[node][message.sender] = payload.token
+        self._requests_sent_previous = self._requests_sent_current
+        self._requests_sent_current = {node: {} for node in self.nodes}
+
+    # -- diagnostics ---------------------------------------------------------------
+
+    @property
+    def source(self) -> NodeId:
+        """The single source node."""
+        return self._source
+
+    def complete_nodes(self) -> List[NodeId]:
+        """The nodes that currently hold all k tokens."""
+        return [node for node in self.nodes if self.is_node_complete(node)]
+
+    def bridge_nodes(self, neighbors: Mapping[NodeId, FrozenSet[NodeId]]) -> List[NodeId]:
+        """Incomplete nodes with at least one complete neighbour (Definition 3.2)."""
+        bridges = []
+        for node in self.nodes:
+            if self.is_node_complete(node):
+                continue
+            if any(self.is_node_complete(neighbor) for neighbor in neighbors.get(node, ())):
+                bridges.append(node)
+        return bridges
+
+    def observation_extra(self) -> Dict[str, object]:
+        return {
+            "complete_nodes": tuple(self.complete_nodes()),
+            "source": self._source,
+        }

@@ -1,0 +1,174 @@
+"""Static-network spanning-tree baseline.
+
+Section 1 recalls the static-network strategy: "one can first build a
+spanning tree (which can take as much as Ω(n²) messages in graphs with Θ(n²)
+edges), and then use the spanning tree edges to disseminate the tokens to all
+nodes; this takes O(n² + nk) messages overall or O(n²/k + n) amortized
+messages per token".
+
+:class:`SpanningTreeAlgorithm` implements this strategy as an honest unicast
+protocol on a (presumed static) network:
+
+1. **Tree construction** — the root floods a ``join`` beacon; every node, on
+   first hearing a ``join``, adopts the sender as its parent, acknowledges
+   with a ``parent`` message, and forwards the beacon to all of its
+   neighbours in the next round.  Cost ``O(m + n)`` messages (``Θ(n²)`` on
+   dense graphs, matching the KT0 bound quoted by the paper).
+2. **Convergecast** — every node pipelines its initial tokens up the tree,
+   one token per tree edge per round.
+3. **Broadcast down** — every node pipelines every token it received from its
+   parent (and, for the root, from its children) to each of its children.
+
+The algorithm assumes the topology does not change; on a dynamic graph it
+degrades gracefully (transfers only happen over tree edges that are currently
+present) but gives no guarantees — it is a baseline for the static case only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set
+
+from repro.algorithms.base import UnicastAlgorithm
+from repro.core.messages import ControlMessage, Payload, ReceivedMessage, TokenMessage
+from repro.core.tokens import Token
+from repro.utils.ids import NodeId
+
+
+class SpanningTreeAlgorithm(UnicastAlgorithm):
+    """Spanning-tree construction plus token pipelining (static baseline)."""
+
+    name = "spanning-tree"
+
+    def __init__(self, root: Optional[NodeId] = None):
+        super().__init__()
+        self._configured_root = root
+        self._root: NodeId = 0
+        self._parent: Dict[NodeId, Optional[NodeId]] = {}
+        self._children: Dict[NodeId, List[NodeId]] = {}
+        self._must_flood_join: Set[NodeId] = set()
+        self._pending_parent_ack: Dict[NodeId, NodeId] = {}
+        self._up_queue: Dict[NodeId, List[Token]] = {}
+        self._distribute_list: Dict[NodeId, List[Token]] = {}
+        self._distributed_seen: Dict[NodeId, Set[Token]] = {}
+        self._down_progress: Dict[NodeId, Dict[NodeId, int]] = {}
+
+    # -- setup -----------------------------------------------------------------
+
+    def on_setup(self) -> None:
+        self._root = (
+            self._configured_root if self._configured_root is not None else min(self.nodes)
+        )
+        if self._root not in self.nodes:
+            self._root = min(self.nodes)
+        self._parent = {node: None for node in self.nodes}
+        self._parent[self._root] = self._root
+        self._children = {node: [] for node in self.nodes}
+        self._must_flood_join = {self._root}
+        self._pending_parent_ack = {}
+        self._up_queue = {
+            node: sorted(self.problem.initial_knowledge[node])
+            for node in self.nodes
+            if node != self._root
+        }
+        self._up_queue.setdefault(self._root, [])
+        self._distribute_list = {node: [] for node in self.nodes}
+        self._distributed_seen = {node: set() for node in self.nodes}
+        self._down_progress = {node: {} for node in self.nodes}
+        for token in sorted(self.problem.initial_knowledge[self._root]):
+            self._add_to_distribution(self._root, token)
+
+    def _add_to_distribution(self, node: NodeId, token: Token) -> None:
+        """Queue ``token`` for delivery to every (current and future) child of ``node``."""
+        if token in self._distributed_seen[node]:
+            return
+        self._distributed_seen[node].add(token)
+        self._distribute_list[node].append(token)
+
+    # -- round behaviour --------------------------------------------------------
+
+    def select_messages(
+        self, round_index: int, neighbors: Mapping[NodeId, FrozenSet[NodeId]]
+    ) -> Dict[NodeId, Dict[NodeId, List[Payload]]]:
+        sends: Dict[NodeId, Dict[NodeId, List[Payload]]] = {}
+
+        def out(sender: NodeId, receiver: NodeId, payload: Payload) -> None:
+            sends.setdefault(sender, {}).setdefault(receiver, []).append(payload)
+
+        for node in self.nodes:
+            current = neighbors.get(node, frozenset())
+
+            # 1. Tree construction: flood the join beacon once, acknowledge parent.
+            if node in self._must_flood_join:
+                for neighbor in sorted(current):
+                    out(node, neighbor, ControlMessage(tag="join", data=self._root))
+                self._must_flood_join.discard(node)
+            ack_target = self._pending_parent_ack.get(node)
+            if ack_target is not None and ack_target in current:
+                out(node, ack_target, ControlMessage(tag="parent"))
+                del self._pending_parent_ack[node]
+
+            # 2. Convergecast one token per round toward the parent.
+            parent = self._parent[node]
+            if (
+                node != self._root
+                and parent is not None
+                and parent in current
+                and self._up_queue[node]
+            ):
+                token = self._up_queue[node].pop(0)
+                out(node, parent, TokenMessage(token))
+
+            # 3. Pipeline the distribution list down to each child.
+            for child in self._children[node]:
+                if child not in current:
+                    continue
+                progress = self._down_progress[node].get(child, 0)
+                if progress < len(self._distribute_list[node]):
+                    token = self._distribute_list[node][progress]
+                    out(node, child, TokenMessage(token))
+                    self._down_progress[node][child] = progress + 1
+        return sends
+
+    def receive_messages(
+        self, round_index: int, inbox: Mapping[NodeId, List[ReceivedMessage]]
+    ) -> None:
+        for node, messages in inbox.items():
+            for message in messages:
+                payload = message.payload
+                if isinstance(payload, ControlMessage):
+                    if payload.tag == "join" and self._parent[node] is None:
+                        self._parent[node] = message.sender
+                        self._pending_parent_ack[node] = message.sender
+                        self._must_flood_join.add(node)
+                    elif payload.tag == "parent":
+                        if message.sender not in self._children[node]:
+                            self._children[node].append(message.sender)
+                elif isinstance(payload, TokenMessage):
+                    token = payload.token
+                    learned = self.learn(node, token)
+                    if learned:
+                        self.record_token_over_edge(node, message.sender, round_index)
+                    if message.sender == self._parent[node]:
+                        # Downward traffic: forward to all children.
+                        self._add_to_distribution(node, token)
+                    else:
+                        # Upward traffic from a child.
+                        if node == self._root:
+                            self._add_to_distribution(node, token)
+                        else:
+                            self._up_queue[node].append(token)
+
+    # -- diagnostics -------------------------------------------------------------
+
+    @property
+    def root(self) -> NodeId:
+        """The root of the spanning tree."""
+        return self._root
+
+    def tree_parent(self, node: NodeId) -> Optional[NodeId]:
+        """The parent adopted by ``node`` (``None`` until it joins the tree)."""
+        return self._parent[node]
+
+    def tree_children(self, node: NodeId) -> List[NodeId]:
+        """The children of ``node`` in the constructed tree."""
+        return list(self._children[node])

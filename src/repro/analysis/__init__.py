@@ -1,0 +1,69 @@
+"""Analysis tools: closed-form bounds, potential tracking, experiments, reports.
+
+This package turns raw :class:`~repro.core.result.ExecutionResult` objects
+into the quantities the paper reports:
+
+* :mod:`repro.analysis.bounds` — closed-form evaluations of every bound
+  stated in the paper (Theorems 2.3, 3.1, 3.4, 3.5, 3.6, 3.8 and Table 1);
+* :mod:`repro.analysis.potential` — the potential function ``Φ(t)`` of the
+  Section-2 lower-bound argument;
+* :mod:`repro.analysis.experiments` — a small experiment runner with
+  parameter sweeps, repetition handling and power-law fitting;
+* :mod:`repro.analysis.reporting` — plain-text table renderers used by the
+  benchmark harnesses and EXPERIMENTS.md.
+"""
+
+from repro.analysis.bounds import (
+    log2n,
+    flooding_amortized_upper_bound,
+    local_broadcast_lower_bound,
+    static_spanning_tree_amortized,
+    single_source_competitive_bound,
+    multi_source_competitive_bound,
+    oblivious_total_message_bound,
+    oblivious_amortized_bound,
+    table1_amortized_bound,
+    table1_rows,
+    naive_unicast_amortized_upper_bound,
+    single_source_round_bound,
+)
+from repro.analysis.potential import PotentialTracker, potential_of_knowledge
+from repro.analysis.experiments import (
+    ExperimentRecord,
+    ExperimentRunner,
+    aggregate_records,
+    fit_power_law,
+    scaling_exponent,
+)
+from repro.analysis.reporting import (
+    format_table,
+    render_table1,
+    render_records,
+    render_paper_vs_measured,
+)
+
+__all__ = [
+    "log2n",
+    "flooding_amortized_upper_bound",
+    "local_broadcast_lower_bound",
+    "static_spanning_tree_amortized",
+    "single_source_competitive_bound",
+    "multi_source_competitive_bound",
+    "oblivious_total_message_bound",
+    "oblivious_amortized_bound",
+    "table1_amortized_bound",
+    "table1_rows",
+    "naive_unicast_amortized_upper_bound",
+    "single_source_round_bound",
+    "PotentialTracker",
+    "potential_of_knowledge",
+    "ExperimentRecord",
+    "ExperimentRunner",
+    "aggregate_records",
+    "fit_power_law",
+    "scaling_exponent",
+    "format_table",
+    "render_table1",
+    "render_records",
+    "render_paper_vs_measured",
+]

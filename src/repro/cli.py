@@ -1,0 +1,190 @@
+"""Command-line interface.
+
+``python -m repro`` exposes the most common workflows without writing any
+code:
+
+* ``run`` — execute one algorithm against one adversary on a generated
+  dissemination instance and print the paper's cost measures;
+* ``table1`` — regenerate Table 1 (analytic bounds) for a given n;
+* ``bounds`` — evaluate every theorem bound at a given (n, k, s).
+
+Examples::
+
+    python -m repro run --algorithm single-source --adversary churn -n 20 -k 40
+    python -m repro run --algorithm flooding --adversary lower-bound -n 16 -k 16
+    python -m repro table1 -n 4096
+    python -m repro bounds -n 1024 -k 2048 -s 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.adversaries import (
+    AdaptiveRewiringAdversary,
+    ControlledChurnAdversary,
+    LowerBoundAdversary,
+    RandomChurnObliviousAdversary,
+    RequestCuttingAdversary,
+    StarRecenterAdversary,
+)
+from repro.algorithms import (
+    FloodingAlgorithm,
+    MultiSourceUnicastAlgorithm,
+    NaiveUnicastAlgorithm,
+    ObliviousMultiSourceAlgorithm,
+    OneShotFloodingAlgorithm,
+    SingleSourceUnicastAlgorithm,
+    SpanningTreeAlgorithm,
+)
+from repro.analysis.bounds import (
+    flooding_amortized_upper_bound,
+    local_broadcast_lower_bound,
+    multi_source_competitive_bound,
+    oblivious_amortized_bound,
+    single_source_competitive_bound,
+    static_spanning_tree_amortized,
+)
+from repro.analysis.reporting import format_table, render_table1
+from repro.core.engine import Simulator
+from repro.core.problem import (
+    n_gossip_problem,
+    random_assignment_problem,
+    single_source_problem,
+    uniform_multi_source_problem,
+)
+
+ALGORITHMS: Dict[str, Callable[[], object]] = {
+    "flooding": FloodingAlgorithm,
+    "one-shot-flooding": OneShotFloodingAlgorithm,
+    "naive-unicast": NaiveUnicastAlgorithm,
+    "spanning-tree": SpanningTreeAlgorithm,
+    "single-source": SingleSourceUnicastAlgorithm,
+    "multi-source": MultiSourceUnicastAlgorithm,
+    "oblivious": lambda: ObliviousMultiSourceAlgorithm(
+        force_two_phase=True, center_probability=0.2
+    ),
+}
+
+ADVERSARIES: Dict[str, Callable[[], object]] = {
+    "churn": lambda: ControlledChurnAdversary(changes_per_round=5, edge_probability=0.25),
+    "static": lambda: ControlledChurnAdversary(changes_per_round=0, edge_probability=0.25),
+    "random": lambda: RandomChurnObliviousAdversary(edge_probability=0.25),
+    "lower-bound": LowerBoundAdversary,
+    "request-cutting": lambda: RequestCuttingAdversary(cut_fraction=0.7),
+    "star-recenter": StarRecenterAdversary,
+    "adaptive-rewiring": AdaptiveRewiringAdversary,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'The Communication Cost of Information Spreading "
+        "in Dynamic Networks' (ICDCS 2019).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run one execution and print the cost measures")
+    run.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="single-source")
+    run.add_argument("--adversary", choices=sorted(ADVERSARIES), default="churn")
+    run.add_argument("-n", "--nodes", type=int, default=20, help="number of nodes")
+    run.add_argument("-k", "--tokens", type=int, default=40, help="number of tokens")
+    run.add_argument(
+        "-s",
+        "--sources",
+        type=int,
+        default=1,
+        help="number of sources (use 0 for n-gossip, i.e. one token per node)",
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--max-rounds", type=int, default=None)
+    run.add_argument(
+        "--random-placement",
+        action="store_true",
+        help="place each token at each node independently with probability 1/4 "
+        "(the Section-2 lower-bound distribution)",
+    )
+
+    table1 = subparsers.add_parser("table1", help="regenerate Table 1 for a given n")
+    table1.add_argument("-n", "--nodes", type=int, default=4096)
+
+    bounds = subparsers.add_parser("bounds", help="evaluate the theorem bounds at (n, k, s)")
+    bounds.add_argument("-n", "--nodes", type=int, required=True)
+    bounds.add_argument("-k", "--tokens", type=int, required=True)
+    bounds.add_argument("-s", "--sources", type=int, default=1)
+    return parser
+
+
+def _build_problem(args: argparse.Namespace):
+    if args.random_placement:
+        return random_assignment_problem(args.nodes, args.tokens, seed=args.seed)
+    if args.sources == 0:
+        return n_gossip_problem(args.nodes)
+    if args.sources <= 1:
+        return single_source_problem(args.nodes, args.tokens)
+    return uniform_multi_source_problem(args.nodes, args.sources, args.tokens, seed=args.seed)
+
+
+def command_run(args: argparse.Namespace) -> int:
+    problem = _build_problem(args)
+    algorithm = ALGORITHMS[args.algorithm]()
+    adversary = ADVERSARIES[args.adversary]()
+    result = Simulator(
+        problem, algorithm, adversary, seed=args.seed, max_rounds=args.max_rounds
+    ).run()
+    rows = [
+        ["algorithm", result.algorithm_name],
+        ["adversary", result.adversary_name],
+        ["communication model", result.communication_model.value],
+        ["nodes (n)", result.num_nodes],
+        ["tokens (k)", result.num_tokens],
+        ["sources (s)", problem.num_sources],
+        ["completed", result.completed],
+        ["rounds", result.rounds],
+        ["total messages", result.total_messages],
+        ["topological changes TC(E)", result.topological_changes],
+        ["amortized messages / token", round(result.amortized_messages(), 3)],
+        ["1-competitive cost", round(result.adversary_competitive_messages(), 3)],
+        [
+            "amortized 1-competitive / token",
+            round(result.amortized_adversary_competitive_messages(), 3),
+        ],
+        ["token learnings", result.token_learnings()],
+    ]
+    print(format_table(["metric", "value"], rows))
+    return 0 if result.completed else 1
+
+
+def command_table1(args: argparse.Namespace) -> int:
+    print(render_table1(args.nodes))
+    return 0
+
+
+def command_bounds(args: argparse.Namespace) -> int:
+    n, k, s = args.nodes, args.tokens, args.sources
+    rows = [
+        ["flooding amortized upper bound O(n^2)", flooding_amortized_upper_bound(n)],
+        ["local broadcast lower bound Ω(n^2/log^2 n)", local_broadcast_lower_bound(n)],
+        ["static spanning tree amortized O(n^2/k + n)", static_spanning_tree_amortized(n, k)],
+        ["single-source competitive O(n^2 + nk)", single_source_competitive_bound(n, k)],
+        ["multi-source competitive O(n^2 s + nk)", multi_source_competitive_bound(n, k, s)],
+        ["oblivious amortized O(n^2.5 log^1.25 n / k^0.75)", oblivious_amortized_bound(n, k)],
+    ]
+    print(format_table(["bound", "value"], rows))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {"run": command_run, "table1": command_table1, "bounds": command_bounds}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Communication models (Section 1.3).
+
+* ``LOCAL_BROADCAST`` — in each round every node may locally broadcast one
+  message which all of its neighbours receive; a local broadcast counts as a
+  single message regardless of the number of neighbours.
+* ``UNICAST`` — at the beginning of each round every node learns the IDs of
+  its current neighbours and may send a different message to each of them;
+  messages to different neighbours are counted separately.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class CommunicationModel(enum.Enum):
+    """The two communication modes studied in the paper."""
+
+    LOCAL_BROADCAST = "local_broadcast"
+    UNICAST = "unicast"
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True for the local broadcast model."""
+        return self is CommunicationModel.LOCAL_BROADCAST
+
+    @property
+    def is_unicast(self) -> bool:
+        """True for the unicast model."""
+        return self is CommunicationModel.UNICAST
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,269 @@
+"""The synchronous round engine.
+
+:class:`Simulator` drives a token-forwarding algorithm against an adversary
+on a dynamic network, following the model of Section 1.3:
+
+* rounds are synchronous and 1-indexed; ``G_0`` is the empty graph;
+* every round graph must be connected over the full node set;
+* in the **local broadcast** model, nodes commit to their broadcast payloads
+  *before* the adversary fixes the round graph (the strongly adaptive
+  adversary sees those payloads — this is exactly the lower-bound model of
+  Section 2); a broadcast counts as one message;
+* in the **unicast** model, the adversary fixes the round graph first, nodes
+  are then informed of their neighbours and may send a different message to
+  each neighbour; every message counts separately.
+
+The engine records the dynamic-graph trace (for ``TC(E)``), all messages and
+all token-learning events, and stops as soon as every node knows every token
+(or a round limit is reached).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+from repro.algorithms.base import (
+    LocalBroadcastAlgorithm,
+    TokenForwardingAlgorithm,
+    UnicastAlgorithm,
+)
+from repro.core.comm import CommunicationModel
+from repro.core.events import EventLog
+from repro.core.messages import Payload, ReceivedMessage
+from repro.core.metrics import MessageAccountant
+from repro.core.observation import RoundObservation, SentRecord
+from repro.core.problem import DisseminationProblem
+from repro.core.result import ExecutionResult
+from repro.dynamics.connectivity import is_connected
+from repro.dynamics.graph_sequence import DynamicGraphTrace
+from repro.utils.ids import NodeId
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rng
+from repro.utils.validation import (
+    AdversaryViolationError,
+    ConfigurationError,
+    ProtocolViolationError,
+    require_positive_int,
+)
+
+
+def default_round_limit(problem: DisseminationProblem) -> int:
+    """A generous default round limit: well above the O(nk) bounds of the paper."""
+    n, k = problem.num_nodes, problem.num_tokens
+    return 10 * n * k + 10 * n + 100
+
+
+class Simulator:
+    """Runs one execution of ``algorithm`` against ``adversary`` on ``problem``.
+
+    Args:
+        problem: the dissemination instance.
+        algorithm: a :class:`LocalBroadcastAlgorithm` or :class:`UnicastAlgorithm`.
+        adversary: any object following the adversary protocol of
+            :mod:`repro.adversaries` (``oblivious`` flag, ``reset`` and
+            ``edges_for_round``).
+        max_rounds: round limit; defaults to :func:`default_round_limit`.
+        seed: base seed; the algorithm and the adversary receive independent
+            generators derived from it.
+        require_connected: enforce per-round connectivity (the paper's model
+            requirement).  Disable only for diagnostic experiments.
+    """
+
+    def __init__(
+        self,
+        problem: DisseminationProblem,
+        algorithm: TokenForwardingAlgorithm,
+        adversary,
+        *,
+        max_rounds: Optional[int] = None,
+        seed: SeedLike = None,
+        require_connected: bool = True,
+        keep_trace: bool = True,
+    ) -> None:
+        self._problem = problem
+        self._algorithm = algorithm
+        self._adversary = adversary
+        if max_rounds is None:
+            max_rounds = default_round_limit(problem)
+        self._max_rounds = require_positive_int(max_rounds, "max_rounds")
+        self._require_connected = require_connected
+        self._keep_trace = keep_trace
+        base_rng = ensure_rng(seed)
+        self._algorithm_rng = spawn_rng(base_rng, "algorithm")
+        self._adversary_rng = spawn_rng(base_rng, "adversary")
+        if not isinstance(algorithm, (LocalBroadcastAlgorithm, UnicastAlgorithm)):
+            raise ConfigurationError(
+                "algorithm must derive from LocalBroadcastAlgorithm or UnicastAlgorithm"
+            )
+
+    # -- public API --------------------------------------------------------
+
+    def run(self) -> ExecutionResult:
+        """Run the execution to completion (or the round limit) and return the result."""
+        problem = self._problem
+        algorithm = self._algorithm
+        adversary = self._adversary
+
+        algorithm.setup(problem, self._algorithm_rng)
+        adversary.reset(problem, self._adversary_rng)
+
+        trace = DynamicGraphTrace(problem.nodes)
+        accountant = MessageAccountant(algorithm.communication_model)
+        events = EventLog()
+        previous_messages: Tuple[SentRecord, ...] = ()
+
+        completed = algorithm.all_complete()
+        rounds_played = 0
+        while not completed and rounds_played < self._max_rounds:
+            round_index = rounds_played + 1
+            accountant.begin_round()
+            if algorithm.communication_model.is_broadcast:
+                previous_messages = self._play_broadcast_round(
+                    round_index, trace, accountant, previous_messages
+                )
+            else:
+                previous_messages = self._play_unicast_round(
+                    round_index, trace, accountant, previous_messages
+                )
+            accountant.end_round()
+            for node, token in algorithm.drain_token_learnings():
+                events.record(round_index, node, token)
+            rounds_played = round_index
+            completed = algorithm.all_complete()
+            if not completed and algorithm.is_quiescent():
+                # The algorithm will never send another message: no further
+                # progress is possible, so stop instead of idling to the
+                # round limit (the result is reported as not completed).
+                break
+
+        return ExecutionResult(
+            algorithm_name=algorithm.name,
+            communication_model=algorithm.communication_model,
+            problem=problem,
+            completed=completed,
+            rounds=rounds_played,
+            messages=accountant.snapshot(),
+            trace=trace,
+            events=events,
+            adversary_name=getattr(adversary, "name", type(adversary).__name__),
+        )
+
+    # -- round implementations ----------------------------------------------
+
+    def _observation(
+        self,
+        round_index: int,
+        broadcast_payloads: Mapping[NodeId, Optional[Payload]],
+        previous_messages: Tuple[SentRecord, ...],
+    ) -> Optional[RoundObservation]:
+        if getattr(self._adversary, "oblivious", False):
+            return None
+        algorithm = self._algorithm
+        knowledge = {node: algorithm.known_tokens(node) for node in self._problem.nodes}
+        return RoundObservation(
+            round_index=round_index,
+            knowledge=knowledge,
+            broadcast_payloads=dict(broadcast_payloads),
+            previous_messages=previous_messages,
+            algorithm_name=algorithm.name,
+            extra=algorithm.observation_extra(),
+        )
+
+    def _round_graph(
+        self, round_index: int, observation: Optional[RoundObservation], trace: DynamicGraphTrace
+    ) -> Dict[NodeId, FrozenSet[NodeId]]:
+        edges = self._adversary.edges_for_round(round_index, observation)
+        recorded = trace.record_round(edges)
+        if self._require_connected and len(self._problem.nodes) > 1:
+            if not is_connected(self._problem.nodes, recorded):
+                raise AdversaryViolationError(
+                    f"adversary produced a disconnected graph in round {round_index}"
+                )
+        return trace.neighbors(round_index)
+
+    def _play_broadcast_round(
+        self,
+        round_index: int,
+        trace: DynamicGraphTrace,
+        accountant: MessageAccountant,
+        previous_messages: Tuple[SentRecord, ...],
+    ) -> Tuple[SentRecord, ...]:
+        algorithm: LocalBroadcastAlgorithm = self._algorithm  # type: ignore[assignment]
+        node_set = set(self._problem.nodes)
+
+        broadcasts = algorithm.select_broadcasts(round_index)
+        for node in broadcasts:
+            if node not in node_set:
+                raise ProtocolViolationError(f"broadcast scheduled for unknown node {node}")
+
+        observation = self._observation(round_index, broadcasts, previous_messages)
+        neighbors = self._round_graph(round_index, observation, trace)
+
+        inbox: Dict[NodeId, List[ReceivedMessage]] = {node: [] for node in node_set}
+        sent_records: List[SentRecord] = []
+        for node in sorted(broadcasts):
+            payload = broadcasts[node]
+            if payload is None:
+                continue
+            accountant.count_broadcast(node, payload)
+            sent_records.append(SentRecord(sender=node, receiver=None, payload=payload))
+            for neighbor in neighbors[node]:
+                inbox[neighbor].append(ReceivedMessage(sender=node, payload=payload))
+
+        algorithm.receive_broadcasts(round_index, inbox, neighbors)
+        return tuple(sent_records)
+
+    def _play_unicast_round(
+        self,
+        round_index: int,
+        trace: DynamicGraphTrace,
+        accountant: MessageAccountant,
+        previous_messages: Tuple[SentRecord, ...],
+    ) -> Tuple[SentRecord, ...]:
+        algorithm: UnicastAlgorithm = self._algorithm  # type: ignore[assignment]
+        node_set = set(self._problem.nodes)
+
+        observation = self._observation(round_index, {}, previous_messages)
+        neighbors = self._round_graph(round_index, observation, trace)
+        algorithm.on_topology(
+            round_index,
+            neighbors,
+            trace.inserted_edges(round_index),
+            trace.removed_edges(round_index),
+        )
+
+        sends = algorithm.select_messages(round_index, neighbors)
+        inbox: Dict[NodeId, List[ReceivedMessage]] = {node: [] for node in node_set}
+        sent_records: List[SentRecord] = []
+        for sender in sorted(sends):
+            if sender not in node_set:
+                raise ProtocolViolationError(f"messages scheduled for unknown sender {sender}")
+            for receiver in sorted(sends[sender]):
+                if receiver not in neighbors[sender]:
+                    raise ProtocolViolationError(
+                        f"node {sender} tried to send to non-neighbour {receiver} "
+                        f"in round {round_index}"
+                    )
+                for payload in sends[sender][receiver]:
+                    accountant.count_unicast(sender, receiver, payload)
+                    sent_records.append(
+                        SentRecord(sender=sender, receiver=receiver, payload=payload)
+                    )
+                    inbox[receiver].append(ReceivedMessage(sender=sender, payload=payload))
+
+        algorithm.receive_messages(round_index, inbox)
+        return tuple(sent_records)
+
+
+def run_execution(
+    problem: DisseminationProblem,
+    algorithm: TokenForwardingAlgorithm,
+    adversary,
+    *,
+    max_rounds: Optional[int] = None,
+    seed: SeedLike = None,
+) -> ExecutionResult:
+    """Convenience wrapper: construct a :class:`Simulator` and run it once."""
+    simulator = Simulator(
+        problem, algorithm, adversary, max_rounds=max_rounds, seed=seed
+    )
+    return simulator.run()

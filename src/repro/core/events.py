@@ -1,0 +1,76 @@
+"""Token-learning events (Definition 1.4) and the execution event log.
+
+A token learning ``⟨v, τ, r⟩`` occurs when node ``v`` receives token ``τ``
+for the first time in round ``r``.  If each of the k tokens is initially
+given to exactly one node, exactly ``k(n-1)`` token learnings must occur in
+any execution that solves k-token dissemination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.tokens import Token
+from repro.utils.ids import NodeId
+
+
+@dataclass(frozen=True, order=True)
+class TokenLearning:
+    """The event ``⟨node, token, round⟩``: ``node`` learns ``token`` in round ``round``."""
+
+    round_index: int
+    node: NodeId
+    token: Token
+
+
+class EventLog:
+    """An append-only log of token-learning events with per-round aggregation."""
+
+    def __init__(self) -> None:
+        self._events: List[TokenLearning] = []
+        self._per_round: Dict[int, int] = {}
+        self._per_node: Dict[NodeId, int] = {}
+
+    def record(self, round_index: int, node: NodeId, token: Token) -> TokenLearning:
+        """Append a token-learning event and return it."""
+        event = TokenLearning(round_index=round_index, node=node, token=token)
+        self._events.append(event)
+        self._per_round[round_index] = self._per_round.get(round_index, 0) + 1
+        self._per_node[node] = self._per_node.get(node, 0) + 1
+        return event
+
+    @property
+    def events(self) -> List[TokenLearning]:
+        """All recorded events in insertion order."""
+        return list(self._events)
+
+    def total_learnings(self) -> int:
+        """Total number of token-learning events."""
+        return len(self._events)
+
+    def learnings_in_round(self, round_index: int) -> int:
+        """Number of token learnings that occurred in a given round."""
+        return self._per_round.get(round_index, 0)
+
+    def learnings_of_node(self, node: NodeId) -> int:
+        """Number of tokens learned (not counting initial knowledge) by a node."""
+        return self._per_node.get(node, 0)
+
+    def max_learnings_in_a_round(self) -> int:
+        """The maximum number of learnings in any single round (0 if empty)."""
+        return max(self._per_round.values(), default=0)
+
+    def rounds_with_learnings(self) -> List[int]:
+        """The sorted list of rounds in which at least one learning occurred."""
+        return sorted(self._per_round)
+
+    def last_learning_round(self) -> Optional[int]:
+        """The last round in which any node learned a token, or ``None``."""
+        return max(self._per_round) if self._per_round else None
+
+    def __iter__(self) -> Iterator[TokenLearning]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)

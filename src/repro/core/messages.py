@@ -1,0 +1,108 @@
+"""Message payloads exchanged by token-forwarding algorithms.
+
+The unicast algorithms of Section 3 use exactly three message types
+(cf. the proof of Theorem 3.1):
+
+1. **token messages** — carry one token;
+2. **completeness announcements** — a node announces that it is complete
+   (with respect to a given source in the multi-source case);
+3. **token requests** — an incomplete node asks a complete neighbour for a
+   specific missing token.
+
+Every payload fits in the paper's message-size budget of a constant number of
+tokens plus ``O(log n)`` bits.  Each payload sent to a neighbour counts as one
+message in the unicast model; in the local broadcast model one payload per
+broadcasting node per round counts as one message.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.tokens import Token
+from repro.utils.ids import NodeId
+
+
+class MessageKind(enum.Enum):
+    """Classification used by the message accountant."""
+
+    TOKEN = "token"
+    COMPLETENESS = "completeness"
+    REQUEST = "request"
+    CONTROL = "control"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class TokenMessage:
+    """A message carrying a single token (type 1)."""
+
+    token: Token
+
+    @property
+    def kind(self) -> MessageKind:
+        return MessageKind.TOKEN
+
+
+@dataclass(frozen=True)
+class CompletenessMessage:
+    """A completeness announcement (type 2).
+
+    ``source`` identifies the source node the sender is complete with respect
+    to; in the single-source setting it is simply that single source.
+    """
+
+    source: NodeId
+
+    @property
+    def kind(self) -> MessageKind:
+        return MessageKind.COMPLETENESS
+
+
+@dataclass(frozen=True)
+class RequestMessage:
+    """A token request (type 3) for the token ``⟨source, index⟩``."""
+
+    source: NodeId
+    index: int
+
+    @property
+    def kind(self) -> MessageKind:
+        return MessageKind.REQUEST
+
+    @property
+    def token(self) -> Token:
+        """The requested token."""
+        return Token(source=self.source, index=self.index)
+
+
+@dataclass(frozen=True)
+class ControlMessage:
+    """A generic control/beacon message (used by baseline algorithms,
+    e.g. spanning-tree construction probes)."""
+
+    tag: str
+    data: Optional[object] = None
+
+    @property
+    def kind(self) -> MessageKind:
+        return MessageKind.CONTROL
+
+
+Payload = Union[TokenMessage, CompletenessMessage, RequestMessage, ControlMessage]
+
+
+@dataclass(frozen=True)
+class ReceivedMessage:
+    """A payload together with its sender, as delivered to the receiving node."""
+
+    sender: NodeId
+    payload: Payload
+
+    @property
+    def kind(self) -> MessageKind:
+        return self.payload.kind

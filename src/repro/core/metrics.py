@@ -1,0 +1,132 @@
+"""Message-complexity accounting.
+
+Implements the cost measures of Section 1.3:
+
+* **message complexity** (Definition 1.1) — total number of messages sent; a
+  local broadcast counts as one message, unicast messages to different
+  neighbours are counted separately;
+* **amortized message complexity** — total messages divided by the number of
+  tokens ``k``;
+* **adversary-competitive message complexity** (Definition 1.3) — an
+  algorithm has α-adversary-competitive message complexity ``M`` if its total
+  message count is at most ``M + α · TC(E)`` for every execution.  For a
+  measured execution we therefore report ``max(0, total - α · TC)`` as the
+  adversary-adjusted cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.comm import CommunicationModel
+from repro.core.messages import MessageKind, Payload
+from repro.utils.ids import NodeId
+from repro.utils.validation import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MessageStatistics:
+    """An immutable snapshot of message counts for a finished execution."""
+
+    communication_model: CommunicationModel
+    total_messages: int
+    messages_by_kind: Dict[str, int]
+    per_round_messages: List[int]
+    per_node_messages: Dict[NodeId, int]
+
+    def messages_of_kind(self, kind: MessageKind) -> int:
+        """Messages of one kind (token / completeness / request / control)."""
+        return self.messages_by_kind.get(kind.value, 0)
+
+    def amortized(self, num_tokens: int) -> float:
+        """Amortized message complexity: total messages per token."""
+        if num_tokens <= 0:
+            raise ConfigurationError("num_tokens must be positive")
+        return self.total_messages / num_tokens
+
+    def adversary_competitive(self, topological_changes: int, alpha: float = 1.0) -> float:
+        """The α-adversary-competitive cost ``max(0, total - α · TC)`` (Definition 1.3)."""
+        if alpha < 0:
+            raise ConfigurationError("alpha must be non-negative")
+        if topological_changes < 0:
+            raise ConfigurationError("topological_changes must be non-negative")
+        return max(0.0, self.total_messages - alpha * topological_changes)
+
+    def amortized_adversary_competitive(
+        self, num_tokens: int, topological_changes: int, alpha: float = 1.0
+    ) -> float:
+        """Adversary-competitive cost divided by the number of tokens."""
+        if num_tokens <= 0:
+            raise ConfigurationError("num_tokens must be positive")
+        return self.adversary_competitive(topological_changes, alpha) / num_tokens
+
+
+class MessageAccountant:
+    """Mutable message counter used by the engine while an execution runs."""
+
+    def __init__(self, communication_model: CommunicationModel):
+        self._model = communication_model
+        self._total = 0
+        self._by_kind: Dict[str, int] = {}
+        self._per_round: List[int] = []
+        self._per_node: Dict[NodeId, int] = {}
+        self._current_round_count = 0
+        self._round_open = False
+
+    @property
+    def communication_model(self) -> CommunicationModel:
+        """The communication model messages are being counted under."""
+        return self._model
+
+    @property
+    def total_messages(self) -> int:
+        """Messages counted so far (including the currently open round)."""
+        return self._total
+
+    def begin_round(self) -> None:
+        """Open accounting for the next round."""
+        if self._round_open:
+            raise ConfigurationError("begin_round called while a round is already open")
+        self._round_open = True
+        self._current_round_count = 0
+
+    def end_round(self) -> int:
+        """Close the current round and return the number of messages it used."""
+        if not self._round_open:
+            raise ConfigurationError("end_round called without begin_round")
+        self._round_open = False
+        self._per_round.append(self._current_round_count)
+        return self._current_round_count
+
+    def _count(self, sender: NodeId, kind: MessageKind) -> None:
+        if not self._round_open:
+            raise ConfigurationError("messages can only be counted inside an open round")
+        self._total += 1
+        self._current_round_count += 1
+        self._by_kind[kind.value] = self._by_kind.get(kind.value, 0) + 1
+        self._per_node[sender] = self._per_node.get(sender, 0) + 1
+
+    def count_broadcast(self, sender: NodeId, payload: Payload) -> None:
+        """Count one local broadcast (one message regardless of the neighbourhood size)."""
+        if not self._model.is_broadcast:
+            raise ConfigurationError("count_broadcast is only valid in the local broadcast model")
+        self._count(sender, payload.kind)
+
+    def count_unicast(self, sender: NodeId, receiver: NodeId, payload: Payload) -> None:
+        """Count one unicast message from ``sender`` to ``receiver``."""
+        if not self._model.is_unicast:
+            raise ConfigurationError("count_unicast is only valid in the unicast model")
+        if sender == receiver:
+            raise ConfigurationError("a node cannot send a unicast message to itself")
+        self._count(sender, payload.kind)
+
+    def snapshot(self) -> MessageStatistics:
+        """Freeze the current counters into an immutable statistics object."""
+        return MessageStatistics(
+            communication_model=self._model,
+            total_messages=self._total,
+            messages_by_kind=dict(self._by_kind),
+            per_round_messages=list(self._per_round),
+            per_node_messages=dict(self._per_node),
+        )

@@ -1,0 +1,218 @@
+"""The k-token dissemination problem (Definition 1.2).
+
+A :class:`DisseminationProblem` fixes the node set, the token universe and
+the initial token placement.  Constructors are provided for the instances the
+paper studies:
+
+* the **single-source** case (all k tokens start at one node, Section 3.1);
+* the **multi-source** case (arbitrary placement over ``s`` sources,
+  Section 3.2);
+* **n-gossip** (one token per node, the canonical small-k instance);
+* a random placement used by the local-broadcast lower bound, where each
+  token is given independently to each node so that nodes initially hold at
+  most ``k/2`` tokens on average (Section 2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.tokens import Token, make_tokens, tokens_by_source, validate_token_universe
+from repro.utils.ids import NodeId, validate_nodes
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import ConfigurationError, require_positive_int
+
+
+@dataclass(frozen=True)
+class DisseminationProblem:
+    """An instance of the k-token dissemination problem.
+
+    Attributes:
+        nodes: the fixed node set ``V`` (sorted).
+        tokens: the token universe ``T`` (``k = |T|``).
+        initial_knowledge: the tokens initially known by each node.  Every
+            token must be known by at least one node.
+    """
+
+    nodes: Tuple[NodeId, ...]
+    tokens: Tuple[Token, ...]
+    initial_knowledge: Mapping[NodeId, FrozenSet[Token]]
+
+    def __post_init__(self) -> None:
+        nodes = tuple(validate_nodes(self.nodes))
+        object.__setattr__(self, "nodes", nodes)
+        tokens = validate_token_universe(self.tokens)
+        object.__setattr__(self, "tokens", tokens)
+        node_set = set(nodes)
+        token_set = set(tokens)
+        knowledge: Dict[NodeId, FrozenSet[Token]] = {}
+        for node in nodes:
+            known = frozenset(self.initial_knowledge.get(node, frozenset()))
+            unknown_tokens = known - token_set
+            if unknown_tokens:
+                raise ConfigurationError(
+                    f"node {node} initially holds tokens outside the universe: {unknown_tokens}"
+                )
+            knowledge[node] = known
+        for node in self.initial_knowledge:
+            if node not in node_set:
+                raise ConfigurationError(f"initial knowledge given for unknown node {node}")
+        covered = set()
+        for known in knowledge.values():
+            covered |= known
+        missing = token_set - covered
+        if missing:
+            raise ConfigurationError(f"tokens not initially placed at any node: {missing}")
+        object.__setattr__(self, "initial_knowledge", knowledge)
+
+    @property
+    def num_nodes(self) -> int:
+        """``n``."""
+        return len(self.nodes)
+
+    @property
+    def num_tokens(self) -> int:
+        """``k``."""
+        return len(self.tokens)
+
+    @property
+    def sources(self) -> Tuple[NodeId, ...]:
+        """The nodes that initially hold at least one token, sorted by ID."""
+        return tuple(sorted(node for node, known in self.initial_knowledge.items() if known))
+
+    @property
+    def num_sources(self) -> int:
+        """``s`` — the number of source nodes."""
+        return len(self.sources)
+
+    def initial_tokens_of(self, node: NodeId) -> FrozenSet[Token]:
+        """The tokens initially placed at ``node``."""
+        return self.initial_knowledge[node]
+
+    def tokens_of_source(self, source: NodeId) -> Tuple[Token, ...]:
+        """All tokens whose token identifier names ``source`` as origin."""
+        return tuple(sorted(token for token in self.tokens if token.source == source))
+
+    def required_token_learnings(self) -> int:
+        """The number of token-learning events any correct execution must produce."""
+        return sum(
+            self.num_tokens - len(self.initial_knowledge[node]) for node in self.nodes
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """A compact dictionary summary used in experiment records."""
+        return {
+            "n": self.num_nodes,
+            "k": self.num_tokens,
+            "s": self.num_sources,
+            "required_learnings": self.required_token_learnings(),
+        }
+
+
+def _node_range(num_nodes: int) -> List[NodeId]:
+    require_positive_int(num_nodes, "num_nodes")
+    return list(range(num_nodes))
+
+
+def single_source_problem(
+    num_nodes: int, num_tokens: int, source: NodeId = 0
+) -> DisseminationProblem:
+    """All ``num_tokens`` tokens start at a single ``source`` node (Section 3.1)."""
+    nodes = _node_range(num_nodes)
+    require_positive_int(num_tokens, "num_tokens")
+    if source not in nodes:
+        raise ConfigurationError(f"source {source} is not in 0..{num_nodes - 1}")
+    tokens = make_tokens(source, num_tokens)
+    knowledge = {source: frozenset(tokens)}
+    return DisseminationProblem(tuple(nodes), tokens, knowledge)
+
+
+def multi_source_problem(
+    num_nodes: int,
+    tokens_per_source: Mapping[NodeId, int],
+) -> DisseminationProblem:
+    """Tokens distributed over multiple sources: source ``a_i`` holds ``k_i`` tokens."""
+    nodes = _node_range(num_nodes)
+    if not tokens_per_source:
+        raise ConfigurationError("tokens_per_source must not be empty")
+    all_tokens: List[Token] = []
+    knowledge: Dict[NodeId, FrozenSet[Token]] = {}
+    for source in sorted(tokens_per_source):
+        count = tokens_per_source[source]
+        require_positive_int(count, f"tokens_per_source[{source}]")
+        if source not in nodes:
+            raise ConfigurationError(f"source {source} is not in 0..{num_nodes - 1}")
+        tokens = make_tokens(source, count)
+        all_tokens.extend(tokens)
+        knowledge[source] = frozenset(tokens)
+    return DisseminationProblem(tuple(nodes), tuple(all_tokens), knowledge)
+
+
+def n_gossip_problem(num_nodes: int) -> DisseminationProblem:
+    """One token per node (k = n, s = n): the canonical n-gossip instance."""
+    nodes = _node_range(num_nodes)
+    return multi_source_problem(num_nodes, {node: 1 for node in nodes})
+
+
+def uniform_multi_source_problem(
+    num_nodes: int, num_sources: int, num_tokens: int, seed=None
+) -> DisseminationProblem:
+    """``num_tokens`` tokens spread as evenly as possible over ``num_sources`` random sources."""
+    rng = ensure_rng(seed)
+    nodes = _node_range(num_nodes)
+    require_positive_int(num_sources, "num_sources")
+    require_positive_int(num_tokens, "num_tokens")
+    if num_sources > num_nodes:
+        raise ConfigurationError("num_sources cannot exceed num_nodes")
+    if num_tokens < num_sources:
+        raise ConfigurationError("num_tokens must be at least num_sources")
+    sources = sorted(rng.sample(nodes, num_sources))
+    base, extra = divmod(num_tokens, num_sources)
+    counts = {
+        source: base + (1 if position < extra else 0)
+        for position, source in enumerate(sources)
+    }
+    return multi_source_problem(num_nodes, counts)
+
+
+def random_assignment_problem(
+    num_nodes: int,
+    num_tokens: int,
+    inclusion_probability: float = 0.25,
+    seed=None,
+) -> DisseminationProblem:
+    """Each token is given independently to each node with the given probability.
+
+    This is the initial distribution used in the local-broadcast lower bound
+    (Section 2), which only requires that nodes initially hold at most ``k/2``
+    tokens on average.  Token ``i`` is attributed to the lowest-ID node that
+    holds it (or to node 0 if no node drew it), so the token universe remains
+    well formed.
+    """
+    rng = ensure_rng(seed)
+    nodes = _node_range(num_nodes)
+    require_positive_int(num_tokens, "num_tokens")
+    if not 0.0 <= inclusion_probability <= 1.0:
+        raise ConfigurationError("inclusion_probability must lie in [0, 1]")
+
+    holders: List[List[NodeId]] = []
+    for _ in range(num_tokens):
+        holding = [node for node in nodes if rng.random() < inclusion_probability]
+        holders.append(holding)
+
+    # Assign a nominal source per token (lowest-ID holder, or node 0).
+    per_source_counter: Dict[NodeId, int] = {}
+    tokens: List[Token] = []
+    knowledge: Dict[NodeId, set] = {node: set() for node in nodes}
+    for holding in holders:
+        source = min(holding) if holding else nodes[0]
+        per_source_counter[source] = per_source_counter.get(source, 0) + 1
+        token = Token(source=source, index=per_source_counter[source])
+        tokens.append(token)
+        owners = holding if holding else [source]
+        for node in owners:
+            knowledge[node].add(token)
+    frozen = {node: frozenset(known) for node, known in knowledge.items()}
+    return DisseminationProblem(tuple(nodes), tuple(tokens), frozen)

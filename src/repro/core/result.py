@@ -1,0 +1,107 @@
+"""Execution results returned by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.comm import CommunicationModel
+from repro.core.events import EventLog
+from repro.core.metrics import MessageStatistics
+from repro.core.problem import DisseminationProblem
+from repro.dynamics.graph_sequence import DynamicGraphTrace
+from repro.utils.validation import ConfigurationError
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of running one algorithm against one adversary.
+
+    The result bundles everything needed to evaluate the paper's cost
+    measures: message statistics, the recorded dynamic-graph trace (for
+    ``TC(E)``), the token-learning event log and termination information.
+    """
+
+    algorithm_name: str
+    communication_model: CommunicationModel
+    problem: DisseminationProblem
+    completed: bool
+    rounds: int
+    messages: MessageStatistics
+    trace: DynamicGraphTrace
+    events: EventLog
+    adversary_name: str = ""
+
+    @property
+    def total_messages(self) -> int:
+        """Total message complexity of the execution (Definition 1.1)."""
+        return self.messages.total_messages
+
+    @property
+    def topological_changes(self) -> int:
+        """``TC(E)`` — total number of edge insertions over the execution."""
+        return self.trace.topological_changes()
+
+    @property
+    def num_tokens(self) -> int:
+        """``k``."""
+        return self.problem.num_tokens
+
+    @property
+    def num_nodes(self) -> int:
+        """``n``."""
+        return self.problem.num_nodes
+
+    def amortized_messages(self) -> float:
+        """Amortized message complexity: total messages per token."""
+        return self.messages.amortized(self.num_tokens)
+
+    def adversary_competitive_messages(self, alpha: float = 1.0) -> float:
+        """α-adversary-competitive cost ``max(0, total - α · TC(E))`` (Definition 1.3)."""
+        return self.messages.adversary_competitive(self.topological_changes, alpha)
+
+    def amortized_adversary_competitive_messages(self, alpha: float = 1.0) -> float:
+        """Adversary-competitive cost per token."""
+        return self.messages.amortized_adversary_competitive(
+            self.num_tokens, self.topological_changes, alpha
+        )
+
+    def token_learnings(self) -> int:
+        """Number of token-learning events recorded (Definition 1.4)."""
+        return self.events.total_learnings()
+
+    def verify_dissemination(self) -> None:
+        """Raise unless the execution actually solved the dissemination problem.
+
+        A completed execution must have produced exactly the number of token
+        learnings required by the initial distribution.
+        """
+        if not self.completed:
+            raise ConfigurationError(
+                f"execution of {self.algorithm_name} did not complete within {self.rounds} rounds"
+            )
+        required = self.problem.required_token_learnings()
+        observed = self.events.total_learnings()
+        if observed != required:
+            raise ConfigurationError(
+                f"expected {required} token learnings for a correct execution, observed {observed}"
+            )
+
+    def summary(self) -> Dict[str, object]:
+        """A flat dictionary summary suitable for experiment tables."""
+        return {
+            "algorithm": self.algorithm_name,
+            "adversary": self.adversary_name,
+            "model": self.communication_model.value,
+            "n": self.num_nodes,
+            "k": self.num_tokens,
+            "s": self.problem.num_sources,
+            "completed": self.completed,
+            "rounds": self.rounds,
+            "total_messages": self.total_messages,
+            "amortized_messages": self.amortized_messages(),
+            "topological_changes": self.topological_changes,
+            "adversary_competitive": self.adversary_competitive_messages(),
+            "amortized_adversary_competitive": self.amortized_adversary_competitive_messages(),
+            "token_learnings": self.token_learnings(),
+        }

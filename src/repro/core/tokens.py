@@ -1,0 +1,70 @@
+"""Tokens (the k pieces of information to disseminate).
+
+Following the Multi-Source-Unicast algorithm (Section 3.2.1), a token carries
+the identifier of its source node and an index within that source, i.e. the
+token identifier ``⟨ID_x, i⟩`` of the paper.  Tokens are immutable and
+hashable, and token-forwarding algorithms may only store, copy and forward
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.utils.ids import NodeId
+from repro.utils.validation import ConfigurationError, require_positive_int
+
+
+@dataclass(frozen=True, order=True)
+class Token:
+    """A single token ``⟨source, index⟩``.
+
+    ``source`` is the node at which the token is initially placed and
+    ``index`` numbers the tokens of that source from 1 to ``k_source``.
+    """
+
+    source: NodeId
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ConfigurationError(f"token indices start at 1, got {self.index}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"⟨{self.source},{self.index}⟩"
+
+
+def make_tokens(source: NodeId, count: int) -> Tuple[Token, ...]:
+    """Create ``count`` tokens originating at ``source`` with indices ``1..count``."""
+    require_positive_int(count, "count")
+    return tuple(Token(source=source, index=i) for i in range(1, count + 1))
+
+
+def tokens_by_source(tokens: Iterable[Token]) -> Dict[NodeId, List[Token]]:
+    """Group tokens by source node, each group sorted by index."""
+    grouped: Dict[NodeId, List[Token]] = {}
+    for token in tokens:
+        grouped.setdefault(token.source, []).append(token)
+    for source in grouped:
+        grouped[source].sort()
+    return grouped
+
+
+def source_token_counts(tokens: Iterable[Token]) -> Dict[NodeId, int]:
+    """Number of tokens per source node."""
+    return {source: len(group) for source, group in tokens_by_source(tokens).items()}
+
+
+def validate_token_universe(tokens: Sequence[Token]) -> Tuple[Token, ...]:
+    """Validate that tokens are distinct and per-source indices are 1..k_source."""
+    token_tuple = tuple(tokens)
+    if len(set(token_tuple)) != len(token_tuple):
+        raise ConfigurationError("tokens must be distinct")
+    for source, group in tokens_by_source(token_tuple).items():
+        indices = [token.index for token in group]
+        if indices != list(range(1, len(group) + 1)):
+            raise ConfigurationError(
+                f"tokens of source {source} must be indexed 1..{len(group)}, got {indices}"
+            )
+    return token_tuple

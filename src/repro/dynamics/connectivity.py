@@ -1,0 +1,132 @@
+"""Connectivity helpers used by generators, adversaries and the engine.
+
+The dynamic-network model requires every round graph to be connected
+(Section 1.3).  These helpers check connectivity, repair disconnected edge
+sets by adding a minimal number of connecting edges, and extract spanning
+forests (used by the lower-bound adversary to keep round graphs sparse).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.utils.ids import Edge, NodeId, normalize_edge
+from repro.utils.rng import ensure_rng
+
+
+class _UnionFind:
+    """Minimal union-find structure over an explicit node universe."""
+
+    def __init__(self, nodes: Iterable[NodeId]):
+        self._parent: Dict[NodeId, NodeId] = {node: node for node in nodes}
+        self._rank: Dict[NodeId, int] = {node: 0 for node in self._parent}
+
+    def find(self, node: NodeId) -> NodeId:
+        root = node
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[node] != root:
+            self._parent[node], node = root, self._parent[node]
+        return root
+
+    def union(self, u: NodeId, v: NodeId) -> bool:
+        root_u, root_v = self.find(u), self.find(v)
+        if root_u == root_v:
+            return False
+        if self._rank[root_u] < self._rank[root_v]:
+            root_u, root_v = root_v, root_u
+        self._parent[root_v] = root_u
+        if self._rank[root_u] == self._rank[root_v]:
+            self._rank[root_u] += 1
+        return True
+
+
+def connected_components(nodes: Iterable[NodeId], edges: Iterable[Edge]) -> List[Set[NodeId]]:
+    """Return the connected components of ``(nodes, edges)`` as a list of node sets."""
+    node_list = list(nodes)
+    uf = _UnionFind(node_list)
+    for u, v in edges:
+        uf.union(u, v)
+    groups: Dict[NodeId, Set[NodeId]] = {}
+    for node in node_list:
+        groups.setdefault(uf.find(node), set()).add(node)
+    return list(groups.values())
+
+
+def is_connected(nodes: Iterable[NodeId], edges: Iterable[Edge]) -> bool:
+    """True iff the graph ``(nodes, edges)`` is connected (single node counts as connected)."""
+    return len(connected_components(nodes, edges)) <= 1
+
+
+def ensure_connected(
+    nodes: Sequence[NodeId],
+    edges: Iterable[Edge],
+    rng: random.Random = None,
+) -> Set[Edge]:
+    """Return a superset of ``edges`` that is connected over ``nodes``.
+
+    One edge is added between a random representative of each pair of
+    consecutive components, so exactly ``(#components - 1)`` edges are added.
+    """
+    rng = ensure_rng(rng)
+    edge_set: Set[Edge] = {normalize_edge(u, v) for (u, v) in edges}
+    components = connected_components(nodes, edge_set)
+    if len(components) <= 1:
+        return edge_set
+    representatives = [rng.choice(sorted(component)) for component in components]
+    rng.shuffle(representatives)
+    for left, right in zip(representatives, representatives[1:]):
+        edge_set.add(normalize_edge(left, right))
+    return edge_set
+
+
+def spanning_forest(nodes: Iterable[NodeId], edges: Iterable[Edge]) -> Set[Edge]:
+    """Return a spanning forest (one spanning tree per component) of the graph."""
+    uf = _UnionFind(list(nodes))
+    forest: Set[Edge] = set()
+    for u, v in sorted(normalize_edge(a, b) for (a, b) in edges):
+        if uf.union(u, v):
+            forest.add((u, v))
+    return forest
+
+
+def connecting_edges_between_components(
+    components: Sequence[Set[NodeId]],
+    rng: random.Random = None,
+) -> Set[Edge]:
+    """Return ``len(components) - 1`` edges that chain the given components together."""
+    rng = ensure_rng(rng)
+    if len(components) <= 1:
+        return set()
+    representatives = [rng.choice(sorted(component)) for component in components]
+    return {
+        normalize_edge(left, right)
+        for left, right in zip(representatives, representatives[1:])
+    }
+
+
+def bfs_tree(
+    nodes: Iterable[NodeId], edges: Iterable[Edge], root: NodeId
+) -> Tuple[Dict[NodeId, NodeId], Dict[NodeId, int]]:
+    """Breadth-first tree from ``root``: (parent map, depth map).
+
+    The root maps to itself.  Nodes unreachable from ``root`` are absent.
+    """
+    adjacency: Dict[NodeId, Set[NodeId]] = {node: set() for node in nodes}
+    for u, v in edges:
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    parent: Dict[NodeId, NodeId] = {root: root}
+    depth: Dict[NodeId, int] = {root: 0}
+    frontier: List[NodeId] = [root]
+    while frontier:
+        next_frontier: List[NodeId] = []
+        for node in frontier:
+            for neighbor in sorted(adjacency[node]):
+                if neighbor not in parent:
+                    parent[neighbor] = node
+                    depth[neighbor] = depth[node] + 1
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+    return parent, depth

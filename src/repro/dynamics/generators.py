@@ -1,0 +1,322 @@
+"""Dynamic-graph workload generators.
+
+Each generator returns a :class:`~repro.dynamics.graph_sequence.GraphSchedule`
+— a pre-committed sequence of connected round graphs.  Schedules are the
+natural input for oblivious adversaries (Section 1.3: the oblivious adversary
+commits to the topology sequence before the execution starts) and for
+record/replay experiments.
+
+All generators guarantee that every round graph is connected.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.dynamics.connectivity import ensure_connected
+from repro.dynamics.graph_sequence import GraphSchedule
+from repro.utils.ids import Edge, NodeId, normalize_edge
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import (
+    ConfigurationError,
+    require_non_negative_int,
+    require_positive_int,
+    require_probability,
+)
+
+
+def _node_range(num_nodes: int) -> List[NodeId]:
+    require_positive_int(num_nodes, "num_nodes")
+    return list(range(num_nodes))
+
+
+def _all_pairs(nodes: Sequence[NodeId]) -> List[Edge]:
+    return [normalize_edge(u, v) for u, v in itertools.combinations(nodes, 2)]
+
+
+def random_connected_edges(
+    nodes: Sequence[NodeId],
+    edge_probability: float,
+    rng: random.Random = None,
+) -> Set[Edge]:
+    """A G(n, p) sample over ``nodes``, repaired to be connected."""
+    rng = ensure_rng(rng)
+    require_probability(edge_probability, "edge_probability")
+    edges: Set[Edge] = set()
+    node_list = sorted(nodes)
+    for index, u in enumerate(node_list):
+        for v in node_list[index + 1 :]:
+            if rng.random() < edge_probability:
+                edges.add(normalize_edge(u, v))
+    return ensure_connected(node_list, edges, rng)
+
+
+def static_schedule(
+    num_nodes: int,
+    edges: Iterable[Edge],
+    num_rounds: int = 1,
+) -> GraphSchedule:
+    """A static (unchanging) schedule with the given edge set."""
+    nodes = _node_range(num_nodes)
+    require_positive_int(num_rounds, "num_rounds")
+    edge_set = {normalize_edge(u, v) for (u, v) in edges}
+    repaired = ensure_connected(nodes, edge_set, ensure_rng(0))
+    if repaired != edge_set:
+        raise ConfigurationError("static_schedule requires a connected edge set")
+    return GraphSchedule(nodes, [edge_set] * num_rounds)
+
+
+def static_complete_schedule(num_nodes: int, num_rounds: int = 1) -> GraphSchedule:
+    """Static complete graph ``K_n``."""
+    nodes = _node_range(num_nodes)
+    return static_schedule(num_nodes, _all_pairs(nodes), num_rounds)
+
+
+def static_path_schedule(num_nodes: int, num_rounds: int = 1) -> GraphSchedule:
+    """Static path ``0 - 1 - ... - (n-1)`` (diameter ``n - 1``)."""
+    nodes = _node_range(num_nodes)
+    edges = [normalize_edge(u, u + 1) for u in nodes[:-1]]
+    if num_nodes == 1:
+        edges = []
+    return GraphSchedule(nodes, [set(edges)] * require_positive_int(num_rounds, "num_rounds"))
+
+
+def static_star_schedule(num_nodes: int, center: NodeId = 0, num_rounds: int = 1) -> GraphSchedule:
+    """Static star with the given center."""
+    nodes = _node_range(num_nodes)
+    if center not in nodes:
+        raise ConfigurationError(f"center {center} is not a node in 0..{num_nodes - 1}")
+    edges = [normalize_edge(center, v) for v in nodes if v != center]
+    return GraphSchedule(nodes, [set(edges)] * require_positive_int(num_rounds, "num_rounds"))
+
+
+def static_cycle_schedule(num_nodes: int, num_rounds: int = 1) -> GraphSchedule:
+    """Static cycle over the node range (requires at least 3 nodes)."""
+    nodes = _node_range(num_nodes)
+    if num_nodes < 3:
+        raise ConfigurationError("a cycle needs at least 3 nodes")
+    edges = [normalize_edge(u, (u + 1) % num_nodes) for u in nodes]
+    return GraphSchedule(nodes, [set(edges)] * require_positive_int(num_rounds, "num_rounds"))
+
+
+def static_random_schedule(
+    num_nodes: int,
+    edge_probability: float = 0.2,
+    num_rounds: int = 1,
+    seed=None,
+) -> GraphSchedule:
+    """A single connected G(n, p) sample repeated for every round."""
+    rng = ensure_rng(seed)
+    nodes = _node_range(num_nodes)
+    edges = random_connected_edges(nodes, edge_probability, rng)
+    return GraphSchedule(nodes, [edges] * require_positive_int(num_rounds, "num_rounds"))
+
+
+def churn_schedule(
+    num_nodes: int,
+    num_rounds: int,
+    edge_probability: float = 0.1,
+    churn_fraction: float = 0.3,
+    seed=None,
+) -> GraphSchedule:
+    """Per-round partial rewiring: a fraction of edges is replaced every round.
+
+    Starting from a connected G(n, p) sample, each round removes a
+    ``churn_fraction`` of the current edges and inserts the same expected
+    number of fresh random edges, then repairs connectivity.  This models
+    steady background churn (peer-to-peer membership turnover).
+    """
+    rng = ensure_rng(seed)
+    nodes = _node_range(num_nodes)
+    require_positive_int(num_rounds, "num_rounds")
+    require_probability(churn_fraction, "churn_fraction")
+    current = random_connected_edges(nodes, edge_probability, rng)
+    rounds: List[Set[Edge]] = [set(current)]
+    all_pairs = _all_pairs(nodes)
+    for _ in range(num_rounds - 1):
+        edges = set(current)
+        removable = sorted(edges)
+        num_to_remove = int(round(churn_fraction * len(removable)))
+        for edge in rng.sample(removable, min(num_to_remove, len(removable))):
+            edges.discard(edge)
+        num_to_add = num_to_remove
+        candidates = [pair for pair in all_pairs if pair not in edges]
+        for edge in rng.sample(candidates, min(num_to_add, len(candidates))):
+            edges.add(edge)
+        current = ensure_connected(nodes, edges, rng)
+        rounds.append(set(current))
+    return GraphSchedule(nodes, rounds)
+
+
+def edge_markovian_schedule(
+    num_nodes: int,
+    num_rounds: int,
+    birth_probability: float = 0.02,
+    death_probability: float = 0.2,
+    seed=None,
+) -> GraphSchedule:
+    """Edge-Markovian evolving graph (Clementi et al.): each potential edge
+    appears with probability ``birth_probability`` if absent and disappears
+    with probability ``death_probability`` if present, independently per round.
+    Connectivity is repaired after each transition.
+    """
+    rng = ensure_rng(seed)
+    nodes = _node_range(num_nodes)
+    require_positive_int(num_rounds, "num_rounds")
+    require_probability(birth_probability, "birth_probability")
+    require_probability(death_probability, "death_probability")
+    all_pairs = _all_pairs(nodes)
+    current: Set[Edge] = set()
+    rounds: List[Set[Edge]] = []
+    for _ in range(num_rounds):
+        next_edges: Set[Edge] = set()
+        for pair in all_pairs:
+            if pair in current:
+                if rng.random() >= death_probability:
+                    next_edges.add(pair)
+            else:
+                if rng.random() < birth_probability:
+                    next_edges.add(pair)
+        current = ensure_connected(nodes, next_edges, rng)
+        rounds.append(set(current))
+    return GraphSchedule(nodes, rounds)
+
+
+def rewiring_regular_schedule(
+    num_nodes: int,
+    num_rounds: int,
+    degree: int = 4,
+    rewire_probability: float = 0.5,
+    seed=None,
+) -> GraphSchedule:
+    """Approximately ``degree``-regular graphs whose edges are partially
+    rewired every round.
+
+    The round graph is built as a ring plus random chords (a small-world-like
+    expander), with a ``rewire_probability`` fraction of the chords resampled
+    each round.  This is the kind of well-mixing dynamic topology assumed by
+    the random-walk machinery of Section 3.2.2.
+    """
+    rng = ensure_rng(seed)
+    nodes = _node_range(num_nodes)
+    require_positive_int(num_rounds, "num_rounds")
+    require_probability(rewire_probability, "rewire_probability")
+    if degree < 2:
+        raise ConfigurationError("degree must be at least 2")
+    if num_nodes < 3:
+        return GraphSchedule(nodes, [set(_all_pairs(nodes))] * num_rounds)
+
+    ring = {normalize_edge(u, (u + 1) % num_nodes) for u in nodes}
+    num_chords = max(0, (degree - 2) * num_nodes // 2)
+    all_pairs = [pair for pair in _all_pairs(nodes) if pair not in ring]
+
+    def sample_chords(count: int) -> Set[Edge]:
+        return set(rng.sample(all_pairs, min(count, len(all_pairs))))
+
+    chords = sample_chords(num_chords)
+    rounds: List[Set[Edge]] = []
+    for _ in range(num_rounds):
+        edges = ensure_connected(nodes, ring | chords, rng)
+        rounds.append(set(edges))
+        num_rewired = int(round(rewire_probability * len(chords)))
+        if num_rewired and chords:
+            kept = set(rng.sample(sorted(chords), len(chords) - num_rewired))
+            chords = kept | sample_chords(num_rewired)
+    return GraphSchedule(nodes, rounds)
+
+
+def star_oscillator_schedule(
+    num_nodes: int,
+    num_rounds: int,
+    period: int = 1,
+    seed=None,
+) -> GraphSchedule:
+    """A star whose center moves every ``period`` rounds.
+
+    This is a classic high-churn topology: every center change inserts and
+    deletes ``Θ(n)`` edges, so ``TC`` grows linearly with the number of
+    center moves.  It stresses the adversary-competitive accounting.
+    """
+    rng = ensure_rng(seed)
+    nodes = _node_range(num_nodes)
+    require_positive_int(num_rounds, "num_rounds")
+    require_positive_int(period, "period")
+    rounds: List[Set[Edge]] = []
+    center = rng.choice(nodes)
+    for round_index in range(num_rounds):
+        if round_index > 0 and round_index % period == 0 and num_nodes > 1:
+            candidates = [node for node in nodes if node != center]
+            center = rng.choice(candidates)
+        edges = {normalize_edge(center, v) for v in nodes if v != center}
+        rounds.append(edges)
+    return GraphSchedule(nodes, rounds)
+
+
+def path_shuffle_schedule(
+    num_nodes: int,
+    num_rounds: int,
+    period: int = 1,
+    seed=None,
+) -> GraphSchedule:
+    """A Hamiltonian path whose node order is reshuffled every ``period`` rounds.
+
+    Each reshuffle changes ``Θ(n)`` edges while keeping the graph as sparse as
+    possible (exactly ``n - 1`` edges), which is the worst case for
+    dissemination progress per round.
+    """
+    rng = ensure_rng(seed)
+    nodes = _node_range(num_nodes)
+    require_positive_int(num_rounds, "num_rounds")
+    require_positive_int(period, "period")
+    order = list(nodes)
+    rounds: List[Set[Edge]] = []
+    for round_index in range(num_rounds):
+        if round_index > 0 and round_index % period == 0:
+            rng.shuffle(order)
+        edges = {normalize_edge(u, v) for u, v in zip(order, order[1:])}
+        rounds.append(edges)
+    return GraphSchedule(nodes, rounds)
+
+
+def geometric_mobility_schedule(
+    num_nodes: int,
+    num_rounds: int,
+    radius: float = 0.35,
+    speed: float = 0.05,
+    seed=None,
+) -> GraphSchedule:
+    """Random-waypoint-style mobility on the unit square.
+
+    Nodes perform bounded random motion; two nodes are connected whenever
+    their Euclidean distance is below ``radius``.  Connectivity is repaired by
+    bridging components (modelling a long-range backbone link).  This mimics
+    ad-hoc wireless / sensor network dynamics from the paper's motivation.
+    """
+    rng = ensure_rng(seed)
+    nodes = _node_range(num_nodes)
+    require_positive_int(num_rounds, "num_rounds")
+    if radius <= 0 or speed < 0:
+        raise ConfigurationError("radius must be positive and speed non-negative")
+    positions: Dict[NodeId, Tuple[float, float]] = {
+        node: (rng.random(), rng.random()) for node in nodes
+    }
+    rounds: List[Set[Edge]] = []
+    for _ in range(num_rounds):
+        edges: Set[Edge] = set()
+        node_list = sorted(nodes)
+        for index, u in enumerate(node_list):
+            ux, uy = positions[u]
+            for v in node_list[index + 1 :]:
+                vx, vy = positions[v]
+                if math.hypot(ux - vx, uy - vy) <= radius:
+                    edges.add(normalize_edge(u, v))
+        rounds.append(set(ensure_connected(nodes, edges, rng)))
+        for node in nodes:
+            x, y = positions[node]
+            x = min(1.0, max(0.0, x + rng.uniform(-speed, speed)))
+            y = min(1.0, max(0.0, y + rng.uniform(-speed, speed)))
+            positions[node] = (x, y)
+    return GraphSchedule(nodes, rounds)

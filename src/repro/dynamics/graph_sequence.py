@@ -1,0 +1,235 @@
+"""Round-graph sequences: recorded traces and pre-committed schedules.
+
+The paper defines (Section 1.3):
+
+* ``G_r = (V, E_r)`` — the graph of round ``r`` (rounds are 1-indexed and
+  ``E_0 = ∅``);
+* ``E+_r = E_r \\ E_{r-1}`` — edges inserted in round ``r``;
+* ``E-_r = E_{r-1} \\ E_r`` — edges removed in round ``r``;
+* ``TC(E) = Σ_r |E+_r|`` — the number of topological changes of an execution.
+
+:class:`DynamicGraphTrace` records these quantities as an execution unfolds
+(the adversary may be adaptive, so the trace is only known a posteriori),
+while :class:`GraphSchedule` is a pre-committed sequence of round graphs used
+by oblivious adversaries and by workload generators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.utils.ids import Edge, NodeId, normalize_edge, validate_edges, validate_nodes
+from repro.utils.validation import ConfigurationError, SimulationError
+
+
+class DynamicGraphTrace:
+    """The recorded sequence of round graphs of a single execution.
+
+    Rounds are 1-indexed, matching the paper.  Round 0 is the empty graph.
+    """
+
+    def __init__(self, nodes: Iterable[NodeId]):
+        self._nodes: List[NodeId] = validate_nodes(nodes)
+        self._node_set: FrozenSet[NodeId] = frozenset(self._nodes)
+        self._edge_sets: List[FrozenSet[Edge]] = []
+        self._insertions: List[FrozenSet[Edge]] = []
+        self._removals: List[FrozenSet[Edge]] = []
+        self._total_insertions = 0
+        self._total_removals = 0
+
+    @property
+    def nodes(self) -> List[NodeId]:
+        """The fixed node set ``V`` (sorted)."""
+        return list(self._nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        """``n = |V|``."""
+        return len(self._nodes)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of rounds recorded so far."""
+        return len(self._edge_sets)
+
+    def record_round(self, edges: Iterable[Edge]) -> FrozenSet[Edge]:
+        """Record the edge set of the next round and return it normalized."""
+        edge_set = validate_edges(self._node_set, edges)
+        previous = self._edge_sets[-1] if self._edge_sets else frozenset()
+        inserted = frozenset(edge_set - previous)
+        removed = frozenset(previous - edge_set)
+        self._edge_sets.append(edge_set)
+        self._insertions.append(inserted)
+        self._removals.append(removed)
+        self._total_insertions += len(inserted)
+        self._total_removals += len(removed)
+        return edge_set
+
+    def _check_round(self, round_index: int) -> int:
+        if round_index < 1 or round_index > len(self._edge_sets):
+            raise SimulationError(
+                f"round {round_index} has not been recorded "
+                f"(recorded rounds: 1..{len(self._edge_sets)})"
+            )
+        return round_index
+
+    def edges_in_round(self, round_index: int) -> FrozenSet[Edge]:
+        """``E_r`` for a recorded round ``r`` (``E_0`` is the empty set)."""
+        if round_index == 0:
+            return frozenset()
+        self._check_round(round_index)
+        return self._edge_sets[round_index - 1]
+
+    def inserted_edges(self, round_index: int) -> FrozenSet[Edge]:
+        """``E+_r = E_r \\ E_{r-1}``."""
+        if round_index == 0:
+            return frozenset()
+        self._check_round(round_index)
+        return self._insertions[round_index - 1]
+
+    def removed_edges(self, round_index: int) -> FrozenSet[Edge]:
+        """``E-_r = E_{r-1} \\ E_r``."""
+        if round_index == 0:
+            return frozenset()
+        self._check_round(round_index)
+        return self._removals[round_index - 1]
+
+    def topological_changes(self, up_to_round: Optional[int] = None) -> int:
+        """``TC(E) = Σ_r |E+_r|`` over the recorded execution (or a prefix)."""
+        if up_to_round is None:
+            return self._total_insertions
+        if up_to_round < 0:
+            raise ConfigurationError("up_to_round must be non-negative")
+        up_to_round = min(up_to_round, self.num_rounds)
+        return sum(len(self._insertions[r]) for r in range(up_to_round))
+
+    def total_edge_removals(self, up_to_round: Optional[int] = None) -> int:
+        """Total number of edge deletions (always ≤ ``TC(E)`` since ``E_0 = ∅``)."""
+        if up_to_round is None:
+            return self._total_removals
+        up_to_round = min(max(up_to_round, 0), self.num_rounds)
+        return sum(len(self._removals[r]) for r in range(up_to_round))
+
+    def graph(self, round_index: int) -> nx.Graph:
+        """Return ``G_r`` as a :class:`networkx.Graph` (including isolated nodes)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self._nodes)
+        graph.add_edges_from(self.edges_in_round(round_index))
+        return graph
+
+    def neighbors(self, round_index: int) -> Dict[NodeId, FrozenSet[NodeId]]:
+        """Adjacency map of round ``round_index``."""
+        adjacency: Dict[NodeId, Set[NodeId]] = {node: set() for node in self._nodes}
+        for u, v in self.edges_in_round(round_index):
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        return {node: frozenset(neigh) for node, neigh in adjacency.items()}
+
+    def edge_lifetime(self, edge: Edge) -> int:
+        """Total number of rounds in which ``edge`` was present."""
+        canonical = normalize_edge(*edge)
+        return sum(1 for edge_set in self._edge_sets if canonical in edge_set)
+
+    def as_schedule(self) -> "GraphSchedule":
+        """Freeze the recorded trace into a replayable :class:`GraphSchedule`."""
+        return GraphSchedule(self._nodes, list(self._edge_sets))
+
+    def __len__(self) -> int:
+        return self.num_rounds
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicGraphTrace(n={self.num_nodes}, rounds={self.num_rounds}, "
+            f"TC={self._total_insertions})"
+        )
+
+
+class GraphSchedule:
+    """A pre-committed sequence of round graphs over a fixed node set.
+
+    A schedule is what an *oblivious* adversary commits to before the
+    execution starts.  When an execution outlives the schedule, the final
+    round graph repeats (the adversary keeps the topology fixed), which keeps
+    every schedule well defined for arbitrarily long executions while adding
+    no further topological changes.
+    """
+
+    def __init__(self, nodes: Iterable[NodeId], edge_sets: Sequence[Iterable[Edge]]):
+        self._nodes: List[NodeId] = validate_nodes(nodes)
+        self._node_set: FrozenSet[NodeId] = frozenset(self._nodes)
+        if not edge_sets:
+            raise ConfigurationError("a GraphSchedule needs at least one round graph")
+        self._edge_sets: List[FrozenSet[Edge]] = [
+            validate_edges(self._node_set, edges) for edges in edge_sets
+        ]
+
+    @property
+    def nodes(self) -> List[NodeId]:
+        """The fixed node set ``V`` (sorted)."""
+        return list(self._nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        """``n = |V|``."""
+        return len(self._nodes)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of explicitly specified rounds (the last one repeats afterwards)."""
+        return len(self._edge_sets)
+
+    def edges_for_round(self, round_index: int) -> FrozenSet[Edge]:
+        """``E_r``; for rounds beyond the schedule length the last graph repeats."""
+        if round_index < 1:
+            raise ConfigurationError(f"round indices start at 1, got {round_index}")
+        index = min(round_index, len(self._edge_sets)) - 1
+        return self._edge_sets[index]
+
+    def graph(self, round_index: int) -> nx.Graph:
+        """Return ``G_r`` as a :class:`networkx.Graph` (including isolated nodes)."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self._nodes)
+        graph.add_edges_from(self.edges_for_round(round_index))
+        return graph
+
+    def prefix(self, num_rounds: int) -> "GraphSchedule":
+        """Return a schedule consisting of the first ``num_rounds`` round graphs."""
+        if num_rounds < 1:
+            raise ConfigurationError("num_rounds must be at least 1")
+        return GraphSchedule(self._nodes, self._edge_sets[:num_rounds])
+
+    def concatenate(self, other: "GraphSchedule") -> "GraphSchedule":
+        """Append another schedule over the same node set."""
+        if frozenset(other.nodes) != self._node_set:
+            raise ConfigurationError("cannot concatenate schedules over different node sets")
+        return GraphSchedule(self._nodes, list(self._edge_sets) + list(other._edge_sets))
+
+    def topological_changes(self, num_rounds: Optional[int] = None) -> int:
+        """``TC`` of the first ``num_rounds`` rounds (whole schedule by default)."""
+        limit = self.num_rounds if num_rounds is None else max(0, num_rounds)
+        limit = min(limit, self.num_rounds)
+        total = 0
+        previous: FrozenSet[Edge] = frozenset()
+        for index in range(limit):
+            current = self._edge_sets[index]
+            total += len(current - previous)
+            previous = current
+        return total
+
+    def iter_rounds(self) -> Iterable[Tuple[int, FrozenSet[Edge]]]:
+        """Iterate over ``(round_index, E_r)`` pairs of the explicit schedule."""
+        for index, edges in enumerate(self._edge_sets, start=1):
+            yield index, edges
+
+    def __len__(self) -> int:
+        return self.num_rounds
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphSchedule):
+            return NotImplemented
+        return self._nodes == other._nodes and self._edge_sets == other._edge_sets
+
+    def __repr__(self) -> str:
+        return f"GraphSchedule(n={self.num_nodes}, rounds={self.num_rounds})"

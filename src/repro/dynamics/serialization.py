@@ -1,0 +1,77 @@
+"""Record / replay support: JSON serialization of schedules and traces.
+
+Dynamic-graph workloads are often expensive to generate (or come from real
+connectivity traces); these helpers persist them as plain JSON so experiments
+can be replayed bit-for-bit:
+
+* :func:`schedule_to_json` / :func:`schedule_from_json` — round-trip a
+  :class:`~repro.dynamics.graph_sequence.GraphSchedule`;
+* :func:`trace_to_schedule_json` — freeze the recorded trace of a finished
+  execution so the exact same adversarial behaviour can be replayed as an
+  oblivious schedule;
+* :func:`save_schedule` / :func:`load_schedule` — file convenience wrappers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.dynamics.graph_sequence import DynamicGraphTrace, GraphSchedule
+from repro.utils.validation import ConfigurationError
+
+FORMAT_VERSION = 1
+
+
+def schedule_to_json(schedule: GraphSchedule) -> str:
+    """Serialize a schedule to a JSON string."""
+    payload = {
+        "format": "repro.graph_schedule",
+        "version": FORMAT_VERSION,
+        "nodes": list(schedule.nodes),
+        "rounds": [sorted(list(edge) for edge in edges) for _, edges in schedule.iter_rounds()],
+    }
+    return json.dumps(payload)
+
+
+def schedule_from_json(data: str) -> GraphSchedule:
+    """Deserialize a schedule from a JSON string produced by :func:`schedule_to_json`."""
+    try:
+        payload = json.loads(data)
+    except json.JSONDecodeError as error:
+        raise ConfigurationError(f"invalid schedule JSON: {error}") from error
+    if not isinstance(payload, dict) or payload.get("format") != "repro.graph_schedule":
+        raise ConfigurationError("not a repro.graph_schedule document")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported schedule format version: {payload.get('version')!r}"
+        )
+    nodes = payload.get("nodes")
+    rounds = payload.get("rounds")
+    if not isinstance(nodes, list) or not isinstance(rounds, list):
+        raise ConfigurationError("schedule document must contain 'nodes' and 'rounds' lists")
+    edge_sets = [{(int(u), int(v)) for u, v in round_edges} for round_edges in rounds]
+    return GraphSchedule(nodes, edge_sets)
+
+
+def trace_to_schedule_json(trace: DynamicGraphTrace) -> str:
+    """Freeze a recorded execution trace into replayable schedule JSON."""
+    if trace.num_rounds == 0:
+        raise ConfigurationError("cannot serialize an empty trace")
+    return schedule_to_json(trace.as_schedule())
+
+
+def save_schedule(schedule: GraphSchedule, path: Union[str, Path]) -> Path:
+    """Write a schedule to ``path`` as JSON and return the path."""
+    target = Path(path)
+    target.write_text(schedule_to_json(schedule), encoding="utf-8")
+    return target
+
+
+def load_schedule(path: Union[str, Path]) -> GraphSchedule:
+    """Load a schedule previously written by :func:`save_schedule`."""
+    source = Path(path)
+    if not source.exists():
+        raise ConfigurationError(f"schedule file does not exist: {source}")
+    return schedule_from_json(source.read_text(encoding="utf-8"))

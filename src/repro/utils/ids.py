@@ -1,0 +1,53 @@
+"""Node identifiers and edge normalization.
+
+Nodes are identified by integers (the paper assumes unique O(log n)-bit IDs).
+Undirected edges are represented as sorted 2-tuples so that ``(u, v)`` and
+``(v, u)`` compare equal throughout the library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.utils.validation import ConfigurationError
+
+NodeId = int
+Edge = Tuple[NodeId, NodeId]
+
+
+def normalize_edge(u: NodeId, v: NodeId) -> Edge:
+    """Return the canonical (sorted) representation of the undirected edge ``{u, v}``."""
+    if u == v:
+        raise ConfigurationError(f"self-loop edges are not allowed: ({u}, {v})")
+    return (u, v) if u < v else (v, u)
+
+
+def normalize_edges(edges: Iterable[Sequence[NodeId]]) -> frozenset:
+    """Normalize an iterable of edge pairs into a frozenset of canonical edges."""
+    return frozenset(normalize_edge(u, v) for (u, v) in edges)
+
+
+def validate_nodes(nodes: Iterable[NodeId]) -> List[NodeId]:
+    """Validate a node collection: integer IDs, no duplicates, at least one node."""
+    node_list = list(nodes)
+    if not node_list:
+        raise ConfigurationError("the node set must not be empty")
+    seen = set()
+    for node in node_list:
+        if isinstance(node, bool) or not isinstance(node, int):
+            raise ConfigurationError(f"node identifiers must be ints, got {node!r}")
+        if node in seen:
+            raise ConfigurationError(f"duplicate node identifier: {node}")
+        seen.add(node)
+    return sorted(node_list)
+
+
+def validate_edges(nodes: Iterable[NodeId], edges: Iterable[Edge]) -> frozenset:
+    """Validate that every edge endpoint belongs to ``nodes`` and normalize the set."""
+    node_set = set(nodes)
+    normalized = set()
+    for u, v in edges:
+        if u not in node_set or v not in node_set:
+            raise ConfigurationError(f"edge ({u}, {v}) has an endpoint outside the node set")
+        normalized.add(normalize_edge(u, v))
+    return frozenset(normalized)

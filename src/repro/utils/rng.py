@@ -1,0 +1,97 @@
+"""Deterministic random number generator helpers.
+
+All randomness in the library flows through :class:`random.Random` instances
+that are created from explicit seeds.  This keeps simulations reproducible:
+the same seed always produces the same dynamic graph sequence, the same
+adversary choices and the same algorithm behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, TypeVar, Union
+
+T = TypeVar("T")
+
+SeedLike = Union[None, int, random.Random]
+
+
+def ensure_rng(seed: SeedLike = None) -> random.Random:
+    """Return a :class:`random.Random` for ``seed``.
+
+    ``seed`` may be ``None`` (fresh nondeterministic generator), an integer
+    seed, or an existing generator (returned unchanged).
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    if seed is None:
+        return random.Random()
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise TypeError(f"seed must be None, an int or a random.Random, got {seed!r}")
+    return random.Random(seed)
+
+
+def spawn_rng(rng: random.Random, label: str = "") -> random.Random:
+    """Derive an independent child generator from ``rng``.
+
+    The child is seeded from the parent's stream together with ``label`` so
+    that distinct components (adversary, algorithm, workload) receive
+    decorrelated but reproducible randomness.
+    """
+    base = rng.getrandbits(64)
+    mix = hash(label) & 0xFFFFFFFF
+    return random.Random(base ^ (mix << 16))
+
+
+def random_subset(rng: random.Random, items: Sequence[T], probability: float) -> List[T]:
+    """Return the items selected independently with the given probability."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {probability}")
+    return [item for item in items if rng.random() < probability]
+
+
+def sample_without_replacement(
+    rng: random.Random, items: Sequence[T], count: int
+) -> List[T]:
+    """Sample ``count`` distinct items (all of them if ``count`` exceeds the size)."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    count = min(count, len(items))
+    return rng.sample(list(items), count)
+
+
+def shuffled(rng: random.Random, items: Iterable[T]) -> List[T]:
+    """Return a new shuffled list of ``items`` without mutating the input."""
+    out = list(items)
+    rng.shuffle(out)
+    return out
+
+
+def weighted_choice(rng: random.Random, items: Sequence[T], weights: Sequence[float]) -> T:
+    """Pick one item with probability proportional to its weight."""
+    if len(items) != len(weights):
+        raise ValueError("items and weights must have the same length")
+    if not items:
+        raise ValueError("cannot choose from an empty sequence")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("total weight must be positive")
+    target = rng.random() * total
+    cumulative = 0.0
+    for item, weight in zip(items, weights):
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        cumulative += weight
+        if target < cumulative:
+            return item
+    return items[-1]
+
+
+def derive_seed(seed: Optional[int], *labels: object) -> int:
+    """Combine a base seed with labels into a stable derived integer seed."""
+    base = 0 if seed is None else int(seed)
+    value = base & 0xFFFFFFFFFFFFFFFF
+    for label in labels:
+        value = (value * 1000003) ^ (hash(str(label)) & 0xFFFFFFFF)
+        value &= 0xFFFFFFFFFFFFFFFF
+    return value

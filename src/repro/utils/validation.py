@@ -1,0 +1,71 @@
+"""Validation helpers and the library's exception hierarchy."""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """Raised when an execution violates a model invariant at run time."""
+
+
+class ProtocolViolationError(SimulationError):
+    """Raised when an algorithm breaks the communication model rules."""
+
+
+class AdversaryViolationError(SimulationError):
+    """Raised when an adversary produces an invalid round graph."""
+
+
+def require_type(value: Any, types: Union[Type, Tuple[Type, ...]], name: str) -> Any:
+    """Raise :class:`ConfigurationError` unless ``value`` has one of ``types``."""
+    if not isinstance(value, types):
+        raise ConfigurationError(
+            f"{name} must be of type {types}, got {type(value).__name__}: {value!r}"
+        )
+    return value
+
+
+def require_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer greater than zero."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_non_negative_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer greater than or equal to zero."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ConfigurationError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ConfigurationError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def require_probability(value: Any, name: str) -> float:
+    """Validate that ``value`` is a probability in ``[0, 1]``."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(f"{name} must be a number, got {type(value).__name__}")
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def require_in_range(value: Any, low: float, high: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval ``[low, high]``."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(f"{name} must be a number, got {type(value).__name__}")
+    if not low <= value <= high:
+        raise ConfigurationError(f"{name} must lie in [{low}, {high}], got {value}")
+    return value

@@ -1,0 +1,75 @@
+"""Shared pytest fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversaries import (
+    ControlledChurnAdversary,
+    RandomChurnObliviousAdversary,
+    ScheduleAdversary,
+    StaticAdversary,
+)
+from repro.core.problem import (
+    multi_source_problem,
+    n_gossip_problem,
+    single_source_problem,
+)
+from repro.dynamics.generators import (
+    static_complete_schedule,
+    static_path_schedule,
+)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for tests."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def small_single_source_problem():
+    """A small single-source instance: 8 nodes, 5 tokens at node 0."""
+    return single_source_problem(num_nodes=8, num_tokens=5)
+
+
+@pytest.fixture
+def small_multi_source_problem():
+    """A small multi-source instance: 8 nodes, 3 sources, 6 tokens."""
+    return multi_source_problem(8, {0: 2, 3: 1, 6: 3})
+
+
+@pytest.fixture
+def small_gossip_problem():
+    """An n-gossip instance with 8 nodes."""
+    return n_gossip_problem(8)
+
+
+@pytest.fixture
+def path_adversary():
+    """A static path over 8 nodes."""
+    return ScheduleAdversary(static_path_schedule(8, num_rounds=1), name="path")
+
+
+@pytest.fixture
+def complete_adversary():
+    """A static complete graph over 8 nodes."""
+    return ScheduleAdversary(static_complete_schedule(8, num_rounds=1), name="complete")
+
+
+@pytest.fixture
+def churn_adversary():
+    """A mild oblivious churn adversary."""
+    return ControlledChurnAdversary(changes_per_round=2, edge_probability=0.3)
+
+
+def path_edges(num_nodes: int):
+    """Edges of the path 0-1-...-(n-1)."""
+    return [(i, i + 1) for i in range(num_nodes - 1)]
+
+
+def star_edges(num_nodes: int, center: int = 0):
+    """Edges of the star centred at ``center``."""
+    return [(center, i) for i in range(num_nodes) if i != center]

@@ -1,0 +1,123 @@
+"""Tests for the Section-2 lower-bound adversary (free edges, K' sets, potential)."""
+
+import random
+
+import pytest
+
+from repro.adversaries.lower_bound import LowerBoundAdversary
+from repro.algorithms.flooding import FloodingAlgorithm
+from repro.analysis.potential import PotentialTracker
+from repro.core.engine import run_execution
+from repro.core.messages import TokenMessage
+from repro.core.observation import RoundObservation
+from repro.core.problem import random_assignment_problem, single_source_problem
+from repro.core.tokens import Token
+from repro.dynamics.connectivity import is_connected
+from repro.utils.validation import SimulationError
+
+
+def observation_with_broadcasts(problem, broadcasts, knowledge=None):
+    knowledge = knowledge or {node: problem.initial_knowledge[node] for node in problem.nodes}
+    return RoundObservation(round_index=1, knowledge=knowledge, broadcast_payloads=broadcasts)
+
+
+class TestSetup:
+    def test_kprime_sets_sampled_at_reset(self):
+        problem = random_assignment_problem(12, 10, seed=1)
+        adversary = LowerBoundAdversary()
+        adversary.reset(problem, random.Random(2))
+        kprime = adversary.kprime_sets
+        assert set(kprime) == set(problem.nodes)
+        total = sum(len(tokens) for tokens in kprime.values())
+        # Expectation is nk/4 = 30; allow generous slack.
+        assert 5 <= total <= 70
+
+    def test_initial_potential_at_most_point_eight_nk(self):
+        problem = random_assignment_problem(20, 30, inclusion_probability=0.25, seed=3)
+        adversary = LowerBoundAdversary()
+        adversary.reset(problem, random.Random(4))
+        assert adversary.initial_potential() <= 0.8 * 20 * 30
+
+    def test_requires_observation(self):
+        problem = random_assignment_problem(8, 5, seed=5)
+        adversary = LowerBoundAdversary()
+        adversary.reset(problem, random.Random(6))
+        with pytest.raises(SimulationError):
+            adversary.edges_for_round(1, None)
+
+
+class TestFreeEdges:
+    def test_silent_round_all_edges_free(self):
+        problem = random_assignment_problem(8, 5, seed=7)
+        adversary = LowerBoundAdversary()
+        adversary.reset(problem, random.Random(8))
+        observation = observation_with_broadcasts(problem, {node: None for node in problem.nodes})
+        free = adversary.free_edges(observation)
+        assert len(free) == 8 * 7 // 2
+
+    def test_graph_is_connected_and_sparse(self):
+        problem = random_assignment_problem(10, 6, seed=9)
+        adversary = LowerBoundAdversary()
+        adversary.reset(problem, random.Random(10))
+        observation = observation_with_broadcasts(
+            problem, {node: None for node in problem.nodes}
+        )
+        edges = set(adversary.edges_for_round(1, observation))
+        assert is_connected(problem.nodes, edges)
+        assert len(edges) <= 2 * len(problem.nodes)
+
+    def test_broadcasting_an_unknown_token_makes_edges_non_free(self):
+        # Node 0 is the only node that knows anything; make it broadcast a
+        # token the other nodes do not know and that is (likely) not in K'.
+        problem = single_source_problem(6, 4)
+        adversary = LowerBoundAdversary(inclusion_probability=0.0)
+        adversary.reset(problem, random.Random(11))
+        token = problem.tokens[0]
+        broadcasts = {node: None for node in problem.nodes}
+        broadcasts[0] = TokenMessage(token)
+        observation = observation_with_broadcasts(problem, broadcasts)
+        free = adversary.free_edges(observation)
+        # With K' empty, no edge incident to node 0 can be free.
+        assert all(0 not in edge for edge in free)
+
+    def test_sparse_assignment_yields_single_free_component(self):
+        problem = random_assignment_problem(20, 15, seed=12)
+        adversary = LowerBoundAdversary()
+        adversary.reset(problem, random.Random(13))
+        # Only one broadcasting node: well below n / (c log n) for c small.
+        broadcasts = {node: None for node in problem.nodes}
+        broadcasts[3] = TokenMessage(problem.tokens[0])
+        observation = observation_with_broadcasts(problem, broadcasts)
+        adversary.edges_for_round(1, observation)
+        stats = adversary.round_stats[-1]
+        assert stats.broadcasting_nodes == 1
+        # Lemma 2.2: a sparse token assignment leaves few components (usually 1).
+        assert stats.free_components <= 2
+
+
+class TestEndToEndAgainstFlooding:
+    def test_flooding_completes_and_potential_reaches_nk(self):
+        problem = random_assignment_problem(12, 8, seed=14)
+        adversary = LowerBoundAdversary()
+        result = run_execution(problem, FloodingAlgorithm(), adversary, seed=15)
+        assert result.completed
+        tracker = PotentialTracker(problem, adversary.kprime_sets)
+        trajectory = tracker.replay(result.events, result.rounds)
+        assert trajectory.final == tracker.maximum_potential()
+        assert trajectory.initial <= 0.85 * 12 * 8
+
+    def test_round_stats_cover_every_round(self):
+        problem = random_assignment_problem(10, 6, seed=16)
+        adversary = LowerBoundAdversary()
+        result = run_execution(problem, FloodingAlgorithm(), adversary, seed=17)
+        assert len(adversary.round_stats) == result.rounds
+        assert adversary.max_free_components() >= 1
+
+    def test_per_round_potential_increase_is_bounded_by_components(self):
+        problem = random_assignment_problem(12, 8, seed=18)
+        adversary = LowerBoundAdversary()
+        result = run_execution(problem, FloodingAlgorithm(), adversary, seed=19)
+        tracker = PotentialTracker(problem, adversary.kprime_sets)
+        trajectory = tracker.replay(result.events, result.rounds)
+        for stats, increase in zip(adversary.round_stats, trajectory.increases):
+            assert increase <= 2 * max(0, stats.free_components - 1)

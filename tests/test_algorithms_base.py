@@ -1,0 +1,170 @@
+"""Tests for the algorithm base classes: knowledge tracking and edge classification."""
+
+import random
+
+import pytest
+
+from repro.algorithms.base import LocalBroadcastAlgorithm, UnicastAlgorithm
+from repro.core.comm import CommunicationModel
+from repro.core.messages import ReceivedMessage, TokenMessage
+from repro.core.problem import single_source_problem
+from repro.core.tokens import Token
+from repro.utils.validation import SimulationError
+
+
+class MinimalUnicast(UnicastAlgorithm):
+    """A do-nothing unicast algorithm used to exercise the base class."""
+
+    name = "minimal-unicast"
+
+    def select_messages(self, round_index, neighbors):
+        return {}
+
+
+class MinimalBroadcast(LocalBroadcastAlgorithm):
+    """A do-nothing broadcast algorithm used to exercise the base class."""
+
+    name = "minimal-broadcast"
+
+    def select_broadcasts(self, round_index):
+        return {node: None for node in self.nodes}
+
+
+def make_unicast(num_nodes=4, num_tokens=2):
+    problem = single_source_problem(num_nodes, num_tokens)
+    algorithm = MinimalUnicast()
+    algorithm.setup(problem, random.Random(0))
+    return problem, algorithm
+
+
+class TestKnowledgeTracking:
+    def test_initial_knowledge_copied_from_problem(self):
+        problem, algorithm = make_unicast()
+        assert algorithm.known_tokens(0) == problem.initial_knowledge[0]
+        assert algorithm.known_tokens(1) == frozenset()
+
+    def test_accessors_before_setup_raise(self):
+        algorithm = MinimalUnicast()
+        with pytest.raises(SimulationError):
+            _ = algorithm.problem
+        with pytest.raises(SimulationError):
+            _ = algorithm.rng
+
+    def test_learn_returns_true_only_for_new_tokens(self):
+        problem, algorithm = make_unicast()
+        token = problem.tokens[0]
+        assert algorithm.learn(1, token) is True
+        assert algorithm.learn(1, token) is False
+
+    def test_learn_updates_completeness(self):
+        problem, algorithm = make_unicast(num_nodes=3, num_tokens=2)
+        assert algorithm.is_node_complete(0)
+        assert not algorithm.is_node_complete(1)
+        for token in problem.tokens:
+            algorithm.learn(1, token)
+        assert algorithm.is_node_complete(1)
+        assert not algorithm.all_complete()
+        for token in problem.tokens:
+            algorithm.learn(2, token)
+        assert algorithm.all_complete()
+
+    def test_missing_tokens_sorted(self):
+        problem, algorithm = make_unicast(num_nodes=3, num_tokens=3)
+        algorithm.learn(1, problem.tokens[1])
+        missing = algorithm.missing_tokens(1)
+        assert missing == [problem.tokens[0], problem.tokens[2]]
+
+    def test_drain_token_learnings_clears_buffer(self):
+        problem, algorithm = make_unicast()
+        algorithm.learn(1, problem.tokens[0])
+        algorithm.learn(2, problem.tokens[1])
+        drained = algorithm.drain_token_learnings()
+        assert len(drained) == 2
+        assert algorithm.drain_token_learnings() == []
+
+    def test_default_observation_extra_is_empty(self):
+        _, algorithm = make_unicast()
+        assert algorithm.observation_extra() == {}
+
+    def test_communication_models(self):
+        assert MinimalUnicast.communication_model is CommunicationModel.UNICAST
+        assert MinimalBroadcast.communication_model is CommunicationModel.LOCAL_BROADCAST
+
+
+class TestEdgeClassification:
+    """The new / contributive / idle edge taxonomy of Section 3.1.1."""
+
+    def topology(self, algorithm, round_index, edges, all_edges_so_far):
+        neighbors = {node: set() for node in algorithm.nodes}
+        for u, v in edges:
+            neighbors[u].add(v)
+            neighbors[v].add(u)
+        inserted = [edge for edge in edges if edge not in all_edges_so_far]
+        removed = [edge for edge in all_edges_so_far if edge not in edges]
+        algorithm.on_topology(
+            round_index,
+            {node: frozenset(adj) for node, adj in neighbors.items()},
+            inserted,
+            removed,
+        )
+
+    def test_edge_is_new_in_insertion_round_and_the_next(self):
+        _, algorithm = make_unicast()
+        self.topology(algorithm, 1, [(0, 1)], [])
+        assert algorithm.is_new_edge(0, 1, 1)
+        self.topology(algorithm, 2, [(0, 1)], [(0, 1)])
+        assert algorithm.is_new_edge(0, 1, 2)
+        self.topology(algorithm, 3, [(0, 1)], [(0, 1)])
+        assert not algorithm.is_new_edge(0, 1, 3)
+
+    def test_edge_becomes_contributive_after_token_transfer(self):
+        _, algorithm = make_unicast()
+        self.topology(algorithm, 1, [(0, 1)], [])
+        algorithm.record_token_over_edge(1, 0, 1)
+        self.topology(algorithm, 2, [(0, 1)], [(0, 1)])
+        self.topology(algorithm, 3, [(0, 1)], [(0, 1)])
+        assert algorithm.is_contributive_edge(0, 1, 3)
+        assert not algorithm.is_idle_edge(0, 1, 3)
+
+    def test_edge_without_transfer_becomes_idle(self):
+        _, algorithm = make_unicast()
+        self.topology(algorithm, 1, [(0, 1)], [])
+        self.topology(algorithm, 2, [(0, 1)], [(0, 1)])
+        self.topology(algorithm, 3, [(0, 1)], [(0, 1)])
+        assert algorithm.is_idle_edge(0, 1, 3)
+        assert not algorithm.is_contributive_edge(0, 1, 3)
+
+    def test_reinsertion_resets_contributive_history(self):
+        _, algorithm = make_unicast()
+        self.topology(algorithm, 1, [(0, 1)], [])
+        algorithm.record_token_over_edge(1, 0, 1)
+        # Edge disappears in round 2 and reappears in round 3.
+        self.topology(algorithm, 2, [], [(0, 1)])
+        self.topology(algorithm, 3, [(0, 1)], [])
+        self.topology(algorithm, 4, [(0, 1)], [(0, 1)])
+        self.topology(algorithm, 5, [(0, 1)], [(0, 1)])
+        # The pre-removal transfer no longer counts: the edge is idle, not contributive.
+        assert algorithm.is_idle_edge(0, 1, 5)
+
+    def test_neighbor_tracking(self):
+        _, algorithm = make_unicast()
+        self.topology(algorithm, 1, [(0, 1), (1, 2)], [])
+        assert algorithm.neighbors_of(1) == frozenset({0, 2})
+        self.topology(algorithm, 2, [(0, 1)], [(0, 1), (1, 2)])
+        assert algorithm.neighbors_of(1) == frozenset({0})
+        assert algorithm.previous_neighbors_of(1) == frozenset({0, 2})
+
+    def test_default_receive_learns_tokens_and_marks_edges(self):
+        problem, algorithm = make_unicast()
+        token = problem.tokens[0]
+        self.topology(algorithm, 1, [(0, 1)], [])
+        algorithm.receive_messages(
+            1, {1: [ReceivedMessage(sender=0, payload=TokenMessage(token))]}
+        )
+        assert algorithm.knows(1, token)
+        # A second transfer of the same token is not a new learning.
+        algorithm.drain_token_learnings()
+        algorithm.receive_messages(
+            1, {1: [ReceivedMessage(sender=0, payload=TokenMessage(token))]}
+        )
+        assert algorithm.drain_token_learnings() == []

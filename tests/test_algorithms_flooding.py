@@ -1,0 +1,150 @@
+"""Tests for the flooding algorithms (local broadcast model)."""
+
+import pytest
+
+from repro.adversaries import (
+    LowerBoundAdversary,
+    RandomChurnObliviousAdversary,
+    ScheduleAdversary,
+)
+from repro.algorithms.flooding import FloodingAlgorithm, OneShotFloodingAlgorithm
+from repro.core.comm import CommunicationModel
+from repro.core.engine import run_execution
+from repro.core.messages import MessageKind
+from repro.core.problem import (
+    n_gossip_problem,
+    random_assignment_problem,
+    single_source_problem,
+)
+from repro.dynamics.generators import (
+    path_shuffle_schedule,
+    static_complete_schedule,
+    static_path_schedule,
+    star_oscillator_schedule,
+)
+
+
+class TestFloodingBasics:
+    def test_model_is_local_broadcast(self):
+        assert FloodingAlgorithm.communication_model is CommunicationModel.LOCAL_BROADCAST
+
+    def test_completes_on_static_path(self):
+        problem = single_source_problem(8, 3)
+        result = run_execution(
+            problem, FloodingAlgorithm(), ScheduleAdversary(static_path_schedule(8)), seed=1
+        )
+        assert result.completed
+        result.verify_dissemination()
+
+    def test_completes_on_changing_paths(self):
+        problem = single_source_problem(10, 4)
+        result = run_execution(
+            problem,
+            FloodingAlgorithm(),
+            ScheduleAdversary(path_shuffle_schedule(10, 200, seed=3)),
+            seed=2,
+        )
+        assert result.completed
+
+    def test_completes_on_oscillating_star(self):
+        problem = n_gossip_problem(9)
+        result = run_execution(
+            problem,
+            FloodingAlgorithm(),
+            ScheduleAdversary(star_oscillator_schedule(9, 200, seed=4)),
+            seed=3,
+        )
+        assert result.completed
+
+    def test_completes_against_lower_bound_adversary(self):
+        problem = random_assignment_problem(10, 6, seed=5)
+        result = run_execution(problem, FloodingAlgorithm(), LowerBoundAdversary(), seed=6)
+        assert result.completed
+
+    def test_only_token_messages_are_sent(self):
+        problem = single_source_problem(6, 2)
+        result = run_execution(
+            problem, FloodingAlgorithm(), ScheduleAdversary(static_path_schedule(6)), seed=7
+        )
+        assert result.messages.messages_of_kind(MessageKind.TOKEN) == result.total_messages
+
+
+class TestFloodingCost:
+    def test_phase_structure_limits_rounds(self):
+        problem = single_source_problem(8, 3)
+        result = run_execution(
+            problem, FloodingAlgorithm(), ScheduleAdversary(static_path_schedule(8)), seed=8
+        )
+        # Dissemination completes within k phases of n rounds each.
+        assert result.rounds <= 8 * 3
+
+    def test_broadcast_cost_at_most_n_squared_per_token(self):
+        problem = single_source_problem(8, 4)
+        result = run_execution(
+            problem, FloodingAlgorithm(), ScheduleAdversary(static_complete_schedule(8)), seed=9
+        )
+        assert result.amortized_messages() <= 8 * 8
+
+    def test_amortized_cost_is_quadratic_against_worst_case(self):
+        """Against the lower-bound adversary the amortized cost is Ω((n/log n)²)-ish."""
+        problem = random_assignment_problem(14, 10, seed=10)
+        result = run_execution(problem, FloodingAlgorithm(), LowerBoundAdversary(), seed=11)
+        assert result.completed
+        n = problem.num_nodes
+        # Far above linear: the naive algorithm pays a lot per token.
+        assert result.amortized_messages() > 2 * n
+
+    def test_current_token_sequence(self):
+        problem = single_source_problem(4, 2)
+        algorithm = FloodingAlgorithm(rounds_per_token=3)
+        algorithm.setup(problem, __import__("random").Random(0))
+        assert algorithm.current_token(1) == problem.tokens[0]
+        assert algorithm.current_token(3) == problem.tokens[0]
+        assert algorithm.current_token(4) == problem.tokens[1]
+        assert algorithm.current_token(7) is None
+
+    def test_custom_rounds_per_token_must_be_positive(self):
+        with pytest.raises(Exception):
+            FloodingAlgorithm(rounds_per_token=0)
+
+
+class TestOneShotFlooding:
+    def test_completes_on_static_complete_graph(self):
+        problem = n_gossip_problem(8)
+        result = run_execution(
+            problem,
+            OneShotFloodingAlgorithm(),
+            ScheduleAdversary(static_complete_schedule(8)),
+            seed=12,
+        )
+        assert result.completed
+
+    def test_message_count_at_most_nk(self):
+        problem = n_gossip_problem(8)
+        result = run_execution(
+            problem,
+            OneShotFloodingAlgorithm(),
+            ScheduleAdversary(static_complete_schedule(8)),
+            seed=13,
+        )
+        assert result.total_messages <= 8 * 8
+
+    def test_much_cheaper_than_phase_flooding_on_benign_graphs(self):
+        problem = n_gossip_problem(10)
+        adversary = lambda: RandomChurnObliviousAdversary(edge_probability=0.4)
+        eager = run_execution(problem, FloodingAlgorithm(), adversary(), seed=14)
+        lazy = run_execution(problem, OneShotFloodingAlgorithm(), adversary(), seed=14)
+        if lazy.completed:
+            assert lazy.total_messages < eager.total_messages
+
+    def test_stops_when_queues_drain(self):
+        problem = single_source_problem(6, 2)
+        result = run_execution(
+            problem,
+            OneShotFloodingAlgorithm(),
+            ScheduleAdversary(static_path_schedule(6)),
+            max_rounds=1000,
+            seed=15,
+        )
+        # Either completes or stops early at quiescence: never runs to the limit.
+        assert result.rounds < 1000

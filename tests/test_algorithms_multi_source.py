@@ -1,0 +1,199 @@
+"""Tests for the Multi-Source-Unicast algorithm (Section 3.2.1, Theorems 3.5 / 3.6)."""
+
+import random
+
+import pytest
+
+from repro.adversaries import (
+    ControlledChurnAdversary,
+    RandomChurnObliviousAdversary,
+    ScheduleAdversary,
+    StaticAdversary,
+)
+from repro.algorithms.multi_source import MultiSourceUnicastAlgorithm
+from repro.core.engine import run_execution
+from repro.core.messages import MessageKind
+from repro.core.problem import (
+    multi_source_problem,
+    n_gossip_problem,
+    single_source_problem,
+    uniform_multi_source_problem,
+)
+from repro.core.tokens import Token
+from repro.dynamics.generators import (
+    churn_schedule,
+    static_complete_schedule,
+    static_path_schedule,
+)
+from repro.dynamics.stability import stabilize_schedule
+from repro.utils.validation import ConfigurationError
+from tests.conftest import path_edges
+
+
+class TestCatalog:
+    def test_default_catalog_matches_initial_distribution(self):
+        problem = multi_source_problem(8, {0: 2, 3: 3})
+        algorithm = MultiSourceUnicastAlgorithm()
+        algorithm.setup(problem, random.Random(0))
+        assert algorithm.catalog_sources() == [0, 3]
+        assert algorithm.catalog_of(0) == problem.tokens_of_source(0)
+        assert algorithm.catalog_of(3) == problem.tokens_of_source(3)
+
+    def test_sources_complete_wrt_themselves_at_time_zero(self):
+        problem = multi_source_problem(8, {0: 2, 3: 3})
+        algorithm = MultiSourceUnicastAlgorithm()
+        algorithm.setup(problem, random.Random(0))
+        assert algorithm.is_complete_wrt(0, 0)
+        assert algorithm.is_complete_wrt(3, 3)
+        assert not algorithm.is_complete_wrt(0, 3)
+        assert not algorithm.is_complete_wrt(5, 0)
+
+    def test_configure_catalog_rejects_partial_coverage(self):
+        problem = multi_source_problem(6, {0: 2, 3: 1})
+        algorithm = MultiSourceUnicastAlgorithm()
+        algorithm.setup(problem, random.Random(0))
+        with pytest.raises(ConfigurationError):
+            algorithm.configure_catalog({0: problem.tokens_of_source(0)})
+
+    def test_configure_catalog_rejects_overlapping_assignment(self):
+        problem = multi_source_problem(6, {0: 2, 3: 1})
+        algorithm = MultiSourceUnicastAlgorithm()
+        algorithm.setup(problem, random.Random(0))
+        tokens = list(problem.tokens)
+        with pytest.raises(ConfigurationError):
+            algorithm.configure_catalog({0: tokens, 3: [tokens[0]]})
+
+    def test_explicit_catalog_retargets_sources(self):
+        problem = multi_source_problem(6, {0: 2, 3: 1})
+        # Assign all tokens to node 5 (it does not initially hold them, so it
+        # is not complete w.r.t. itself).
+        algorithm = MultiSourceUnicastAlgorithm(source_catalog={5: list(problem.tokens)})
+        algorithm.setup(problem, random.Random(0))
+        assert algorithm.catalog_sources() == [5]
+        assert not algorithm.is_complete_wrt(5, 5)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("counts", [{0: 1, 4: 1}, {0: 2, 3: 3, 6: 1}, {1: 4, 2: 4, 5: 4}])
+    def test_completes_on_static_path(self, counts):
+        problem = multi_source_problem(8, counts)
+        result = run_execution(
+            problem, MultiSourceUnicastAlgorithm(), StaticAdversary(8, path_edges(8)), seed=1
+        )
+        assert result.completed
+        result.verify_dissemination()
+
+    def test_completes_for_n_gossip(self):
+        problem = n_gossip_problem(9)
+        result = run_execution(
+            problem,
+            MultiSourceUnicastAlgorithm(),
+            ScheduleAdversary(static_complete_schedule(9)),
+            seed=2,
+        )
+        assert result.completed
+
+    def test_completes_under_oblivious_churn(self):
+        problem = uniform_multi_source_problem(10, 4, 12, seed=3)
+        result = run_execution(
+            problem,
+            MultiSourceUnicastAlgorithm(),
+            RandomChurnObliviousAdversary(edge_probability=0.3),
+            seed=3,
+        )
+        assert result.completed
+
+    def test_completes_on_three_edge_stable_churn(self):
+        problem = uniform_multi_source_problem(10, 3, 9, seed=4)
+        schedule = stabilize_schedule(churn_schedule(10, 800, churn_fraction=0.4, seed=4), 3)
+        result = run_execution(
+            problem, MultiSourceUnicastAlgorithm(), ScheduleAdversary(schedule), seed=4
+        )
+        assert result.completed
+
+    def test_handles_single_source_problems_too(self):
+        problem = single_source_problem(8, 5)
+        result = run_execution(
+            problem, MultiSourceUnicastAlgorithm(), StaticAdversary(8, path_edges(8)), seed=5
+        )
+        assert result.completed
+
+    def test_every_node_completes_every_source(self):
+        problem = multi_source_problem(7, {0: 2, 4: 2})
+        algorithm = MultiSourceUnicastAlgorithm()
+        result = run_execution(problem, algorithm, StaticAdversary(7, path_edges(7)), seed=6)
+        assert result.completed
+        for node in problem.nodes:
+            assert algorithm.complete_sources_of(node) == [0, 4]
+
+
+class TestMessageBounds:
+    def test_token_messages_at_most_nk(self):
+        problem = uniform_multi_source_problem(10, 3, 12, seed=7)
+        result = run_execution(
+            problem,
+            MultiSourceUnicastAlgorithm(),
+            RandomChurnObliviousAdversary(edge_probability=0.3),
+            seed=7,
+        )
+        assert result.messages.messages_of_kind(MessageKind.TOKEN) <= 10 * 12
+
+    def test_completeness_messages_at_most_n_squared_s(self):
+        problem = uniform_multi_source_problem(10, 4, 12, seed=8)
+        result = run_execution(
+            problem,
+            MultiSourceUnicastAlgorithm(),
+            ControlledChurnAdversary(changes_per_round=5, edge_probability=0.25),
+            seed=8,
+        )
+        announcements = result.messages.messages_of_kind(MessageKind.COMPLETENESS)
+        assert announcements <= 10 * 9 * 4
+
+    def test_requests_bounded_by_nk_plus_deletions(self):
+        problem = uniform_multi_source_problem(10, 3, 9, seed=9)
+        result = run_execution(
+            problem,
+            MultiSourceUnicastAlgorithm(),
+            ControlledChurnAdversary(changes_per_round=4, edge_probability=0.25),
+            seed=9,
+        )
+        requests = result.messages.messages_of_kind(MessageKind.REQUEST)
+        assert requests <= 10 * 9 + result.trace.total_edge_removals()
+
+    def test_one_adversary_competitive_bound_theorem_3_5(self):
+        n, s, k = 10, 3, 15
+        problem = uniform_multi_source_problem(n, s, k, seed=10)
+        result = run_execution(
+            problem,
+            MultiSourceUnicastAlgorithm(),
+            ControlledChurnAdversary(changes_per_round=6, edge_probability=0.25),
+            seed=10,
+        )
+        assert result.completed
+        competitive = result.adversary_competitive_messages(alpha=1.0)
+        assert competitive <= 3 * (n * n * s + n * k)
+
+    def test_message_cost_grows_with_source_count(self):
+        """The O(n²s) announcement term makes more sources more expensive for fixed k."""
+        n, k = 12, 12
+        few_sources = uniform_multi_source_problem(n, 2, k, seed=11)
+        many_sources = uniform_multi_source_problem(n, 12, k, seed=11)
+        adversary = lambda: ScheduleAdversary(static_complete_schedule(n))
+        few = run_execution(few_sources, MultiSourceUnicastAlgorithm(), adversary(), seed=11)
+        many = run_execution(many_sources, MultiSourceUnicastAlgorithm(), adversary(), seed=11)
+        assert few.completed and many.completed
+        announcements_few = few.messages.messages_of_kind(MessageKind.COMPLETENESS)
+        announcements_many = many.messages.messages_of_kind(MessageKind.COMPLETENESS)
+        assert announcements_many > announcements_few
+
+
+class TestRoundComplexity:
+    def test_O_nk_rounds_on_three_edge_stable_graphs(self):
+        n, k = 10, 6
+        problem = uniform_multi_source_problem(n, 3, k, seed=12)
+        schedule = stabilize_schedule(churn_schedule(n, 900, churn_fraction=0.4, seed=12), 3)
+        result = run_execution(
+            problem, MultiSourceUnicastAlgorithm(), ScheduleAdversary(schedule), seed=12
+        )
+        assert result.completed
+        assert result.rounds <= 5 * n * k + 5 * n

@@ -1,0 +1,93 @@
+"""Tests for the naive unicast baseline."""
+
+import pytest
+
+from repro.adversaries import RandomChurnObliviousAdversary, ScheduleAdversary, StaticAdversary
+from repro.algorithms.naive_unicast import NaiveUnicastAlgorithm
+from repro.core.comm import CommunicationModel
+from repro.core.engine import run_execution
+from repro.core.problem import n_gossip_problem, single_source_problem
+from repro.dynamics.generators import (
+    churn_schedule,
+    static_complete_schedule,
+    static_path_schedule,
+)
+from tests.conftest import path_edges
+
+
+class TestNaiveUnicast:
+    def test_model_is_unicast(self):
+        assert NaiveUnicastAlgorithm.communication_model is CommunicationModel.UNICAST
+
+    def test_completes_on_static_path(self):
+        problem = single_source_problem(7, 3)
+        result = run_execution(
+            problem, NaiveUnicastAlgorithm(), StaticAdversary(7, path_edges(7)), seed=1
+        )
+        assert result.completed
+        result.verify_dissemination()
+
+    def test_completes_on_complete_graph(self):
+        problem = n_gossip_problem(8)
+        result = run_execution(
+            problem,
+            NaiveUnicastAlgorithm(),
+            ScheduleAdversary(static_complete_schedule(8)),
+            seed=2,
+        )
+        assert result.completed
+
+    def test_completes_under_mild_churn(self):
+        problem = single_source_problem(9, 4)
+        result = run_execution(
+            problem,
+            NaiveUnicastAlgorithm(),
+            ScheduleAdversary(churn_schedule(9, 300, churn_fraction=0.2, seed=3)),
+            seed=3,
+        )
+        assert result.completed
+
+    def test_each_pair_token_sent_at_most_once(self):
+        problem = n_gossip_problem(7)
+        result = run_execution(
+            problem,
+            NaiveUnicastAlgorithm(),
+            ScheduleAdversary(static_complete_schedule(7)),
+            seed=4,
+        )
+        # n(n-1) ordered pairs, k tokens: the hard upper bound of Section 1.
+        n, k = 7, 7
+        assert result.total_messages <= n * (n - 1) * k
+
+    def test_amortized_at_most_n_squared(self):
+        problem = n_gossip_problem(8)
+        result = run_execution(
+            problem,
+            NaiveUnicastAlgorithm(),
+            ScheduleAdversary(static_complete_schedule(8)),
+            seed=5,
+        )
+        assert result.amortized_messages() <= 8 * 8
+
+    def test_rounds_on_path_exceed_diameter(self):
+        problem = single_source_problem(10, 1)
+        result = run_execution(
+            problem, NaiveUnicastAlgorithm(), StaticAdversary(10, path_edges(10)), seed=6
+        )
+        assert result.completed
+        assert result.rounds >= 9  # the token must traverse the whole path
+
+    def test_deterministic_message_count_for_seed(self):
+        problem = single_source_problem(8, 3)
+        adversary = lambda: RandomChurnObliviousAdversary(edge_probability=0.3)
+        a = run_execution(problem, NaiveUnicastAlgorithm(), adversary(), seed=7)
+        b = run_execution(problem, NaiveUnicastAlgorithm(), adversary(), seed=7)
+        assert a.total_messages == b.total_messages
+
+    def test_single_node_problem_trivially_complete(self):
+        problem = single_source_problem(1, 4)
+        result = run_execution(
+            problem, NaiveUnicastAlgorithm(), StaticAdversary(1, []), seed=8
+        )
+        assert result.completed
+        assert result.total_messages == 0

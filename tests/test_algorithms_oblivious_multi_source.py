@@ -1,0 +1,182 @@
+"""Tests for the Oblivious-Multi-Source-Unicast algorithm (Algorithm 2, Theorem 3.8)."""
+
+import pytest
+
+from repro.adversaries import (
+    RandomChurnObliviousAdversary,
+    ScheduleAdversary,
+    StaticAdversary,
+)
+from repro.algorithms.multi_source import MultiSourceUnicastAlgorithm
+from repro.algorithms.oblivious_multi_source import ObliviousMultiSourceAlgorithm
+from repro.core.engine import run_execution
+from repro.core.problem import (
+    multi_source_problem,
+    n_gossip_problem,
+    uniform_multi_source_problem,
+)
+from repro.dynamics.generators import (
+    rewiring_regular_schedule,
+    static_complete_schedule,
+    static_path_schedule,
+)
+from repro.utils.validation import ConfigurationError
+from tests.conftest import path_edges
+
+
+class TestParameterValidation:
+    def test_rejects_invalid_center_probability(self):
+        with pytest.raises(ConfigurationError):
+            ObliviousMultiSourceAlgorithm(center_probability=0.0)
+        with pytest.raises(ConfigurationError):
+            ObliviousMultiSourceAlgorithm(center_probability=1.5)
+
+    def test_rejects_invalid_degree_threshold(self):
+        with pytest.raises(ConfigurationError):
+            ObliviousMultiSourceAlgorithm(degree_threshold=0.0)
+
+    def test_rejects_invalid_phase1_limit(self):
+        with pytest.raises(ConfigurationError):
+            ObliviousMultiSourceAlgorithm(phase1_round_limit=0)
+
+
+class TestPhaseSelection:
+    def test_few_sources_skip_phase_one(self):
+        problem = multi_source_problem(12, {0: 4, 5: 4})
+        algorithm = ObliviousMultiSourceAlgorithm()
+        result = run_execution(
+            problem, algorithm, ScheduleAdversary(static_complete_schedule(12)), seed=1
+        )
+        assert result.completed
+        assert algorithm.phase == 2
+        assert algorithm.phase1_rounds == 0
+        assert algorithm.centers == ()
+
+    def test_force_two_phase_runs_random_walks(self):
+        problem = n_gossip_problem(12)
+        algorithm = ObliviousMultiSourceAlgorithm(
+            force_two_phase=True, center_probability=0.25
+        )
+        result = run_execution(
+            problem, algorithm, ScheduleAdversary(static_complete_schedule(12)), seed=2
+        )
+        assert result.completed
+        assert algorithm.phase == 2  # must have transitioned by the end
+        assert algorithm.phase1_rounds > 0
+        assert len(algorithm.centers) >= 1
+
+    def test_force_single_phase_even_with_many_sources(self):
+        problem = n_gossip_problem(10)
+        algorithm = ObliviousMultiSourceAlgorithm(force_two_phase=False)
+        result = run_execution(
+            problem, algorithm, ScheduleAdversary(static_complete_schedule(10)), seed=3
+        )
+        assert result.completed
+        assert algorithm.phase1_rounds == 0
+
+
+class TestCorrectness:
+    def test_completes_on_complete_graph_n_gossip(self):
+        problem = n_gossip_problem(14)
+        algorithm = ObliviousMultiSourceAlgorithm(
+            force_two_phase=True, center_probability=0.3
+        )
+        result = run_execution(
+            problem, algorithm, ScheduleAdversary(static_complete_schedule(14)), seed=4
+        )
+        assert result.completed
+        result.verify_dissemination()
+
+    def test_completes_on_expander_like_dynamic_graph(self):
+        problem = n_gossip_problem(14)
+        algorithm = ObliviousMultiSourceAlgorithm(
+            force_two_phase=True, center_probability=0.3
+        )
+        schedule = rewiring_regular_schedule(14, 400, degree=6, seed=5)
+        result = run_execution(problem, algorithm, ScheduleAdversary(schedule), seed=5)
+        assert result.completed
+
+    def test_completes_under_random_churn(self):
+        problem = uniform_multi_source_problem(12, 10, 14, seed=6)
+        algorithm = ObliviousMultiSourceAlgorithm(
+            force_two_phase=True, center_probability=0.3
+        )
+        result = run_execution(
+            problem, algorithm, RandomChurnObliviousAdversary(edge_probability=0.4), seed=6
+        )
+        assert result.completed
+
+    def test_completes_on_path_with_phase1_round_limit(self):
+        """On a path the walks are slow; the round-limit safeguard must still
+        let the execution finish correctly."""
+        problem = n_gossip_problem(10)
+        algorithm = ObliviousMultiSourceAlgorithm(
+            force_two_phase=True, center_probability=0.2, phase1_round_limit=20
+        )
+        result = run_execution(
+            problem, algorithm, ScheduleAdversary(static_path_schedule(10)), seed=7
+        )
+        assert result.completed
+        assert algorithm.phase1_rounds <= 20
+
+    def test_phase_two_catalog_covers_all_tokens(self):
+        problem = n_gossip_problem(12)
+        algorithm = ObliviousMultiSourceAlgorithm(
+            force_two_phase=True, center_probability=0.25
+        )
+        result = run_execution(
+            problem, algorithm, ScheduleAdversary(static_complete_schedule(12)), seed=8
+        )
+        assert result.completed
+        catalog_tokens = set()
+        for source in algorithm.catalog_sources():
+            catalog_tokens |= set(algorithm.catalog_of(source))
+        assert catalog_tokens == set(problem.tokens)
+
+    def test_observation_extra_reports_phase(self):
+        problem = n_gossip_problem(10)
+        algorithm = ObliviousMultiSourceAlgorithm(force_two_phase=True, center_probability=0.3)
+        run_execution(
+            problem, algorithm, ScheduleAdversary(static_complete_schedule(10)), seed=9
+        )
+        extra = algorithm.observation_extra()
+        assert extra["phase"] == 2
+        assert "centers" in extra
+
+
+class TestMessageComplexity:
+    def test_phase1_messages_counted(self):
+        problem = n_gossip_problem(14)
+        algorithm = ObliviousMultiSourceAlgorithm(force_two_phase=True, center_probability=0.2)
+        result = run_execution(
+            problem, algorithm, ScheduleAdversary(static_complete_schedule(14)), seed=10
+        )
+        assert result.completed
+        assert algorithm.phase1_messages > 0
+        assert algorithm.phase1_messages <= result.total_messages
+
+    def test_source_reduction_lowers_announcement_cost_for_n_gossip(self):
+        """With many sources, reducing them to a few centers must beat plain
+        Multi-Source-Unicast on total messages (the whole point of Algorithm 2)."""
+        n = 16
+        problem = n_gossip_problem(n)
+        adversary = lambda: ScheduleAdversary(static_complete_schedule(n))
+        plain = run_execution(problem, MultiSourceUnicastAlgorithm(), adversary(), seed=11)
+        reduced = run_execution(
+            problem,
+            ObliviousMultiSourceAlgorithm(force_two_phase=True, center_probability=0.15),
+            adversary(),
+            seed=11,
+        )
+        assert plain.completed and reduced.completed
+        assert reduced.total_messages < plain.total_messages
+
+    def test_amortized_cost_below_n_squared(self):
+        n = 16
+        problem = n_gossip_problem(n)
+        algorithm = ObliviousMultiSourceAlgorithm(force_two_phase=True, center_probability=0.15)
+        result = run_execution(
+            problem, algorithm, ScheduleAdversary(static_complete_schedule(n)), seed=12
+        )
+        assert result.completed
+        assert result.amortized_messages() < n * n

@@ -1,0 +1,191 @@
+"""Tests for the random-walk machinery of Algorithm 2 (phase 1)."""
+
+import math
+import random
+
+import pytest
+
+from repro.algorithms.random_walks import (
+    RandomWalkDisseminator,
+    default_degree_threshold,
+    default_num_centers,
+    phase_one_round_budget,
+    source_count_threshold,
+    WalkStep,
+)
+from repro.core.tokens import Token, make_tokens
+from repro.utils.validation import ConfigurationError
+
+
+def full_neighbors(num_nodes):
+    nodes = list(range(num_nodes))
+    return {u: frozenset(v for v in nodes if v != u) for u in nodes}
+
+
+class TestParameterFormulas:
+    def test_degree_threshold_positive_and_growing_in_n(self):
+        assert default_degree_threshold(100, 10) > default_degree_threshold(25, 10)
+        assert default_degree_threshold(10, 10) >= 1.0
+
+    def test_degree_threshold_decreases_with_k(self):
+        assert default_degree_threshold(400, 100) <= default_degree_threshold(400, 10)
+
+    def test_num_centers_sublinear_for_large_n(self):
+        # f = √n k^(1/4) log^(5/4) n is o(n) for k = n; the log factor means
+        # the ratio f/n only drops below 1 for very large n, but it must be
+        # strictly decreasing in n.
+        small_ratio = default_num_centers(10**6, 10**6) / 10**6
+        large_ratio = default_num_centers(10**9, 10**9) / 10**9
+        assert large_ratio < small_ratio
+        assert default_num_centers(10**9, 10**9) < 10**9
+
+    def test_phase_one_budget_is_superlinear(self):
+        assert phase_one_round_budget(50, 50) > 50**2
+
+    def test_source_threshold_between_n23_and_n(self):
+        n = 10_000
+        threshold = source_count_threshold(n)
+        assert n ** (2 / 3) <= threshold
+        assert threshold < n * math.log2(n) ** 2
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            default_degree_threshold(0, 5)
+        with pytest.raises(ConfigurationError):
+            default_num_centers(5, 0)
+        with pytest.raises(ConfigurationError):
+            phase_one_round_budget(0, 1)
+        with pytest.raises(ConfigurationError):
+            source_count_threshold(0)
+
+
+class TestDisseminatorSetup:
+    def test_tokens_starting_on_centers_are_owned_immediately(self):
+        tokens = make_tokens(0, 2)
+        walker = RandomWalkDisseminator(
+            nodes=range(5),
+            centers=[0],
+            token_positions={tokens[0]: 0, tokens[1]: 3},
+            degree_threshold=2.0,
+            rng=random.Random(0),
+        )
+        assert walker.owner_of(tokens[0]) == 0
+        assert walker.owner_of(tokens[1]) is None
+        assert walker.walking_tokens() == [tokens[1]]
+
+    def test_requires_at_least_one_center(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalkDisseminator(range(4), [], {}, 2.0, random.Random(0))
+
+    def test_rejects_center_outside_node_set(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalkDisseminator(range(4), [9], {}, 2.0, random.Random(0))
+
+    def test_rejects_token_at_unknown_node(self):
+        token = Token(0, 1)
+        with pytest.raises(ConfigurationError):
+            RandomWalkDisseminator(range(4), [0], {token: 7}, 2.0, random.Random(0))
+
+
+class TestRoundPlanning:
+    def test_high_degree_node_hands_tokens_to_neighbouring_centers(self):
+        tokens = make_tokens(2, 3)
+        walker = RandomWalkDisseminator(
+            nodes=range(6),
+            centers=[0, 1],
+            token_positions={token: 2 for token in tokens},
+            degree_threshold=2.0,  # degree 5 >= 2 -> node 2 is high degree
+            rng=random.Random(1),
+        )
+        steps = walker.plan_round(full_neighbors(6))
+        receivers = {step.receiver for step in steps}
+        assert receivers <= {0, 1}
+        assert len(steps) == 2  # one token per neighbouring center
+
+    def test_low_degree_node_respects_congestion(self):
+        tokens = make_tokens(1, 5)
+        neighbors = {0: frozenset({1}), 1: frozenset({0, 2}), 2: frozenset({1})}
+        walker = RandomWalkDisseminator(
+            nodes=range(3),
+            centers=[0],
+            token_positions={token: 1 for token in tokens},
+            degree_threshold=100.0,  # everyone is low degree
+            rng=random.Random(2),
+        )
+        steps = walker.plan_round(neighbors)
+        # Node 1 has two incident edges, so at most two tokens may move.
+        assert len(steps) <= 2
+        per_edge = {}
+        for step in steps:
+            per_edge[(step.sender, step.receiver)] = per_edge.get((step.sender, step.receiver), 0) + 1
+        assert all(count == 1 for count in per_edge.values())
+
+    def test_apply_step_moves_token_and_stops_at_center(self):
+        token = Token(3, 1)
+        walker = RandomWalkDisseminator(
+            nodes=range(4),
+            centers=[0],
+            token_positions={token: 2},
+            degree_threshold=10.0,
+            rng=random.Random(3),
+        )
+        walker.apply_step(WalkStep(token=token, sender=2, receiver=3))
+        assert walker.position_of(token) == 3
+        assert walker.owner_of(token) is None
+        walker.apply_step(WalkStep(token=token, sender=3, receiver=0))
+        assert walker.owner_of(token) == 0
+        assert walker.all_delivered()
+        assert walker.actual_steps == 2
+
+    def test_apply_step_validates_sender_position(self):
+        token = Token(3, 1)
+        walker = RandomWalkDisseminator(
+            nodes=range(4), centers=[0], token_positions={token: 2},
+            degree_threshold=10.0, rng=random.Random(4),
+        )
+        with pytest.raises(ConfigurationError):
+            walker.apply_step(WalkStep(token=token, sender=1, receiver=0))
+
+    def test_apply_step_rejects_delivered_token(self):
+        token = Token(3, 1)
+        walker = RandomWalkDisseminator(
+            nodes=range(4), centers=[0], token_positions={token: 0},
+            degree_threshold=10.0, rng=random.Random(5),
+        )
+        with pytest.raises(ConfigurationError):
+            walker.apply_step(WalkStep(token=token, sender=0, receiver=1))
+
+
+class TestWalkConvergence:
+    def test_all_tokens_eventually_reach_centers_on_complete_graph(self):
+        tokens = [Token(source, 1) for source in range(1, 8)]
+        walker = RandomWalkDisseminator(
+            nodes=range(8),
+            centers=[0],
+            token_positions={token: token.source for token in tokens},
+            degree_threshold=3.0,
+            rng=random.Random(6),
+        )
+        neighbors = full_neighbors(8)
+        for _ in range(200):
+            if walker.all_delivered():
+                break
+            for step in walker.plan_round(neighbors):
+                walker.apply_step(step)
+        assert walker.all_delivered()
+        assert set(walker.ownership()) == {0}
+
+    def test_force_delivery_promotes_holders(self):
+        tokens = make_tokens(1, 2)
+        walker = RandomWalkDisseminator(
+            nodes=range(5),
+            centers=[0],
+            token_positions={tokens[0]: 2, tokens[1]: 3},
+            degree_threshold=10.0,
+            rng=random.Random(7),
+        )
+        ownership = walker.force_delivery_in_place()
+        assert walker.all_delivered()
+        assert ownership[2] == [tokens[0]]
+        assert ownership[3] == [tokens[1]]
+        assert {2, 3} <= set(walker.centers)

@@ -1,0 +1,239 @@
+"""Tests for the Single-Source-Unicast algorithm (Algorithm 1, Theorems 3.1 / 3.4)."""
+
+import pytest
+
+from repro.adversaries import (
+    ControlledChurnAdversary,
+    RandomChurnObliviousAdversary,
+    RequestCuttingAdversary,
+    ScheduleAdversary,
+    StaticAdversary,
+)
+from repro.algorithms.single_source import SingleSourceUnicastAlgorithm
+from repro.core.comm import CommunicationModel
+from repro.core.engine import run_execution
+from repro.core.messages import MessageKind
+from repro.core.problem import multi_source_problem, single_source_problem
+from repro.dynamics.generators import (
+    churn_schedule,
+    static_complete_schedule,
+    static_path_schedule,
+    star_oscillator_schedule,
+)
+from repro.dynamics.stability import stabilize_schedule
+from repro.utils.validation import ConfigurationError
+from tests.conftest import path_edges, star_edges
+
+
+class TestSetupValidation:
+    def test_rejects_multi_source_problems(self):
+        problem = multi_source_problem(6, {0: 1, 3: 2})
+        with pytest.raises(ConfigurationError):
+            run_execution(
+                problem, SingleSourceUnicastAlgorithm(), StaticAdversary(6, path_edges(6)), seed=0
+            )
+
+    def test_model_is_unicast(self):
+        assert (
+            SingleSourceUnicastAlgorithm.communication_model is CommunicationModel.UNICAST
+        )
+
+    def test_source_property(self):
+        problem = single_source_problem(6, 2, source=4)
+        algorithm = SingleSourceUnicastAlgorithm()
+        run_execution(problem, algorithm, StaticAdversary(6, path_edges(6)), seed=1)
+        assert algorithm.source == 4
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("num_nodes,num_tokens", [(4, 1), (6, 3), (8, 5), (10, 12)])
+    def test_completes_on_static_path(self, num_nodes, num_tokens):
+        problem = single_source_problem(num_nodes, num_tokens)
+        result = run_execution(
+            problem,
+            SingleSourceUnicastAlgorithm(),
+            StaticAdversary(num_nodes, path_edges(num_nodes)),
+            seed=2,
+        )
+        assert result.completed
+        result.verify_dissemination()
+
+    def test_completes_on_static_star(self):
+        problem = single_source_problem(9, 6, source=3)
+        result = run_execution(
+            problem, SingleSourceUnicastAlgorithm(), StaticAdversary(9, star_edges(9, 0)), seed=3
+        )
+        assert result.completed
+
+    def test_completes_on_complete_graph(self):
+        problem = single_source_problem(10, 8)
+        result = run_execution(
+            problem,
+            SingleSourceUnicastAlgorithm(),
+            ScheduleAdversary(static_complete_schedule(10)),
+            seed=4,
+        )
+        assert result.completed
+
+    def test_completes_under_oblivious_churn(self):
+        problem = single_source_problem(10, 6)
+        result = run_execution(
+            problem,
+            SingleSourceUnicastAlgorithm(),
+            RandomChurnObliviousAdversary(edge_probability=0.3),
+            seed=5,
+        )
+        assert result.completed
+
+    def test_completes_on_three_edge_stable_churn(self):
+        problem = single_source_problem(10, 5)
+        schedule = stabilize_schedule(
+            churn_schedule(10, 600, churn_fraction=0.4, seed=6), sigma=3
+        )
+        result = run_execution(
+            problem, SingleSourceUnicastAlgorithm(), ScheduleAdversary(schedule), seed=6
+        )
+        assert result.completed
+
+    def test_completes_under_partial_request_cutting(self):
+        problem = single_source_problem(8, 4)
+        result = run_execution(
+            problem,
+            SingleSourceUnicastAlgorithm(),
+            RequestCuttingAdversary(cut_fraction=0.5, edge_probability=0.3),
+            seed=7,
+        )
+        assert result.completed
+
+    def test_every_node_becomes_complete_exactly_once(self):
+        problem = single_source_problem(8, 4)
+        algorithm = SingleSourceUnicastAlgorithm()
+        result = run_execution(
+            problem, algorithm, StaticAdversary(8, path_edges(8)), seed=8
+        )
+        assert result.completed
+        assert sorted(algorithm.complete_nodes()) == list(problem.nodes)
+
+
+class TestMessageBounds:
+    def test_token_messages_at_most_nk(self):
+        problem = single_source_problem(10, 6)
+        result = run_execution(
+            problem,
+            SingleSourceUnicastAlgorithm(),
+            RandomChurnObliviousAdversary(edge_probability=0.25),
+            seed=9,
+        )
+        assert result.completed
+        tokens_sent = result.messages.messages_of_kind(MessageKind.TOKEN)
+        # Each node receives each token at most once (Theorem 3.1, type 1).
+        assert tokens_sent <= 10 * 6
+
+    def test_completeness_messages_at_most_n_squared(self):
+        problem = single_source_problem(10, 6)
+        result = run_execution(
+            problem,
+            SingleSourceUnicastAlgorithm(),
+            ControlledChurnAdversary(changes_per_round=5, edge_probability=0.3),
+            seed=10,
+        )
+        announcements = result.messages.messages_of_kind(MessageKind.COMPLETENESS)
+        assert announcements <= 10 * 9  # each node informs each other node at most once
+
+    def test_requests_bounded_by_nk_plus_deletions(self):
+        problem = single_source_problem(10, 6)
+        result = run_execution(
+            problem,
+            SingleSourceUnicastAlgorithm(),
+            ControlledChurnAdversary(changes_per_round=4, edge_probability=0.3),
+            seed=11,
+        )
+        requests = result.messages.messages_of_kind(MessageKind.REQUEST)
+        deletions = result.trace.total_edge_removals()
+        assert requests <= 10 * 6 + deletions
+
+    def test_one_adversary_competitive_bound_theorem_3_1(self):
+        """Total messages ≤ C·(n² + nk) + TC(E) with a small constant C."""
+        n, k = 12, 10
+        problem = single_source_problem(n, k)
+        result = run_execution(
+            problem,
+            SingleSourceUnicastAlgorithm(),
+            ControlledChurnAdversary(changes_per_round=6, edge_probability=0.25),
+            seed=12,
+        )
+        assert result.completed
+        competitive = result.adversary_competitive_messages(alpha=1.0)
+        assert competitive <= 3 * (n * n + n * k)
+
+    def test_static_network_costs_no_adversary_budget(self):
+        n, k = 10, 8
+        problem = single_source_problem(n, k)
+        result = run_execution(
+            problem, SingleSourceUnicastAlgorithm(), StaticAdversary(n, path_edges(n)), seed=13
+        )
+        # On a static path TC(E) = n - 1 (the initial insertion), so almost the
+        # whole cost is the algorithm's own O(n² + nk).
+        assert result.topological_changes == n - 1
+        assert result.total_messages <= 3 * (n * n + n * k)
+
+    def test_amortized_cost_linear_for_large_k(self):
+        n = 8
+        k = 4 * n
+        problem = single_source_problem(n, k)
+        result = run_execution(
+            problem,
+            SingleSourceUnicastAlgorithm(),
+            ControlledChurnAdversary(changes_per_round=2, edge_probability=0.4),
+            seed=14,
+        )
+        assert result.completed
+        # For k = Ω(n) the amortized adversary-competitive cost is O(n).
+        assert result.amortized_adversary_competitive_messages() <= 6 * n
+
+
+class TestRoundComplexity:
+    def test_O_nk_rounds_on_three_edge_stable_graphs(self):
+        n, k = 10, 5
+        problem = single_source_problem(n, k)
+        schedule = stabilize_schedule(
+            star_oscillator_schedule(n, 800, period=2, seed=15), sigma=3
+        )
+        result = run_execution(
+            problem, SingleSourceUnicastAlgorithm(), ScheduleAdversary(schedule), seed=15
+        )
+        assert result.completed
+        assert result.rounds <= 4 * n * k + 4 * n
+
+    def test_fast_on_static_complete_graph(self):
+        n, k = 12, 6
+        problem = single_source_problem(n, k)
+        result = run_execution(
+            problem,
+            SingleSourceUnicastAlgorithm(),
+            ScheduleAdversary(static_complete_schedule(n)),
+            seed=16,
+        )
+        assert result.completed
+        # With everyone adjacent to the source, dissemination is nearly parallel.
+        assert result.rounds <= 3 * k + 8
+
+
+class TestEdgeClassification:
+    def test_bridge_nodes_reported(self):
+        problem = single_source_problem(5, 2)
+        algorithm = SingleSourceUnicastAlgorithm()
+        run_execution(problem, algorithm, StaticAdversary(5, path_edges(5)), max_rounds=1, seed=17)
+        # After one round nothing is complete except the source, so its path
+        # neighbour (node 1) is the only bridge node.
+        neighbors = {0: frozenset({1}), 1: frozenset({0, 2}), 2: frozenset({1, 3}),
+                     3: frozenset({2, 4}), 4: frozenset({3})}
+        assert algorithm.bridge_nodes(neighbors) == [1]
+
+    def test_observation_extra_exposes_complete_nodes(self):
+        problem = single_source_problem(5, 2)
+        algorithm = SingleSourceUnicastAlgorithm()
+        run_execution(problem, algorithm, StaticAdversary(5, path_edges(5)), seed=18)
+        extra = algorithm.observation_extra()
+        assert extra["source"] == 0
+        assert set(extra["complete_nodes"]) == set(problem.nodes)

@@ -1,0 +1,126 @@
+"""Tests for the static spanning-tree baseline."""
+
+import pytest
+
+from repro.adversaries import ScheduleAdversary, StaticAdversary
+from repro.algorithms.spanning_tree import SpanningTreeAlgorithm
+from repro.core.engine import run_execution
+from repro.core.messages import MessageKind
+from repro.core.problem import (
+    multi_source_problem,
+    n_gossip_problem,
+    single_source_problem,
+)
+from repro.dynamics.generators import (
+    static_complete_schedule,
+    static_path_schedule,
+    static_random_schedule,
+    static_star_schedule,
+)
+from tests.conftest import path_edges, star_edges
+
+
+class TestSpanningTreeConstruction:
+    def test_all_nodes_join_the_tree(self):
+        problem = single_source_problem(9, 2)
+        algorithm = SpanningTreeAlgorithm()
+        result = run_execution(
+            problem, algorithm, ScheduleAdversary(static_random_schedule(9, 0.3, seed=1)), seed=1
+        )
+        assert result.completed
+        assert all(algorithm.tree_parent(node) is not None for node in problem.nodes)
+
+    def test_root_defaults_to_minimum_id(self):
+        problem = single_source_problem(6, 1)
+        algorithm = SpanningTreeAlgorithm()
+        run_execution(problem, algorithm, StaticAdversary(6, path_edges(6)), seed=2)
+        assert algorithm.root == 0
+        assert algorithm.tree_parent(0) == 0
+
+    def test_explicit_root(self):
+        problem = single_source_problem(6, 1)
+        algorithm = SpanningTreeAlgorithm(root=3)
+        result = run_execution(problem, algorithm, StaticAdversary(6, path_edges(6)), seed=3)
+        assert result.completed
+        assert algorithm.root == 3
+
+    def test_children_are_consistent_with_parents(self):
+        problem = single_source_problem(8, 1)
+        algorithm = SpanningTreeAlgorithm()
+        run_execution(
+            problem, algorithm, ScheduleAdversary(static_random_schedule(8, 0.35, seed=4)), seed=4
+        )
+        for node in problem.nodes:
+            for child in algorithm.tree_children(node):
+                assert algorithm.tree_parent(child) == node
+
+
+class TestSpanningTreeDissemination:
+    @pytest.mark.parametrize("builder,name", [
+        (lambda: static_path_schedule(8), "path"),
+        (lambda: static_star_schedule(8), "star"),
+        (lambda: static_complete_schedule(8), "complete"),
+        (lambda: static_random_schedule(8, 0.4, seed=9), "random"),
+    ])
+    def test_completes_on_static_topologies(self, builder, name):
+        problem = single_source_problem(8, 4)
+        result = run_execution(
+            problem, SpanningTreeAlgorithm(), ScheduleAdversary(builder(), name=name), seed=5
+        )
+        assert result.completed, name
+        result.verify_dissemination()
+
+    def test_completes_for_multi_source(self):
+        problem = multi_source_problem(8, {1: 2, 5: 3})
+        result = run_execution(
+            problem, SpanningTreeAlgorithm(), StaticAdversary(8, path_edges(8)), seed=6
+        )
+        assert result.completed
+
+    def test_completes_for_n_gossip(self):
+        problem = n_gossip_problem(7)
+        result = run_execution(
+            problem, SpanningTreeAlgorithm(), ScheduleAdversary(static_complete_schedule(7)), seed=7
+        )
+        assert result.completed
+
+    def test_message_breakdown_has_control_and_token_messages(self):
+        problem = single_source_problem(8, 4)
+        result = run_execution(
+            problem, SpanningTreeAlgorithm(), StaticAdversary(8, path_edges(8)), seed=8
+        )
+        assert result.messages.messages_of_kind(MessageKind.CONTROL) > 0
+        assert result.messages.messages_of_kind(MessageKind.TOKEN) > 0
+
+
+class TestSpanningTreeCost:
+    def test_total_cost_bounded_by_construction_plus_pipelining(self):
+        n, k = 10, 8
+        problem = single_source_problem(n, k)
+        result = run_execution(
+            problem, SpanningTreeAlgorithm(), ScheduleAdversary(static_complete_schedule(n)), seed=9
+        )
+        assert result.completed
+        m = n * (n - 1) // 2
+        # join floods (≤ 2m) + parent acks (≤ n) + up/down token transfers (≤ 2nk).
+        assert result.total_messages <= 2 * m + n + 2 * n * k
+
+    def test_amortized_cost_decreases_with_more_tokens(self):
+        n = 10
+        problem_few = single_source_problem(n, 2)
+        problem_many = single_source_problem(n, 40)
+        adversary = lambda: ScheduleAdversary(static_complete_schedule(n))
+        few = run_execution(problem_few, SpanningTreeAlgorithm(), adversary(), seed=10)
+        many = run_execution(problem_many, SpanningTreeAlgorithm(), adversary(), seed=10)
+        assert many.amortized_messages() < few.amortized_messages()
+
+    def test_pipelining_round_complexity_on_path(self):
+        n, k = 10, 5
+        problem = single_source_problem(n, k, source=n - 1)
+        result = run_execution(
+            problem, SpanningTreeAlgorithm(), StaticAdversary(n, path_edges(n)), seed=11
+        )
+        assert result.completed
+        # Tokens travel up the path to the root and back down, pipelined:
+        # O(n + k) with small constants.
+        assert result.rounds <= 4 * (n + k)

@@ -1,0 +1,215 @@
+"""Tests for the potential tracker, the experiment runner and the reporting helpers."""
+
+import pytest
+
+from repro.adversaries import ControlledChurnAdversary, ScheduleAdversary, StaticAdversary
+from repro.algorithms.naive_unicast import NaiveUnicastAlgorithm
+from repro.algorithms.single_source import SingleSourceUnicastAlgorithm
+from repro.analysis.experiments import (
+    ExperimentRecord,
+    ExperimentRunner,
+    aggregate_records,
+    fit_power_law,
+    scaling_exponent,
+)
+from repro.analysis.potential import PotentialTracker, potential_of_knowledge
+from repro.analysis.reporting import (
+    format_table,
+    render_aggregates,
+    render_paper_vs_measured,
+    render_records,
+    render_table1,
+)
+from repro.core.engine import run_execution
+from repro.core.events import EventLog
+from repro.core.problem import single_source_problem
+from repro.core.tokens import Token
+from repro.dynamics.generators import static_path_schedule
+from repro.utils.validation import ConfigurationError
+from tests.conftest import path_edges
+
+
+class TestPotentialFunction:
+    def test_potential_of_knowledge(self):
+        knowledge = {0: frozenset({Token(0, 1)}), 1: frozenset()}
+        kprime = {0: frozenset({Token(0, 1), Token(0, 2)}), 1: frozenset({Token(0, 1)})}
+        assert potential_of_knowledge(knowledge, kprime) == 2 + 1
+
+    def test_initial_potential_counts_union(self):
+        problem = single_source_problem(4, 2)
+        kprime = {node: frozenset({Token(0, 1)}) for node in problem.nodes}
+        tracker = PotentialTracker(problem, kprime)
+        # Source: |{t1,t2} ∪ {t1}| = 2; others: |{t1}| = 1 each.
+        assert tracker.initial_potential == 2 + 3
+
+    def test_maximum_potential_is_nk(self):
+        problem = single_source_problem(4, 2)
+        tracker = PotentialTracker(problem, {})
+        assert tracker.maximum_potential() == 8
+
+    def test_replay_ignores_learnings_already_in_kprime(self):
+        problem = single_source_problem(3, 1)
+        token = problem.tokens[0]
+        kprime = {1: frozenset({token})}
+        tracker = PotentialTracker(problem, kprime)
+        events = EventLog()
+        events.record(1, 1, token)  # discounted: already in K'_1
+        events.record(2, 2, token)  # real progress
+        trajectory = tracker.replay(events, num_rounds=2)
+        assert trajectory.increases == [0, 1]
+        assert trajectory.final == tracker.initial_potential + 1
+        assert trajectory.total_increase == 1
+        assert trajectory.max_round_increase == 1
+
+    def test_rejects_kprime_for_unknown_node(self):
+        problem = single_source_problem(3, 1)
+        with pytest.raises(ConfigurationError):
+            PotentialTracker(problem, {9: frozenset()})
+
+    def test_full_execution_reaches_nk(self):
+        problem = single_source_problem(6, 3)
+        result = run_execution(
+            problem, NaiveUnicastAlgorithm(), StaticAdversary(6, path_edges(6)), seed=1
+        )
+        tracker = PotentialTracker(problem, {})
+        trajectory = tracker.replay(result.events, result.rounds)
+        assert trajectory.final == tracker.maximum_potential()
+
+
+class TestExperimentRunner:
+    def _factories(self, n=6, k=3):
+        return (
+            lambda: single_source_problem(n, k),
+            lambda: SingleSourceUnicastAlgorithm(),
+            lambda: ControlledChurnAdversary(changes_per_round=2, edge_probability=0.4),
+        )
+
+    def test_run_produces_one_record_per_repetition(self):
+        runner = ExperimentRunner(base_seed=1)
+        records = runner.run(*self._factories(), repetitions=3, params={"n": 6, "k": 3})
+        assert len(records) == 3
+        assert all(isinstance(record, ExperimentRecord) for record in records)
+        assert all(record.completed for record in records)
+        assert {record.params["repetition"] for record in records} == {0, 1, 2}
+
+    def test_records_carry_sweep_parameters(self):
+        runner = ExperimentRunner(base_seed=2)
+        records = runner.run(*self._factories(), repetitions=1, params={"n": 6, "label": "x"})
+        assert records[0].params["n"] == 6
+        assert records[0].params["label"] == "x"
+
+    def test_repetitions_must_be_positive(self):
+        runner = ExperimentRunner()
+        with pytest.raises(ConfigurationError):
+            runner.run(*self._factories(), repetitions=0)
+
+    def test_runs_are_reproducible_for_same_base_seed(self):
+        records_a = ExperimentRunner(base_seed=5).run(*self._factories(), repetitions=2)
+        records_b = ExperimentRunner(base_seed=5).run(*self._factories(), repetitions=2)
+        assert [r.total_messages for r in records_a] == [r.total_messages for r in records_b]
+
+    def test_sweep_runs_every_configuration(self):
+        runner = ExperimentRunner(base_seed=3)
+
+        def build(config):
+            n = config["n"]
+            return (
+                lambda: single_source_problem(n, 3),
+                lambda: SingleSourceUnicastAlgorithm(),
+                lambda: StaticAdversary(n, path_edges(n)),
+            )
+
+        records = runner.sweep([{"n": 5}, {"n": 7}], build, repetitions=2)
+        assert len(records) == 4
+        assert {record.params["n"] for record in records} == {5, 7}
+
+    def test_aggregate_records_groups_and_averages(self):
+        runner = ExperimentRunner(base_seed=4)
+
+        def build(config):
+            n = config["n"]
+            return (
+                lambda: single_source_problem(n, 3),
+                lambda: SingleSourceUnicastAlgorithm(),
+                lambda: StaticAdversary(n, path_edges(n)),
+            )
+
+        records = runner.sweep([{"n": 5}, {"n": 7}], build, repetitions=2)
+        rows = aggregate_records(records, group_by=["n"])
+        assert len(rows) == 2
+        assert rows[0]["runs"] == 2
+        assert all(row["completed"] for row in rows)
+        assert rows[0]["total_messages"] > 0
+
+
+class TestPowerLawFitting:
+    def test_recovers_exact_exponent(self):
+        xs = [10, 20, 40, 80]
+        ys = [3 * x**2 for x in xs]
+        exponent, constant = fit_power_law(xs, ys)
+        assert exponent == pytest.approx(2.0, abs=1e-9)
+        assert constant == pytest.approx(3.0, rel=1e-6)
+
+    def test_scaling_exponent_shortcut(self):
+        xs = [8, 16, 32, 64]
+        ys = [x**1.5 for x in xs]
+        assert scaling_exponent(xs, ys) == pytest.approx(1.5, abs=1e-9)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1, 2], [1])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1], [1])
+
+    def test_rejects_non_positive_values(self):
+        with pytest.raises(ConfigurationError):
+            fit_power_law([1, 2], [0, 1])
+
+
+class TestReporting:
+    def test_format_table_alignment_and_content(self):
+        table = format_table(["a", "b"], [[1, 2.5], ["x", True]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "yes" in lines[3]
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_format_table_rejects_empty_headers(self):
+        with pytest.raises(ConfigurationError):
+            format_table([], [])
+
+    def test_render_table1_contains_all_regimes(self):
+        rendered = render_table1(256)
+        assert "k = n" in rendered
+        assert "k = n^2" in rendered
+        assert "O(n^2)" in rendered
+
+    def test_render_records(self):
+        runner = ExperimentRunner(base_seed=6)
+        records = runner.run(
+            lambda: single_source_problem(5, 2),
+            lambda: SingleSourceUnicastAlgorithm(),
+            lambda: StaticAdversary(5, path_edges(5)),
+            repetitions=1,
+            params={"n": 5},
+        )
+        rendered = render_records(records, ["n", "total_messages", "rounds"])
+        assert "total_messages" in rendered
+        assert "5" in rendered
+
+    def test_render_aggregates(self):
+        rows = [{"n": 5, "total_messages": 10.0}, {"n": 7, "total_messages": 20.0}]
+        rendered = render_aggregates(rows, ["n", "total_messages"])
+        assert "20.00" in rendered or "20" in rendered
+
+    def test_render_paper_vs_measured(self):
+        rendered = render_paper_vs_measured(
+            [{"experiment": "E1", "paper": "O(n^2)", "measured": "n^1.9", "verdict": "match"}]
+        )
+        assert "E1" in rendered and "match" in rendered

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import ADVERSARIES, ALGORITHMS, build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algorithm == "single-source"
+        assert args.adversary == "churn"
+        assert args.nodes == 20
+        assert args.tokens == 40
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "does-not-exist"])
+
+    def test_registries_are_consistent_with_choices(self):
+        assert "single-source" in ALGORITHMS
+        assert "lower-bound" in ADVERSARIES
+        for factory in list(ALGORITHMS.values()) + list(ADVERSARIES.values()):
+            assert callable(factory)
+
+
+class TestRunCommand:
+    def test_single_source_run(self, capsys):
+        exit_code = main(
+            ["run", "--algorithm", "single-source", "--adversary", "churn",
+             "-n", "10", "-k", "8", "--seed", "3"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "total messages" in output
+        assert "topological changes TC(E)" in output
+
+    def test_flooding_against_lower_bound(self, capsys):
+        exit_code = main(
+            ["run", "--algorithm", "flooding", "--adversary", "lower-bound",
+             "-n", "10", "-k", "6", "--random-placement", "--seed", "2"]
+        )
+        assert exit_code == 0
+        assert "amortized messages / token" in capsys.readouterr().out
+
+    def test_n_gossip_with_multi_source(self, capsys):
+        exit_code = main(
+            ["run", "--algorithm", "multi-source", "--adversary", "random",
+             "-n", "8", "-k", "8", "-s", "0", "--seed", "4"]
+        )
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "sources (s)" in output
+
+    def test_incomplete_run_returns_nonzero(self, capsys):
+        exit_code = main(
+            ["run", "--algorithm", "single-source", "--adversary", "static",
+             "-n", "10", "-k", "8", "--max-rounds", "1", "--seed", "5"]
+        )
+        assert exit_code == 1
+
+
+class TestAnalyticCommands:
+    def test_table1(self, capsys):
+        assert main(["table1", "-n", "256"]) == 0
+        output = capsys.readouterr().out
+        assert "k = n^2" in output
+
+    def test_bounds(self, capsys):
+        assert main(["bounds", "-n", "100", "-k", "200", "-s", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "single-source competitive" in output
+        assert "multi-source competitive" in output

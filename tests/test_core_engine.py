@@ -1,0 +1,265 @@
+"""Unit and behaviour tests for the synchronous round engine."""
+
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.adversaries import ScheduleAdversary, StaticAdversary
+from repro.adversaries.base import Adversary
+from repro.algorithms.base import LocalBroadcastAlgorithm, UnicastAlgorithm
+from repro.algorithms.flooding import FloodingAlgorithm, OneShotFloodingAlgorithm
+from repro.algorithms.naive_unicast import NaiveUnicastAlgorithm
+from repro.core.comm import CommunicationModel
+from repro.core.engine import Simulator, default_round_limit, run_execution
+from repro.core.messages import TokenMessage
+from repro.core.problem import single_source_problem
+from repro.dynamics.generators import static_complete_schedule, static_path_schedule
+from repro.utils.validation import (
+    AdversaryViolationError,
+    ConfigurationError,
+    ProtocolViolationError,
+)
+from tests.conftest import path_edges
+
+
+class DisconnectingAdversary(Adversary):
+    """Always returns a disconnected graph (for violation testing)."""
+
+    oblivious = True
+    name = "disconnecting"
+
+    def edges_for_round(self, round_index, observation):
+        return [(0, 1)]  # leaves the remaining nodes isolated
+
+
+class ObservationRecordingAdversary(Adversary):
+    """Adaptive adversary that records the observations it receives."""
+
+    oblivious = False
+    name = "recording"
+
+    def __init__(self):
+        super().__init__()
+        self.observations = []
+
+    def edges_for_round(self, round_index, observation):
+        self.observations.append(observation)
+        nodes = list(self.nodes)
+        return [(nodes[i], nodes[i + 1]) for i in range(len(nodes) - 1)]
+
+
+class ObliviousRecordingAdversary(ObservationRecordingAdversary):
+    oblivious = True
+    name = "oblivious-recording"
+
+
+class RogueSenderAlgorithm(UnicastAlgorithm):
+    """Sends a message to a non-neighbour to trigger a protocol violation."""
+
+    name = "rogue"
+
+    def select_messages(self, round_index, neighbors):
+        nodes = sorted(self.nodes)
+        sender = nodes[0]
+        non_neighbors = [n for n in nodes if n != sender and n not in neighbors[sender]]
+        if not non_neighbors:
+            return {}
+        return {sender: {non_neighbors[0]: [TokenMessage(self.problem.tokens[0])]}}
+
+
+class SilentBroadcastAlgorithm(LocalBroadcastAlgorithm):
+    """Never broadcasts anything (for round-limit testing)."""
+
+    name = "silent"
+
+    def select_broadcasts(self, round_index):
+        return {node: None for node in self.nodes}
+
+
+class TestDefaultRoundLimit:
+    def test_scales_with_n_and_k(self):
+        small = default_round_limit(single_source_problem(5, 2))
+        large = default_round_limit(single_source_problem(50, 20))
+        assert large > small
+        assert small > 0
+
+
+class TestSimulatorBasics:
+    def test_rejects_non_algorithm(self):
+        problem = single_source_problem(4, 2)
+        with pytest.raises(ConfigurationError):
+            Simulator(problem, object(), StaticAdversary(4, path_edges(4)))
+
+    def test_run_execution_wrapper(self):
+        problem = single_source_problem(5, 2)
+        result = run_execution(
+            problem, NaiveUnicastAlgorithm(), StaticAdversary(5, path_edges(5)), seed=1
+        )
+        assert result.completed
+
+    def test_result_identifies_algorithm_and_adversary(self):
+        problem = single_source_problem(5, 2)
+        result = run_execution(
+            problem, NaiveUnicastAlgorithm(), StaticAdversary(5, path_edges(5), name="chain"),
+            seed=1,
+        )
+        assert result.algorithm_name == "naive-unicast"
+        assert result.adversary_name == "chain"
+        assert result.communication_model is CommunicationModel.UNICAST
+
+    def test_deterministic_given_seed(self):
+        problem = single_source_problem(8, 4)
+        adversary = lambda: ScheduleAdversary(static_complete_schedule(8))
+        result_a = run_execution(problem, NaiveUnicastAlgorithm(), adversary(), seed=7)
+        result_b = run_execution(problem, NaiveUnicastAlgorithm(), adversary(), seed=7)
+        assert result_a.total_messages == result_b.total_messages
+        assert result_a.rounds == result_b.rounds
+
+    def test_max_rounds_truncates_execution(self):
+        problem = single_source_problem(6, 3)
+        result = run_execution(
+            problem,
+            NaiveUnicastAlgorithm(),
+            StaticAdversary(6, path_edges(6)),
+            max_rounds=1,
+            seed=0,
+        )
+        assert not result.completed
+        assert result.rounds == 1
+
+    def test_already_solved_problem_takes_zero_rounds(self):
+        problem = single_source_problem(1, 3)
+        result = run_execution(
+            problem, NaiveUnicastAlgorithm(), StaticAdversary(1, []), seed=0
+        )
+        assert result.completed
+        assert result.rounds == 0
+        assert result.total_messages == 0
+
+
+class TestModelEnforcement:
+    def test_disconnected_adversary_rejected(self):
+        problem = single_source_problem(5, 2)
+        with pytest.raises(AdversaryViolationError):
+            run_execution(problem, NaiveUnicastAlgorithm(), DisconnectingAdversary(), seed=0)
+
+    def test_disconnected_allowed_when_flag_disabled(self):
+        problem = single_source_problem(5, 2)
+        simulator = Simulator(
+            problem,
+            NaiveUnicastAlgorithm(),
+            DisconnectingAdversary(),
+            require_connected=False,
+            max_rounds=5,
+            seed=0,
+        )
+        result = simulator.run()
+        assert result.rounds == 5
+
+    def test_sending_to_non_neighbor_rejected(self):
+        problem = single_source_problem(5, 2)
+        with pytest.raises(ProtocolViolationError):
+            run_execution(
+                problem, RogueSenderAlgorithm(), StaticAdversary(5, path_edges(5)), seed=0
+            )
+
+
+class TestObservations:
+    def test_adaptive_adversary_receives_observations(self):
+        problem = single_source_problem(5, 2)
+        adversary = ObservationRecordingAdversary()
+        run_execution(problem, NaiveUnicastAlgorithm(), adversary, seed=0)
+        assert adversary.observations
+        assert all(obs is not None for obs in adversary.observations)
+        first = adversary.observations[0]
+        assert first.round_index == 1
+        assert set(first.knowledge) == set(problem.nodes)
+
+    def test_oblivious_adversary_receives_none(self):
+        problem = single_source_problem(5, 2)
+        adversary = ObliviousRecordingAdversary()
+        run_execution(problem, NaiveUnicastAlgorithm(), adversary, seed=0)
+        assert adversary.observations
+        assert all(obs is None for obs in adversary.observations)
+
+    def test_broadcast_observation_contains_payloads(self):
+        problem = single_source_problem(5, 2)
+        adversary = ObservationRecordingAdversary()
+        run_execution(problem, FloodingAlgorithm(), adversary, seed=0)
+        first = adversary.observations[0]
+        assert first.broadcasting_nodes() == [0]
+
+    def test_previous_messages_propagated_to_observation(self):
+        problem = single_source_problem(4, 2)
+        adversary = ObservationRecordingAdversary()
+        run_execution(problem, NaiveUnicastAlgorithm(), adversary, seed=0)
+        # From the second round onward the observation carries the previous sends.
+        later = adversary.observations[1]
+        assert later.previous_messages
+
+
+class TestTerminationBehaviour:
+    def test_quiescent_incomplete_algorithm_stops_early(self):
+        problem = single_source_problem(6, 3)
+        # A silent algorithm never finishes; it is not quiescent either, so it
+        # should run exactly to the round limit.
+        result = run_execution(
+            problem,
+            SilentBroadcastAlgorithm(),
+            ScheduleAdversary(static_path_schedule(6)),
+            max_rounds=10,
+            seed=0,
+        )
+        assert result.rounds == 10
+        assert not result.completed
+
+    def test_one_shot_flooding_stops_when_quiescent(self):
+        problem = single_source_problem(6, 3)
+        result = run_execution(
+            problem,
+            OneShotFloodingAlgorithm(),
+            ScheduleAdversary(static_path_schedule(6)),
+            max_rounds=500,
+            seed=0,
+        )
+        # It either finishes dissemination or stops as soon as its queues drain,
+        # far before the round limit.
+        assert result.rounds < 500
+
+    def test_event_log_matches_required_learnings_on_completion(self):
+        problem = single_source_problem(7, 3)
+        result = run_execution(
+            problem, NaiveUnicastAlgorithm(), StaticAdversary(7, path_edges(7)), seed=1
+        )
+        assert result.completed
+        result.verify_dissemination()
+        assert result.token_learnings() == problem.required_token_learnings()
+
+    def test_trace_is_recorded_per_round(self):
+        problem = single_source_problem(6, 2)
+        result = run_execution(
+            problem, NaiveUnicastAlgorithm(), StaticAdversary(6, path_edges(6)), seed=1
+        )
+        assert result.trace.num_rounds == result.rounds
+        assert result.topological_changes == 5  # path inserted once, never changed
+
+    def test_summary_contains_headline_metrics(self):
+        problem = single_source_problem(6, 2)
+        result = run_execution(
+            problem, NaiveUnicastAlgorithm(), StaticAdversary(6, path_edges(6)), seed=1
+        )
+        summary = result.summary()
+        for key in ("algorithm", "n", "k", "total_messages", "amortized_messages", "rounds"):
+            assert key in summary
+
+    def test_verify_dissemination_raises_on_incomplete(self):
+        problem = single_source_problem(6, 3)
+        result = run_execution(
+            problem,
+            NaiveUnicastAlgorithm(),
+            StaticAdversary(6, path_edges(6)),
+            max_rounds=1,
+            seed=0,
+        )
+        with pytest.raises(ConfigurationError):
+            result.verify_dissemination()

@@ -1,0 +1,175 @@
+"""Unit tests for message accounting, events and execution results."""
+
+import pytest
+
+from repro.core.comm import CommunicationModel
+from repro.core.events import EventLog
+from repro.core.messages import CompletenessMessage, MessageKind, RequestMessage, TokenMessage
+from repro.core.metrics import MessageAccountant
+from repro.core.tokens import Token
+from repro.utils.validation import ConfigurationError
+
+
+class TestCommunicationModel:
+    def test_flags(self):
+        assert CommunicationModel.LOCAL_BROADCAST.is_broadcast
+        assert not CommunicationModel.LOCAL_BROADCAST.is_unicast
+        assert CommunicationModel.UNICAST.is_unicast
+        assert not CommunicationModel.UNICAST.is_broadcast
+
+    def test_str(self):
+        assert str(CommunicationModel.UNICAST) == "unicast"
+
+
+class TestMessageAccountantBroadcast:
+    def test_counts_one_per_broadcast(self):
+        accountant = MessageAccountant(CommunicationModel.LOCAL_BROADCAST)
+        accountant.begin_round()
+        accountant.count_broadcast(0, TokenMessage(Token(0, 1)))
+        accountant.count_broadcast(1, TokenMessage(Token(0, 1)))
+        assert accountant.end_round() == 2
+        assert accountant.total_messages == 2
+
+    def test_unicast_count_rejected_in_broadcast_model(self):
+        accountant = MessageAccountant(CommunicationModel.LOCAL_BROADCAST)
+        accountant.begin_round()
+        with pytest.raises(ConfigurationError):
+            accountant.count_unicast(0, 1, TokenMessage(Token(0, 1)))
+
+    def test_counting_outside_round_rejected(self):
+        accountant = MessageAccountant(CommunicationModel.LOCAL_BROADCAST)
+        with pytest.raises(ConfigurationError):
+            accountant.count_broadcast(0, TokenMessage(Token(0, 1)))
+
+
+class TestMessageAccountantUnicast:
+    def _accountant(self):
+        accountant = MessageAccountant(CommunicationModel.UNICAST)
+        accountant.begin_round()
+        return accountant
+
+    def test_counts_per_receiver(self):
+        accountant = self._accountant()
+        accountant.count_unicast(0, 1, TokenMessage(Token(0, 1)))
+        accountant.count_unicast(0, 2, TokenMessage(Token(0, 1)))
+        accountant.end_round()
+        assert accountant.total_messages == 2
+
+    def test_kind_breakdown(self):
+        accountant = self._accountant()
+        accountant.count_unicast(0, 1, TokenMessage(Token(0, 1)))
+        accountant.count_unicast(1, 0, RequestMessage(0, 1))
+        accountant.count_unicast(2, 0, CompletenessMessage(source=0))
+        accountant.end_round()
+        stats = accountant.snapshot()
+        assert stats.messages_of_kind(MessageKind.TOKEN) == 1
+        assert stats.messages_of_kind(MessageKind.REQUEST) == 1
+        assert stats.messages_of_kind(MessageKind.COMPLETENESS) == 1
+        assert stats.messages_of_kind(MessageKind.CONTROL) == 0
+
+    def test_self_message_rejected(self):
+        accountant = self._accountant()
+        with pytest.raises(ConfigurationError):
+            accountant.count_unicast(0, 0, TokenMessage(Token(0, 1)))
+
+    def test_broadcast_count_rejected_in_unicast_model(self):
+        accountant = self._accountant()
+        with pytest.raises(ConfigurationError):
+            accountant.count_broadcast(0, TokenMessage(Token(0, 1)))
+
+    def test_double_begin_round_rejected(self):
+        accountant = self._accountant()
+        with pytest.raises(ConfigurationError):
+            accountant.begin_round()
+
+    def test_end_round_without_begin_rejected(self):
+        accountant = MessageAccountant(CommunicationModel.UNICAST)
+        with pytest.raises(ConfigurationError):
+            accountant.end_round()
+
+    def test_per_round_and_per_node_breakdown(self):
+        accountant = MessageAccountant(CommunicationModel.UNICAST)
+        accountant.begin_round()
+        accountant.count_unicast(0, 1, TokenMessage(Token(0, 1)))
+        accountant.end_round()
+        accountant.begin_round()
+        accountant.count_unicast(1, 0, TokenMessage(Token(0, 1)))
+        accountant.count_unicast(1, 2, TokenMessage(Token(0, 1)))
+        accountant.end_round()
+        stats = accountant.snapshot()
+        assert stats.per_round_messages == [1, 2]
+        assert stats.per_node_messages == {0: 1, 1: 2}
+
+
+class TestMessageStatisticsDerivedMetrics:
+    def _stats(self, total=100):
+        accountant = MessageAccountant(CommunicationModel.UNICAST)
+        accountant.begin_round()
+        for index in range(total):
+            accountant.count_unicast(0, 1 + index % 3, TokenMessage(Token(0, 1)))
+        accountant.end_round()
+        return accountant.snapshot()
+
+    def test_amortized(self):
+        assert self._stats(100).amortized(10) == pytest.approx(10.0)
+
+    def test_amortized_rejects_non_positive_k(self):
+        with pytest.raises(ConfigurationError):
+            self._stats().amortized(0)
+
+    def test_adversary_competitive_subtracts_alpha_tc(self):
+        stats = self._stats(100)
+        assert stats.adversary_competitive(30, alpha=1.0) == pytest.approx(70.0)
+        assert stats.adversary_competitive(30, alpha=2.0) == pytest.approx(40.0)
+
+    def test_adversary_competitive_clamped_at_zero(self):
+        stats = self._stats(10)
+        assert stats.adversary_competitive(1000, alpha=1.0) == 0.0
+
+    def test_adversary_competitive_rejects_negative_alpha(self):
+        with pytest.raises(ConfigurationError):
+            self._stats().adversary_competitive(10, alpha=-1.0)
+
+    def test_adversary_competitive_rejects_negative_tc(self):
+        with pytest.raises(ConfigurationError):
+            self._stats().adversary_competitive(-5)
+
+    def test_amortized_adversary_competitive(self):
+        stats = self._stats(100)
+        assert stats.amortized_adversary_competitive(10, 20) == pytest.approx(8.0)
+
+
+class TestEventLog:
+    def test_record_and_totals(self):
+        log = EventLog()
+        log.record(1, 0, Token(0, 1))
+        log.record(1, 1, Token(0, 1))
+        log.record(3, 0, Token(0, 2))
+        assert log.total_learnings() == 3
+        assert log.learnings_in_round(1) == 2
+        assert log.learnings_in_round(2) == 0
+        assert log.learnings_of_node(0) == 2
+
+    def test_max_learnings_and_rounds(self):
+        log = EventLog()
+        log.record(2, 0, Token(0, 1))
+        log.record(2, 1, Token(0, 1))
+        log.record(5, 2, Token(0, 1))
+        assert log.max_learnings_in_a_round() == 2
+        assert log.rounds_with_learnings() == [2, 5]
+        assert log.last_learning_round() == 5
+
+    def test_empty_log(self):
+        log = EventLog()
+        assert log.total_learnings() == 0
+        assert log.max_learnings_in_a_round() == 0
+        assert log.last_learning_round() is None
+        assert list(log) == []
+
+    def test_events_are_ordered_dataclasses(self):
+        log = EventLog()
+        event = log.record(1, 4, Token(2, 1))
+        assert event.round_index == 1
+        assert event.node == 4
+        assert event.token == Token(2, 1)
+        assert len(log) == 1

@@ -1,0 +1,151 @@
+"""Unit tests for dissemination problem instances."""
+
+import pytest
+
+from repro.core.problem import (
+    DisseminationProblem,
+    multi_source_problem,
+    n_gossip_problem,
+    random_assignment_problem,
+    single_source_problem,
+    uniform_multi_source_problem,
+)
+from repro.core.tokens import Token, make_tokens
+from repro.utils.validation import ConfigurationError
+
+
+class TestSingleSourceProblem:
+    def test_basic_shape(self):
+        problem = single_source_problem(10, 7)
+        assert problem.num_nodes == 10
+        assert problem.num_tokens == 7
+        assert problem.num_sources == 1
+        assert problem.sources == (0,)
+
+    def test_source_holds_all_tokens(self):
+        problem = single_source_problem(5, 3, source=2)
+        assert problem.initial_tokens_of(2) == frozenset(make_tokens(2, 3))
+        assert problem.initial_tokens_of(0) == frozenset()
+
+    def test_required_token_learnings(self):
+        problem = single_source_problem(5, 3)
+        assert problem.required_token_learnings() == 3 * 4
+
+    def test_invalid_source_rejected(self):
+        with pytest.raises(ConfigurationError):
+            single_source_problem(5, 3, source=9)
+
+    def test_describe(self):
+        info = single_source_problem(6, 2).describe()
+        assert info == {"n": 6, "k": 2, "s": 1, "required_learnings": 10}
+
+
+class TestMultiSourceProblem:
+    def test_token_counts_per_source(self):
+        problem = multi_source_problem(10, {1: 2, 4: 3})
+        assert problem.num_tokens == 5
+        assert problem.num_sources == 2
+        assert len(problem.tokens_of_source(1)) == 2
+        assert len(problem.tokens_of_source(4)) == 3
+
+    def test_sources_sorted(self):
+        problem = multi_source_problem(10, {7: 1, 2: 1})
+        assert problem.sources == (2, 7)
+
+    def test_rejects_unknown_source(self):
+        with pytest.raises(ConfigurationError):
+            multi_source_problem(4, {9: 1})
+
+    def test_rejects_empty_mapping(self):
+        with pytest.raises(ConfigurationError):
+            multi_source_problem(4, {})
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ConfigurationError):
+            multi_source_problem(4, {0: 0})
+
+
+class TestNGossipProblem:
+    def test_one_token_per_node(self):
+        problem = n_gossip_problem(6)
+        assert problem.num_tokens == 6
+        assert problem.num_sources == 6
+        for node in problem.nodes:
+            assert len(problem.initial_tokens_of(node)) == 1
+
+    def test_required_learnings(self):
+        problem = n_gossip_problem(6)
+        assert problem.required_token_learnings() == 6 * 5
+
+
+class TestUniformMultiSourceProblem:
+    def test_token_total_and_source_count(self):
+        problem = uniform_multi_source_problem(20, 4, 10, seed=1)
+        assert problem.num_tokens == 10
+        assert problem.num_sources == 4
+
+    def test_tokens_spread_evenly(self):
+        problem = uniform_multi_source_problem(20, 4, 10, seed=2)
+        counts = sorted(len(problem.initial_tokens_of(s)) for s in problem.sources)
+        assert counts in ([2, 2, 3, 3], [2, 3, 3, 2], [3, 3, 2, 2])
+        assert max(counts) - min(counts) <= 1
+
+    def test_rejects_more_sources_than_nodes(self):
+        with pytest.raises(ConfigurationError):
+            uniform_multi_source_problem(3, 5, 10)
+
+    def test_rejects_fewer_tokens_than_sources(self):
+        with pytest.raises(ConfigurationError):
+            uniform_multi_source_problem(10, 5, 3)
+
+    def test_deterministic_for_seed(self):
+        a = uniform_multi_source_problem(15, 3, 9, seed=5)
+        b = uniform_multi_source_problem(15, 3, 9, seed=5)
+        assert a.sources == b.sources
+
+
+class TestRandomAssignmentProblem:
+    def test_token_universe_size(self):
+        problem = random_assignment_problem(10, 8, seed=1)
+        assert problem.num_tokens == 8
+
+    def test_every_token_placed_somewhere(self):
+        problem = random_assignment_problem(10, 8, inclusion_probability=0.0, seed=2)
+        covered = set()
+        for node in problem.nodes:
+            covered |= problem.initial_tokens_of(node)
+        assert covered == set(problem.tokens)
+
+    def test_average_initial_knowledge_below_half(self):
+        problem = random_assignment_problem(30, 40, inclusion_probability=0.25, seed=3)
+        average = sum(
+            len(problem.initial_tokens_of(node)) for node in problem.nodes
+        ) / problem.num_nodes
+        assert average <= problem.num_tokens / 2
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            random_assignment_problem(5, 5, inclusion_probability=2.0)
+
+
+class TestDisseminationProblemValidation:
+    def test_rejects_token_not_placed(self):
+        tokens = make_tokens(0, 2)
+        with pytest.raises(ConfigurationError):
+            DisseminationProblem((0, 1), tokens, {0: frozenset({tokens[0]})})
+
+    def test_rejects_initial_knowledge_for_unknown_node(self):
+        tokens = make_tokens(0, 1)
+        with pytest.raises(ConfigurationError):
+            DisseminationProblem((0, 1), tokens, {0: frozenset(tokens), 5: frozenset()})
+
+    def test_rejects_unknown_token_in_knowledge(self):
+        tokens = make_tokens(0, 1)
+        with pytest.raises(ConfigurationError):
+            DisseminationProblem(
+                (0, 1), tokens, {0: frozenset(tokens), 1: frozenset({Token(9, 1)})}
+            )
+
+    def test_tokens_of_source_sorted(self):
+        problem = multi_source_problem(5, {0: 3})
+        assert problem.tokens_of_source(0) == make_tokens(0, 3)

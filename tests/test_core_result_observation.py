@@ -1,0 +1,137 @@
+"""Tests for ExecutionResult derived metrics and RoundObservation, plus
+failure-injection checks for malformed adversaries and algorithms."""
+
+import pytest
+
+from repro.adversaries import StaticAdversary
+from repro.adversaries.base import Adversary
+from repro.algorithms.base import UnicastAlgorithm
+from repro.algorithms.naive_unicast import NaiveUnicastAlgorithm
+from repro.core.engine import run_execution
+from repro.core.messages import RequestMessage, TokenMessage
+from repro.core.observation import RoundObservation, SentRecord
+from repro.core.problem import single_source_problem
+from repro.core.tokens import Token
+from repro.utils.validation import ConfigurationError, ProtocolViolationError
+from tests.conftest import path_edges
+
+
+def completed_result(num_nodes=6, num_tokens=3, seed=1):
+    problem = single_source_problem(num_nodes, num_tokens)
+    return run_execution(
+        problem, NaiveUnicastAlgorithm(), StaticAdversary(num_nodes, path_edges(num_nodes)),
+        seed=seed,
+    )
+
+
+class TestExecutionResultMetrics:
+    def test_amortized_is_total_over_k(self):
+        result = completed_result(num_tokens=4)
+        assert result.amortized_messages() == pytest.approx(result.total_messages / 4)
+
+    def test_competitive_cost_with_various_alphas(self):
+        result = completed_result()
+        tc = result.topological_changes
+        assert result.adversary_competitive_messages(alpha=0.0) == result.total_messages
+        assert result.adversary_competitive_messages(alpha=1.0) == pytest.approx(
+            max(0, result.total_messages - tc)
+        )
+
+    def test_amortized_competitive_consistent(self):
+        result = completed_result(num_tokens=3)
+        assert result.amortized_adversary_competitive_messages() == pytest.approx(
+            result.adversary_competitive_messages() / 3
+        )
+
+    def test_num_nodes_and_tokens_exposed(self):
+        result = completed_result(num_nodes=7, num_tokens=2)
+        assert result.num_nodes == 7
+        assert result.num_tokens == 2
+
+    def test_summary_round_trip_values(self):
+        result = completed_result()
+        summary = result.summary()
+        assert summary["total_messages"] == result.total_messages
+        assert summary["topological_changes"] == result.topological_changes
+        assert summary["completed"] is True
+
+    def test_verify_dissemination_accepts_completed_run(self):
+        completed_result().verify_dissemination()
+
+
+class TestRoundObservation:
+    def test_broadcasting_nodes_sorted_and_filtered(self):
+        observation = RoundObservation(
+            round_index=1,
+            knowledge={0: frozenset(), 1: frozenset(), 2: frozenset()},
+            broadcast_payloads={
+                2: TokenMessage(Token(0, 1)),
+                0: TokenMessage(Token(0, 1)),
+                1: None,
+            },
+        )
+        assert observation.broadcasting_nodes() == [0, 2]
+
+    def test_defaults(self):
+        observation = RoundObservation(round_index=3, knowledge={})
+        assert observation.broadcast_payloads == {}
+        assert observation.previous_messages == ()
+        assert observation.extra == {}
+
+    def test_sent_record_fields(self):
+        record = SentRecord(sender=1, receiver=None, payload=RequestMessage(0, 2))
+        assert record.receiver is None
+        assert record.payload.token == Token(0, 2)
+
+
+class BadEdgeAdversary(Adversary):
+    """Returns edges with endpoints outside the node set."""
+
+    oblivious = True
+    name = "bad-edges"
+
+    def edges_for_round(self, round_index, observation):
+        return [(0, 999)]
+
+
+class SelfLoopAdversary(Adversary):
+    """Returns a self-loop edge."""
+
+    oblivious = True
+    name = "self-loop"
+
+    def edges_for_round(self, round_index, observation):
+        return [(0, 0), (0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]
+
+
+class UnknownSenderAlgorithm(UnicastAlgorithm):
+    """Schedules messages on behalf of a node that does not exist."""
+
+    name = "unknown-sender"
+
+    def select_messages(self, round_index, neighbors):
+        return {999: {0: [TokenMessage(self.problem.tokens[0])]}}
+
+
+class TestFailureInjection:
+    def test_adversary_with_out_of_range_edges_is_rejected(self):
+        problem = single_source_problem(6, 2)
+        with pytest.raises(ConfigurationError):
+            run_execution(problem, NaiveUnicastAlgorithm(), BadEdgeAdversary(), seed=0)
+
+    def test_adversary_with_self_loops_is_rejected(self):
+        problem = single_source_problem(6, 2)
+        with pytest.raises(ConfigurationError):
+            run_execution(problem, NaiveUnicastAlgorithm(), SelfLoopAdversary(), seed=0)
+
+    def test_algorithm_with_unknown_sender_is_rejected(self):
+        problem = single_source_problem(6, 2)
+        with pytest.raises(ProtocolViolationError):
+            run_execution(
+                problem, UnknownSenderAlgorithm(), StaticAdversary(6, path_edges(6)), seed=0
+            )
+
+    def test_adversary_reset_required_before_use(self):
+        adversary = StaticAdversary(4, path_edges(4))
+        with pytest.raises(Exception):
+            _ = adversary.problem

@@ -1,0 +1,97 @@
+"""Unit tests for tokens and message payloads."""
+
+import pytest
+
+from repro.core.messages import (
+    CompletenessMessage,
+    ControlMessage,
+    MessageKind,
+    ReceivedMessage,
+    RequestMessage,
+    TokenMessage,
+)
+from repro.core.tokens import (
+    Token,
+    make_tokens,
+    source_token_counts,
+    tokens_by_source,
+    validate_token_universe,
+)
+from repro.utils.validation import ConfigurationError
+
+
+class TestToken:
+    def test_token_is_hashable_and_comparable(self):
+        assert Token(0, 1) == Token(0, 1)
+        assert len({Token(0, 1), Token(0, 1), Token(0, 2)}) == 2
+
+    def test_token_ordering_by_source_then_index(self):
+        assert Token(0, 2) < Token(1, 1)
+        assert Token(1, 1) < Token(1, 2)
+
+    def test_index_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            Token(0, 0)
+
+    def test_str_contains_source_and_index(self):
+        assert "3" in str(Token(3, 7)) and "7" in str(Token(3, 7))
+
+
+class TestMakeTokens:
+    def test_creates_indexed_tokens(self):
+        tokens = make_tokens(4, 3)
+        assert tokens == (Token(4, 1), Token(4, 2), Token(4, 3))
+
+    def test_count_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            make_tokens(0, 0)
+
+
+class TestTokenGrouping:
+    def test_tokens_by_source(self):
+        tokens = [Token(1, 2), Token(0, 1), Token(1, 1)]
+        grouped = tokens_by_source(tokens)
+        assert grouped == {0: [Token(0, 1)], 1: [Token(1, 1), Token(1, 2)]}
+
+    def test_source_token_counts(self):
+        tokens = list(make_tokens(0, 2)) + list(make_tokens(5, 4))
+        assert source_token_counts(tokens) == {0: 2, 5: 4}
+
+    def test_validate_universe_accepts_wellformed(self):
+        tokens = list(make_tokens(0, 2)) + list(make_tokens(1, 1))
+        assert validate_token_universe(tokens) == tuple(tokens)
+
+    def test_validate_universe_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            validate_token_universe([Token(0, 1), Token(0, 1)])
+
+    def test_validate_universe_rejects_gapped_indices(self):
+        with pytest.raises(ConfigurationError):
+            validate_token_universe([Token(0, 1), Token(0, 3)])
+
+
+class TestMessagePayloads:
+    def test_token_message_kind(self):
+        assert TokenMessage(Token(0, 1)).kind is MessageKind.TOKEN
+
+    def test_completeness_message_kind(self):
+        assert CompletenessMessage(source=3).kind is MessageKind.COMPLETENESS
+
+    def test_request_message_kind_and_token(self):
+        request = RequestMessage(source=2, index=5)
+        assert request.kind is MessageKind.REQUEST
+        assert request.token == Token(2, 5)
+
+    def test_control_message_kind(self):
+        assert ControlMessage(tag="join").kind is MessageKind.CONTROL
+
+    def test_received_message_exposes_kind(self):
+        received = ReceivedMessage(sender=1, payload=TokenMessage(Token(0, 1)))
+        assert received.kind is MessageKind.TOKEN
+        assert received.sender == 1
+
+    def test_payloads_are_hashable(self):
+        assert len({TokenMessage(Token(0, 1)), TokenMessage(Token(0, 1))}) == 1
+
+    def test_message_kind_str(self):
+        assert str(MessageKind.TOKEN) == "token"

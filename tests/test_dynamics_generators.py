@@ -1,0 +1,189 @@
+"""Unit tests for the dynamic-graph generators.
+
+Every generator must produce connected round graphs over the full node set;
+beyond that each workload has its own structural guarantees.
+"""
+
+import pytest
+
+from repro.dynamics.connectivity import is_connected
+from repro.dynamics.generators import (
+    churn_schedule,
+    edge_markovian_schedule,
+    geometric_mobility_schedule,
+    path_shuffle_schedule,
+    random_connected_edges,
+    rewiring_regular_schedule,
+    star_oscillator_schedule,
+    static_complete_schedule,
+    static_cycle_schedule,
+    static_path_schedule,
+    static_random_schedule,
+    static_schedule,
+    static_star_schedule,
+)
+from repro.utils.validation import ConfigurationError
+
+
+def assert_always_connected(schedule):
+    for round_index, edges in schedule.iter_rounds():
+        assert is_connected(schedule.nodes, edges), f"round {round_index} disconnected"
+
+
+class TestStaticSchedules:
+    def test_complete_graph_edge_count(self):
+        schedule = static_complete_schedule(6)
+        assert len(schedule.edges_for_round(1)) == 15
+
+    def test_path_edge_count(self):
+        schedule = static_path_schedule(6)
+        assert len(schedule.edges_for_round(1)) == 5
+
+    def test_path_single_node(self):
+        schedule = static_path_schedule(1)
+        assert schedule.edges_for_round(1) == frozenset()
+
+    def test_star_edges_touch_center(self):
+        schedule = static_star_schedule(5, center=2)
+        assert all(2 in edge for edge in schedule.edges_for_round(1))
+
+    def test_star_invalid_center(self):
+        with pytest.raises(ConfigurationError):
+            static_star_schedule(5, center=9)
+
+    def test_cycle_requires_three_nodes(self):
+        with pytest.raises(ConfigurationError):
+            static_cycle_schedule(2)
+
+    def test_cycle_edge_count(self):
+        schedule = static_cycle_schedule(7)
+        assert len(schedule.edges_for_round(1)) == 7
+
+    def test_static_schedule_rejects_disconnected_edges(self):
+        with pytest.raises(ConfigurationError):
+            static_schedule(4, [(0, 1)])
+
+    def test_static_random_is_connected(self):
+        schedule = static_random_schedule(12, edge_probability=0.2, seed=3)
+        assert_always_connected(schedule)
+
+    def test_static_schedules_never_change(self):
+        schedule = static_complete_schedule(5, num_rounds=4)
+        assert schedule.topological_changes() == 10  # only the initial insertion
+
+
+class TestChurnSchedule:
+    def test_always_connected(self):
+        schedule = churn_schedule(10, 15, edge_probability=0.2, churn_fraction=0.4, seed=1)
+        assert_always_connected(schedule)
+
+    def test_number_of_rounds(self):
+        schedule = churn_schedule(8, 7, seed=2)
+        assert schedule.num_rounds == 7
+
+    def test_zero_churn_is_static_after_first_round(self):
+        schedule = churn_schedule(8, 5, churn_fraction=0.0, seed=3)
+        first = schedule.edges_for_round(1)
+        assert all(schedule.edges_for_round(r) == first for r in range(2, 6))
+
+    def test_churn_actually_changes_edges(self):
+        schedule = churn_schedule(12, 10, edge_probability=0.3, churn_fraction=0.5, seed=4)
+        assert schedule.topological_changes() > len(schedule.edges_for_round(1))
+
+    def test_deterministic_for_same_seed(self):
+        a = churn_schedule(8, 5, seed=9)
+        b = churn_schedule(8, 5, seed=9)
+        assert a == b
+
+
+class TestEdgeMarkovianSchedule:
+    def test_always_connected(self):
+        schedule = edge_markovian_schedule(10, 12, seed=5)
+        assert_always_connected(schedule)
+
+    def test_high_death_probability_produces_churn(self):
+        schedule = edge_markovian_schedule(
+            10, 12, birth_probability=0.1, death_probability=0.9, seed=6
+        )
+        assert schedule.topological_changes() > 11
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            edge_markovian_schedule(10, 5, birth_probability=1.5)
+
+
+class TestRewiringRegularSchedule:
+    def test_always_connected(self):
+        schedule = rewiring_regular_schedule(12, 10, degree=4, seed=7)
+        assert_always_connected(schedule)
+
+    def test_degree_roughly_respected(self):
+        schedule = rewiring_regular_schedule(20, 5, degree=6, rewire_probability=0.0, seed=8)
+        edges = schedule.edges_for_round(1)
+        # A 6-regular target on 20 nodes means about 60 edges (ring + chords).
+        assert 45 <= len(edges) <= 75
+
+    def test_small_graph_falls_back_to_complete(self):
+        schedule = rewiring_regular_schedule(2, 3, degree=2, seed=9)
+        assert schedule.edges_for_round(1) == frozenset({(0, 1)})
+
+    def test_rejects_degree_below_two(self):
+        with pytest.raises(ConfigurationError):
+            rewiring_regular_schedule(10, 5, degree=1)
+
+
+class TestStarOscillatorSchedule:
+    def test_always_connected(self):
+        schedule = star_oscillator_schedule(9, 10, seed=10)
+        assert_always_connected(schedule)
+
+    def test_every_round_is_a_star(self):
+        schedule = star_oscillator_schedule(9, 10, seed=11)
+        for _, edges in schedule.iter_rounds():
+            assert len(edges) == 8
+
+    def test_center_changes_generate_churn(self):
+        schedule = star_oscillator_schedule(9, 10, period=1, seed=12)
+        # Each recentring replaces almost all edges.
+        assert schedule.topological_changes() > 8 * 5
+
+    def test_period_slows_churn(self):
+        fast = star_oscillator_schedule(9, 12, period=1, seed=13)
+        slow = star_oscillator_schedule(9, 12, period=6, seed=13)
+        assert slow.topological_changes() < fast.topological_changes()
+
+
+class TestPathShuffleSchedule:
+    def test_always_connected(self):
+        schedule = path_shuffle_schedule(10, 8, seed=14)
+        assert_always_connected(schedule)
+
+    def test_every_round_is_a_path(self):
+        schedule = path_shuffle_schedule(10, 8, seed=15)
+        for _, edges in schedule.iter_rounds():
+            assert len(edges) == 9
+
+
+class TestGeometricMobilitySchedule:
+    def test_always_connected(self):
+        schedule = geometric_mobility_schedule(12, 8, radius=0.3, speed=0.1, seed=16)
+        assert_always_connected(schedule)
+
+    def test_rejects_non_positive_radius(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mobility_schedule(5, 3, radius=0.0)
+
+    def test_zero_speed_much_less_churn_than_fast_motion(self):
+        frozen = geometric_mobility_schedule(12, 10, radius=0.4, speed=0.0, seed=17)
+        moving = geometric_mobility_schedule(12, 10, radius=0.4, speed=0.2, seed=17)
+        assert frozen.topological_changes() <= moving.topological_changes()
+
+
+class TestRandomConnectedEdges:
+    def test_connected_even_with_zero_probability(self, rng):
+        edges = random_connected_edges(list(range(10)), 0.0, rng)
+        assert is_connected(list(range(10)), edges)
+
+    def test_probability_one_gives_complete_graph(self, rng):
+        edges = random_connected_edges(list(range(6)), 1.0, rng)
+        assert len(edges) == 15

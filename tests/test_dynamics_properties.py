@@ -1,0 +1,81 @@
+"""Unit tests for dynamic-graph structural statistics."""
+
+import pytest
+
+from repro.dynamics.generators import (
+    churn_schedule,
+    static_complete_schedule,
+    static_path_schedule,
+    star_oscillator_schedule,
+)
+from repro.dynamics.graph_sequence import DynamicGraphTrace, GraphSchedule
+from repro.dynamics.properties import (
+    churn_statistics,
+    degree_statistics,
+    schedule_summary,
+)
+
+
+class TestDegreeStatistics:
+    def test_complete_graph_degrees(self):
+        stats = degree_statistics(static_complete_schedule(6, num_rounds=3))
+        assert stats.min_degree == 5
+        assert stats.max_degree == 5
+        assert stats.mean_degree == pytest.approx(5.0)
+        assert stats.mean_edges_per_round == pytest.approx(15.0)
+
+    def test_path_graph_degrees(self):
+        stats = degree_statistics(static_path_schedule(6))
+        assert stats.min_degree == 1
+        assert stats.max_degree == 2
+
+    def test_star_degrees(self):
+        stats = degree_statistics(star_oscillator_schedule(7, 4, seed=0))
+        assert stats.max_degree == 6
+        assert stats.min_degree == 1
+
+
+class TestChurnStatistics:
+    def test_static_schedule_has_only_initial_insertions(self):
+        stats = churn_statistics(static_complete_schedule(5, num_rounds=4))
+        assert stats.total_insertions == 10
+        assert stats.total_deletions == 0
+
+    def test_total_insertions_matches_topological_changes(self):
+        schedule = churn_schedule(9, 12, churn_fraction=0.5, seed=1)
+        stats = churn_statistics(schedule)
+        assert stats.total_insertions == schedule.topological_changes()
+
+    def test_deletions_bounded_by_insertions(self):
+        schedule = churn_schedule(9, 12, churn_fraction=0.5, seed=2)
+        stats = churn_statistics(schedule)
+        assert stats.total_deletions <= stats.total_insertions
+
+    def test_max_insertions_at_least_mean(self):
+        schedule = churn_schedule(9, 12, churn_fraction=0.5, seed=3)
+        stats = churn_statistics(schedule)
+        assert stats.max_insertions_in_a_round >= stats.mean_insertions_per_round
+
+
+class TestScheduleSummary:
+    def test_summary_fields(self):
+        schedule = churn_schedule(8, 10, seed=4)
+        summary = schedule_summary(schedule)
+        assert summary.num_nodes == 8
+        assert summary.num_rounds == 10
+        assert summary.always_connected
+        assert summary.edge_stability >= 1
+        assert summary.churn.total_insertions == schedule.topological_changes()
+
+    def test_summary_on_trace(self):
+        trace = DynamicGraphTrace([0, 1, 2])
+        trace.record_round([(0, 1), (1, 2)])
+        trace.record_round([(0, 1), (0, 2)])
+        summary = schedule_summary(trace)
+        assert summary.num_rounds == 2
+        assert summary.always_connected
+
+    def test_disconnected_round_detected(self):
+        schedule = GraphSchedule([0, 1, 2], [[(0, 1)]])
+        summary = schedule_summary(schedule)
+        assert not summary.always_connected

@@ -1,0 +1,99 @@
+"""Tests for schedule / trace JSON serialization (record & replay)."""
+
+import json
+
+import pytest
+
+from repro.adversaries import ScheduleAdversary
+from repro.algorithms.naive_unicast import NaiveUnicastAlgorithm
+from repro.core.engine import run_execution
+from repro.core.problem import single_source_problem
+from repro.dynamics.generators import churn_schedule, static_path_schedule
+from repro.dynamics.graph_sequence import DynamicGraphTrace
+from repro.dynamics.serialization import (
+    load_schedule,
+    save_schedule,
+    schedule_from_json,
+    schedule_to_json,
+    trace_to_schedule_json,
+)
+from repro.utils.validation import ConfigurationError
+
+
+class TestScheduleRoundTrip:
+    def test_json_round_trip_preserves_schedule(self):
+        schedule = churn_schedule(8, 6, seed=1)
+        restored = schedule_from_json(schedule_to_json(schedule))
+        assert restored == schedule
+
+    def test_round_trip_preserves_topological_changes(self):
+        schedule = churn_schedule(10, 12, churn_fraction=0.5, seed=2)
+        restored = schedule_from_json(schedule_to_json(schedule))
+        assert restored.topological_changes() == schedule.topological_changes()
+
+    def test_json_is_valid_and_versioned(self):
+        document = json.loads(schedule_to_json(static_path_schedule(5)))
+        assert document["format"] == "repro.graph_schedule"
+        assert document["version"] == 1
+        assert document["nodes"] == [0, 1, 2, 3, 4]
+
+    def test_rejects_malformed_json(self):
+        with pytest.raises(ConfigurationError):
+            schedule_from_json("{not json")
+
+    def test_rejects_wrong_format_marker(self):
+        with pytest.raises(ConfigurationError):
+            schedule_from_json(json.dumps({"format": "something-else"}))
+
+    def test_rejects_unknown_version(self):
+        with pytest.raises(ConfigurationError):
+            schedule_from_json(
+                json.dumps({"format": "repro.graph_schedule", "version": 99,
+                            "nodes": [0, 1], "rounds": [[[0, 1]]]})
+            )
+
+    def test_rejects_missing_rounds(self):
+        with pytest.raises(ConfigurationError):
+            schedule_from_json(
+                json.dumps({"format": "repro.graph_schedule", "version": 1, "nodes": [0, 1]})
+            )
+
+
+class TestFileHelpers:
+    def test_save_and_load(self, tmp_path):
+        schedule = churn_schedule(6, 5, seed=3)
+        path = save_schedule(schedule, tmp_path / "schedule.json")
+        assert path.exists()
+        assert load_schedule(path) == schedule
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_schedule(tmp_path / "does-not-exist.json")
+
+
+class TestTraceReplay:
+    def test_empty_trace_cannot_be_serialized(self):
+        with pytest.raises(ConfigurationError):
+            trace_to_schedule_json(DynamicGraphTrace([0, 1]))
+
+    def test_recorded_execution_can_be_replayed_identically(self):
+        """Freeze an adaptive-looking run into a schedule and replay it."""
+        problem = single_source_problem(8, 3)
+        original = run_execution(
+            problem,
+            NaiveUnicastAlgorithm(),
+            ScheduleAdversary(churn_schedule(8, 300, seed=4)),
+            seed=4,
+        )
+        assert original.completed
+        replay_schedule = schedule_from_json(trace_to_schedule_json(original.trace))
+        replayed = run_execution(
+            single_source_problem(8, 3),
+            NaiveUnicastAlgorithm(),
+            ScheduleAdversary(replay_schedule),
+            seed=4,
+        )
+        assert replayed.completed
+        assert replayed.total_messages == original.total_messages
+        assert replayed.rounds == original.rounds
+        assert replayed.topological_changes == original.topological_changes

@@ -1,0 +1,107 @@
+"""Unit tests for σ-edge stability checking and enforcement (Section 1.3)."""
+
+import pytest
+
+from repro.dynamics.connectivity import is_connected
+from repro.dynamics.generators import churn_schedule, star_oscillator_schedule
+from repro.dynamics.graph_sequence import DynamicGraphTrace, GraphSchedule
+from repro.dynamics.stability import (
+    is_sigma_edge_stable,
+    minimum_edge_stability,
+    stabilize_schedule,
+)
+from repro.utils.validation import ConfigurationError
+
+
+class TestMinimumEdgeStability:
+    def test_every_graph_is_one_edge_stable(self):
+        schedule = GraphSchedule([0, 1, 2], [[(0, 1)], [(1, 2)], [(0, 2)]])
+        assert minimum_edge_stability(schedule) >= 1
+
+    def test_static_schedule_is_vacuously_stable(self):
+        schedule = GraphSchedule([0, 1], [[(0, 1)], [(0, 1)], [(0, 1)]])
+        # No edge ever disappears: stable for every sigma.
+        assert minimum_edge_stability(schedule) >= 3
+        assert is_sigma_edge_stable(schedule, 100)
+
+    def test_detects_short_lived_edge(self):
+        schedule = GraphSchedule(
+            [0, 1, 2],
+            [[(0, 1), (1, 2)], [(0, 1)], [(0, 1), (1, 2)], [(0, 1), (1, 2)]],
+        )
+        # (1, 2) appeared for a single round before disappearing.
+        assert minimum_edge_stability(schedule) == 1
+
+    def test_final_incomplete_run_is_ignored(self):
+        schedule = GraphSchedule(
+            [0, 1, 2],
+            [[(0, 1), (1, 2)], [(0, 1), (1, 2)], [(0, 1), (0, 2)]],
+        )
+        # (0, 2) appears only in the last observed round but never disappears,
+        # so it does not limit the stability; (1, 2) lasted 2 rounds.
+        assert minimum_edge_stability(schedule) == 2
+
+    def test_works_on_traces(self):
+        trace = DynamicGraphTrace([0, 1, 2])
+        trace.record_round([(0, 1), (1, 2)])
+        trace.record_round([(0, 1)])
+        assert minimum_edge_stability(trace) == 1
+
+    def test_works_on_raw_edge_set_sequences(self):
+        rounds = [{(0, 1)}, {(0, 1)}, {(1, 2)}]
+        assert minimum_edge_stability(rounds) == 2
+
+    def test_empty_sequence(self):
+        assert minimum_edge_stability([]) == 1
+
+
+class TestIsSigmaEdgeStable:
+    def test_one_is_always_true(self):
+        schedule = GraphSchedule([0, 1, 2], [[(0, 1)], [(1, 2)]])
+        assert is_sigma_edge_stable(schedule, 1)
+
+    def test_three_edge_stable_detection(self):
+        schedule = GraphSchedule(
+            [0, 1, 2],
+            [[(0, 1)], [(0, 1)], [(0, 1)], [(1, 2)], [(1, 2)], [(1, 2)]],
+        )
+        assert is_sigma_edge_stable(schedule, 3)
+        assert not is_sigma_edge_stable(schedule, 4)
+
+    def test_sigma_must_be_positive(self):
+        schedule = GraphSchedule([0, 1], [[(0, 1)]])
+        with pytest.raises(ConfigurationError):
+            is_sigma_edge_stable(schedule, 0)
+
+
+class TestStabilizeSchedule:
+    def test_sigma_one_is_identity(self):
+        schedule = churn_schedule(8, 6, seed=1)
+        assert stabilize_schedule(schedule, 1) is schedule
+
+    @pytest.mark.parametrize("sigma", [2, 3, 5])
+    def test_result_is_sigma_stable(self, sigma):
+        schedule = churn_schedule(10, 20, edge_probability=0.2, churn_fraction=0.5, seed=2)
+        stabilized = stabilize_schedule(schedule, sigma)
+        assert is_sigma_edge_stable(stabilized, sigma)
+
+    def test_only_adds_edges(self):
+        schedule = star_oscillator_schedule(8, 10, seed=3)
+        stabilized = stabilize_schedule(schedule, 3)
+        for round_index, edges in schedule.iter_rounds():
+            assert edges <= stabilized.edges_for_round(round_index)
+
+    def test_preserves_connectivity(self):
+        schedule = churn_schedule(10, 15, seed=4)
+        stabilized = stabilize_schedule(schedule, 3)
+        for _, edges in stabilized.iter_rounds():
+            assert is_connected(stabilized.nodes, edges)
+
+    def test_preserves_round_count(self):
+        schedule = churn_schedule(8, 9, seed=5)
+        assert stabilize_schedule(schedule, 4).num_rounds == 9
+
+    def test_rejects_non_positive_sigma(self):
+        schedule = churn_schedule(6, 4, seed=6)
+        with pytest.raises(ConfigurationError):
+            stabilize_schedule(schedule, 0)

@@ -1,0 +1,65 @@
+"""Tests of the top-level public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ exports missing attribute {name}"
+
+    def test_key_entry_points_present(self):
+        for name in (
+            "Simulator",
+            "single_source_problem",
+            "multi_source_problem",
+            "n_gossip_problem",
+            "SingleSourceUnicastAlgorithm",
+            "MultiSourceUnicastAlgorithm",
+            "ObliviousMultiSourceAlgorithm",
+            "FloodingAlgorithm",
+            "LowerBoundAdversary",
+            "ControlledChurnAdversary",
+            "render_table1",
+            "table1_rows",
+        ):
+            assert name in repro.__all__
+
+    def test_subpackages_importable(self):
+        for module in (
+            "repro.core",
+            "repro.dynamics",
+            "repro.adversaries",
+            "repro.algorithms",
+            "repro.analysis",
+            "repro.utils",
+        ):
+            assert importlib.import_module(module) is not None
+
+    def test_docstring_mentions_the_paper(self):
+        assert "Dynamic Networks" in repro.__doc__
+
+    def test_end_to_end_through_public_names_only(self):
+        problem = repro.single_source_problem(6, 3)
+        result = repro.Simulator(
+            problem,
+            repro.SingleSourceUnicastAlgorithm(),
+            repro.ControlledChurnAdversary(changes_per_round=1, edge_probability=0.4),
+            seed=1,
+        ).run()
+        assert result.completed
+        assert result.amortized_messages() > 0
+        assert isinstance(repro.render_table1(64), str)
+
+    def test_schedule_serialization_exposed(self):
+        schedule = repro.static_path_schedule(4)
+        restored = repro.schedule_from_json(repro.schedule_to_json(schedule))
+        assert restored == schedule

@@ -1,0 +1,133 @@
+"""Unit tests for repro.utils.rng."""
+
+import random
+
+import pytest
+
+from repro.utils.rng import (
+    derive_seed,
+    ensure_rng,
+    random_subset,
+    sample_without_replacement,
+    shuffled,
+    spawn_rng,
+    weighted_choice,
+)
+
+
+class TestEnsureRng:
+    def test_none_returns_random_instance(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_integer_seed_is_deterministic(self):
+        assert ensure_rng(42).random() == ensure_rng(42).random()
+
+    def test_distinct_seeds_give_distinct_streams(self):
+        assert ensure_rng(1).random() != ensure_rng(2).random()
+
+    def test_existing_generator_is_returned_unchanged(self):
+        generator = random.Random(7)
+        assert ensure_rng(generator) is generator
+
+    def test_rejects_float_seed(self):
+        with pytest.raises(TypeError):
+            ensure_rng(1.5)
+
+    def test_rejects_bool_seed(self):
+        with pytest.raises(TypeError):
+            ensure_rng(True)
+
+
+class TestSpawnRng:
+    def test_child_is_independent_instance(self):
+        parent = random.Random(3)
+        child = spawn_rng(parent, "child")
+        assert child is not parent
+
+    def test_same_parent_state_and_label_is_reproducible(self):
+        child_a = spawn_rng(random.Random(3), "x")
+        child_b = spawn_rng(random.Random(3), "x")
+        assert child_a.random() == child_b.random()
+
+    def test_different_labels_decorrelate(self):
+        child_a = spawn_rng(random.Random(3), "a")
+        child_b = spawn_rng(random.Random(3), "b")
+        assert child_a.random() != child_b.random()
+
+
+class TestRandomSubset:
+    def test_probability_zero_selects_nothing(self, rng):
+        assert random_subset(rng, list(range(100)), 0.0) == []
+
+    def test_probability_one_selects_everything(self, rng):
+        items = list(range(50))
+        assert random_subset(rng, items, 1.0) == items
+
+    def test_invalid_probability_raises(self, rng):
+        with pytest.raises(ValueError):
+            random_subset(rng, [1, 2, 3], 1.5)
+
+    def test_subset_is_subsequence_of_items(self, rng):
+        items = list(range(30))
+        subset = random_subset(rng, items, 0.5)
+        assert all(item in items for item in subset)
+        assert subset == sorted(subset)
+
+
+class TestSampleWithoutReplacement:
+    def test_count_larger_than_population_returns_all(self, rng):
+        assert sorted(sample_without_replacement(rng, [1, 2, 3], 10)) == [1, 2, 3]
+
+    def test_negative_count_raises(self, rng):
+        with pytest.raises(ValueError):
+            sample_without_replacement(rng, [1, 2], -1)
+
+    def test_samples_are_distinct(self, rng):
+        sample = sample_without_replacement(rng, list(range(20)), 10)
+        assert len(sample) == len(set(sample)) == 10
+
+
+class TestShuffled:
+    def test_does_not_mutate_input(self, rng):
+        items = [1, 2, 3, 4, 5]
+        shuffled(rng, items)
+        assert items == [1, 2, 3, 4, 5]
+
+    def test_is_permutation(self, rng):
+        items = list(range(10))
+        assert sorted(shuffled(rng, items)) == items
+
+
+class TestWeightedChoice:
+    def test_single_positive_weight_always_chosen(self, rng):
+        assert weighted_choice(rng, ["a", "b"], [0.0, 1.0]) == "b"
+
+    def test_mismatched_lengths_raise(self, rng):
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [0.5, 0.5])
+
+    def test_empty_items_raise(self, rng):
+        with pytest.raises(ValueError):
+            weighted_choice(rng, [], [])
+
+    def test_zero_total_weight_raises(self, rng):
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a", "b"], [0.0, 0.0])
+
+    def test_distribution_roughly_respects_weights(self):
+        generator = random.Random(0)
+        counts = {"a": 0, "b": 0}
+        for _ in range(2000):
+            counts[weighted_choice(generator, ["a", "b"], [3.0, 1.0])] += 1
+        assert counts["a"] > counts["b"]
+
+
+class TestDeriveSeed:
+    def test_is_deterministic(self):
+        assert derive_seed(5, "x", 1) == derive_seed(5, "x", 1)
+
+    def test_depends_on_labels(self):
+        assert derive_seed(5, "x") != derive_seed(5, "y")
+
+    def test_none_base_seed_is_supported(self):
+        assert isinstance(derive_seed(None, "x"), int)

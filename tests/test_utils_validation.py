@@ -1,0 +1,146 @@
+"""Unit tests for repro.utils.validation and repro.utils.ids."""
+
+import pytest
+
+from repro.utils.ids import normalize_edge, normalize_edges, validate_edges, validate_nodes
+from repro.utils.validation import (
+    AdversaryViolationError,
+    ConfigurationError,
+    ProtocolViolationError,
+    ReproError,
+    SimulationError,
+    require_in_range,
+    require_non_negative_int,
+    require_positive_int,
+    require_probability,
+    require_type,
+)
+
+
+class TestExceptionHierarchy:
+    def test_configuration_error_is_repro_error(self):
+        assert issubclass(ConfigurationError, ReproError)
+
+    def test_simulation_error_is_repro_error(self):
+        assert issubclass(SimulationError, ReproError)
+
+    def test_protocol_violation_is_simulation_error(self):
+        assert issubclass(ProtocolViolationError, SimulationError)
+
+    def test_adversary_violation_is_simulation_error(self):
+        assert issubclass(AdversaryViolationError, SimulationError)
+
+
+class TestRequirePositiveInt:
+    def test_accepts_positive(self):
+        assert require_positive_int(3, "x") == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            require_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            require_positive_int(-1, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            require_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ConfigurationError):
+            require_positive_int(1.0, "x")
+
+
+class TestRequireNonNegativeInt:
+    def test_accepts_zero(self):
+        assert require_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            require_non_negative_int(-5, "x")
+
+
+class TestRequireProbability:
+    def test_accepts_bounds(self):
+        assert require_probability(0, "p") == 0.0
+        assert require_probability(1, "p") == 1.0
+
+    def test_accepts_interior(self):
+        assert require_probability(0.25, "p") == 0.25
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ConfigurationError):
+            require_probability(1.01, "p")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            require_probability(-0.1, "p")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            require_probability(True, "p")
+
+
+class TestRequireInRange:
+    def test_accepts_in_range(self):
+        assert require_in_range(5, 0, 10, "x") == 5
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            require_in_range(11, 0, 10, "x")
+
+
+class TestRequireType:
+    def test_accepts_matching_type(self):
+        assert require_type("abc", str, "x") == "abc"
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(ConfigurationError):
+            require_type(3, str, "x")
+
+
+class TestNormalizeEdge:
+    def test_orders_endpoints(self):
+        assert normalize_edge(5, 2) == (2, 5)
+
+    def test_keeps_sorted_order(self):
+        assert normalize_edge(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ConfigurationError):
+            normalize_edge(3, 3)
+
+    def test_normalize_edges_deduplicates(self):
+        assert normalize_edges([(1, 2), (2, 1)]) == frozenset({(1, 2)})
+
+
+class TestValidateNodes:
+    def test_sorts_nodes(self):
+        assert validate_nodes([3, 1, 2]) == [1, 2, 3]
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            validate_nodes([1, 1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            validate_nodes([])
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ConfigurationError):
+            validate_nodes(["a"])
+
+    def test_rejects_bool(self):
+        with pytest.raises(ConfigurationError):
+            validate_nodes([True, 2])
+
+
+class TestValidateEdges:
+    def test_normalizes_and_filters(self):
+        edges = validate_edges([0, 1, 2], [(2, 1), (0, 1)])
+        assert edges == frozenset({(1, 2), (0, 1)})
+
+    def test_rejects_endpoint_outside_nodes(self):
+        with pytest.raises(ConfigurationError):
+            validate_edges([0, 1], [(0, 2)])
