@@ -13,25 +13,27 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.helpers import print_section, run_once, summary_table
-from repro.adversaries import ScheduleAdversary
-from repro.algorithms.flooding import FloodingAlgorithm
-from repro.algorithms.naive_unicast import NaiveUnicastAlgorithm
-from repro.algorithms.spanning_tree import SpanningTreeAlgorithm
+from benchmarks.helpers import print_section, run_spec_once, summary_table
 from repro.analysis.bounds import (
     flooding_amortized_upper_bound,
     static_spanning_tree_amortized,
 )
-from repro.core.problem import single_source_problem
-from repro.dynamics.generators import static_random_schedule
+from repro.scenarios import ScenarioSpec
 
 NUM_NODES = 16
 K_SWEEP = [4, 16, 64]
 
 
-def _static_adversary(seed: int = 0):
-    return ScheduleAdversary(
-        static_random_schedule(NUM_NODES, edge_probability=0.35, seed=seed), name="static"
+def _baseline_spec(algorithm: str, num_tokens: int, seed: int = 0) -> ScenarioSpec:
+    """``algorithm`` on a single-source instance over a static random graph."""
+    return ScenarioSpec(
+        problem="single-source",
+        problem_params={"num_nodes": NUM_NODES, "num_tokens": num_tokens},
+        algorithm=algorithm,
+        adversary="static-random",
+        adversary_params={"num_nodes": NUM_NODES, "edge_probability": 0.35, "seed": 0},
+        seed=seed,
+        name=f"E8-E9-{algorithm}-static-baseline",
     )
 
 
@@ -39,13 +41,8 @@ def _static_adversary(seed: int = 0):
 def test_spanning_tree_static_baseline(benchmark, num_tokens):
     """Time the spanning-tree baseline for one k on a static random graph."""
     result = benchmark.pedantic(
-        run_once,
-        args=(
-            lambda: single_source_problem(NUM_NODES, num_tokens),
-            SpanningTreeAlgorithm,
-            _static_adversary,
-        ),
-        kwargs={"seed": 61},
+        run_spec_once,
+        args=(_baseline_spec("spanning-tree", num_tokens, seed=61),),
         rounds=2,
         iterations=1,
     )
@@ -58,12 +55,7 @@ def test_e8_spanning_tree_amortized_series(benchmark):
     def build_series():
         rows = []
         for num_tokens in K_SWEEP:
-            result = run_once(
-                lambda: single_source_problem(NUM_NODES, num_tokens),
-                SpanningTreeAlgorithm,
-                _static_adversary,
-                seed=61,
-            )
+            result = run_spec_once(_baseline_spec("spanning-tree", num_tokens, seed=61))
             rows.append(
                 {
                     "k": num_tokens,
@@ -94,18 +86,8 @@ def test_e9_flooding_and_naive_unicast_series(benchmark):
     def build_series():
         rows = []
         for num_tokens in K_SWEEP:
-            flood = run_once(
-                lambda: single_source_problem(NUM_NODES, num_tokens),
-                FloodingAlgorithm,
-                _static_adversary,
-                seed=71,
-            )
-            unicast = run_once(
-                lambda: single_source_problem(NUM_NODES, num_tokens),
-                NaiveUnicastAlgorithm,
-                _static_adversary,
-                seed=71,
-            )
+            flood = run_spec_once(_baseline_spec("flooding", num_tokens, seed=71))
+            unicast = run_spec_once(_baseline_spec("naive-unicast", num_tokens, seed=71))
             rows.append(
                 {
                     "k": num_tokens,

@@ -11,8 +11,8 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.helpers import print_section, run_once, summary_table
-from repro.adversaries import ControlledChurnAdversary, ScheduleAdversary
+from benchmarks.helpers import print_section, run_once, run_spec_once, summary_table
+from repro.adversaries import ScheduleAdversary
 from repro.algorithms.multi_source import MultiSourceUnicastAlgorithm
 from repro.analysis.bounds import multi_source_competitive_bound
 from repro.analysis.experiments import fit_power_law
@@ -20,19 +20,32 @@ from repro.core.messages import MessageKind
 from repro.core.problem import uniform_multi_source_problem
 from repro.dynamics.generators import churn_schedule
 from repro.dynamics.stability import stabilize_schedule
+from repro.scenarios import ScenarioSpec
 
 NUM_NODES = 16
 NUM_TOKENS = 32
 SOURCE_SWEEP = [1, 2, 4, 8, 16]
 
 
-def _run_multi_source(num_sources: int, churn: int = 3, seed: int = 0):
-    return run_once(
-        lambda: uniform_multi_source_problem(NUM_NODES, num_sources, NUM_TOKENS, seed=seed),
-        lambda: MultiSourceUnicastAlgorithm(),
-        lambda: ControlledChurnAdversary(changes_per_round=churn, edge_probability=0.3),
+def _multi_source_spec(num_sources: int, churn: int = 3, seed: int = 0) -> ScenarioSpec:
+    return ScenarioSpec(
+        problem="multi-source",
+        problem_params={
+            "num_nodes": NUM_NODES,
+            "num_sources": num_sources,
+            "num_tokens": NUM_TOKENS,
+            "seed": seed,
+        },
+        algorithm="multi-source",
+        adversary="churn",
+        adversary_params={"changes_per_round": churn, "edge_probability": 0.3},
         seed=seed,
+        name="E5-multi-source-under-churn",
     )
+
+
+def _run_multi_source(num_sources: int, churn: int = 3, seed: int = 0):
+    return run_spec_once(_multi_source_spec(num_sources, churn=churn, seed=seed))
 
 
 @pytest.mark.parametrize("num_sources", [1, 4, 16])

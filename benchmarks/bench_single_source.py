@@ -11,26 +11,36 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.helpers import print_section, run_once, summary_table
-from repro.adversaries import ControlledChurnAdversary, ScheduleAdversary
+from benchmarks.helpers import print_section, run_once, run_spec_once, summary_table
+from repro.adversaries import ScheduleAdversary
 from repro.algorithms.single_source import SingleSourceUnicastAlgorithm
 from repro.analysis.bounds import single_source_competitive_bound, single_source_round_bound
 from repro.analysis.experiments import fit_power_law
 from repro.core.problem import single_source_problem
 from repro.dynamics.generators import churn_schedule
 from repro.dynamics.stability import stabilize_schedule
+from repro.scenarios import ScenarioSpec
 
 N_SWEEP = [8, 12, 16, 24]
 K_FACTOR = 2  # k = 2n so that the O(n) amortized regime applies
 
 
-def _run_single_source(num_nodes: int, num_tokens: int, churn: int, seed: int = 0):
-    return run_once(
-        lambda: single_source_problem(num_nodes, num_tokens),
-        lambda: SingleSourceUnicastAlgorithm(),
-        lambda: ControlledChurnAdversary(changes_per_round=churn, edge_probability=0.3),
+def _single_source_spec(
+    num_nodes: int, num_tokens: int, churn: int, seed: int = 0
+) -> ScenarioSpec:
+    return ScenarioSpec(
+        problem="single-source",
+        problem_params={"num_nodes": num_nodes, "num_tokens": num_tokens},
+        algorithm="single-source",
+        adversary="churn",
+        adversary_params={"changes_per_round": churn, "edge_probability": 0.3},
         seed=seed,
+        name="E3-single-source-under-churn",
     )
+
+
+def _run_single_source(num_nodes: int, num_tokens: int, churn: int, seed: int = 0):
+    return run_spec_once(_single_source_spec(num_nodes, num_tokens, churn, seed=seed))
 
 
 @pytest.mark.parametrize("num_nodes", N_SWEEP)

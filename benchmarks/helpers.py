@@ -1,10 +1,13 @@
 """Shared helpers for the benchmark harnesses.
 
 Every benchmark module regenerates one of the paper's evaluation artifacts
-(DESIGN.md experiment index E1-E10).  The helpers here run executions, fit
-scaling exponents and print the regenerated tables so that
-``pytest benchmarks/ --benchmark-only`` produces both timing numbers and the
-paper-shaped series.
+(the E1-E10 experiment index).  Benchmarks describe their configurations as
+:class:`repro.scenarios.ScenarioSpec` objects and execute them through the
+Scenario API, so the same (problem, algorithm, adversary) triples can be
+re-run from the CLI (``python -m repro sweep``) or serialized to JSON.  The
+helpers here run executions, fit scaling exponents and print the regenerated
+tables so that ``pytest benchmarks/ --benchmark-only`` produces both timing
+numbers and the paper-shaped series.
 """
 
 from __future__ import annotations
@@ -13,9 +16,17 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.experiments import fit_power_law
 from repro.analysis.reporting import format_table
-from repro.core.engine import Simulator
 from repro.core.problem import DisseminationProblem
 from repro.core.result import ExecutionResult
+from repro.scenarios import ScenarioSpec, run_scenario
+from repro.scenarios.runner import execute
+
+
+def run_spec_once(
+    spec: ScenarioSpec, repetition: int = 0
+) -> ExecutionResult:
+    """Run one repetition of a scenario spec and return the full result."""
+    return run_scenario(spec, repetition=repetition)
 
 
 def run_once(
@@ -25,15 +36,15 @@ def run_once(
     seed: int = 0,
     max_rounds: Optional[int] = None,
 ) -> ExecutionResult:
-    """Run a single execution and return its result."""
-    simulator = Simulator(
+    """Run a single execution from factories (for components the registries
+    cannot express, e.g. adversaries replaying a precomputed schedule)."""
+    return execute(
         problem_factory(),
         algorithm_factory(),
         adversary_factory(),
         seed=seed,
         max_rounds=max_rounds,
     )
-    return simulator.run()
 
 
 def print_section(title: str, table: str) -> None:

@@ -1,13 +1,20 @@
 #!/usr/bin/env python3
 """Quickstart: disseminate k tokens from a single source on a churning network.
 
-This example walks through the core workflow of the library:
+This example walks through the core workflow of the library using the
+declarative Scenario API:
 
-1. build a k-token dissemination problem (Definition 1.2);
-2. pick an adversary that controls the dynamic topology;
-3. run a token-forwarding algorithm with the synchronous round engine;
-4. read off the paper's cost measures — total, amortized and
+1. describe the experiment as a :class:`repro.ScenarioSpec` — problem,
+   algorithm and adversary by registry name (Definition 1.2 / Section 1.3);
+2. run it with :func:`repro.run_scenario`;
+3. read off the paper's cost measures — total, amortized and
    adversary-competitive message complexity (Definitions 1.1 and 1.3).
+
+Specs are plain data: ``spec.to_json()`` round-trips through files and
+worker processes, and ``python -m repro run --spec <file>`` re-runs the
+exact same experiment from the shell.  The second example drops one level
+down with :func:`repro.materialize` to keep a handle on the adversary
+object while still naming everything through the registries.
 
 Run with::
 
@@ -15,23 +22,27 @@ Run with::
 """
 
 from repro import (
-    ControlledChurnAdversary,
-    FloodingAlgorithm,
-    LowerBoundAdversary,
+    ScenarioSpec,
     Simulator,
-    SingleSourceUnicastAlgorithm,
     format_table,
-    random_assignment_problem,
-    single_source_problem,
+    materialize,
+    run_scenario,
     single_source_competitive_bound,
 )
 
 
 def run_unicast_example(num_nodes: int = 20, num_tokens: int = 40) -> None:
     """Algorithm 1 (Single-Source-Unicast) under a churn adversary."""
-    problem = single_source_problem(num_nodes, num_tokens)
-    adversary = ControlledChurnAdversary(changes_per_round=5, edge_probability=0.25)
-    result = Simulator(problem, SingleSourceUnicastAlgorithm(), adversary, seed=7).run()
+    spec = ScenarioSpec(
+        problem="single-source",
+        problem_params={"num_nodes": num_nodes, "num_tokens": num_tokens},
+        algorithm="single-source",
+        adversary="churn",
+        adversary_params={"changes_per_round": 5, "edge_probability": 0.25},
+        seed=7,
+        name="quickstart-unicast",
+    )
+    result = run_scenario(spec)
     result.verify_dissemination()
 
     bound = single_source_competitive_bound(num_nodes, num_tokens)
@@ -63,9 +74,18 @@ def run_unicast_example(num_nodes: int = 20, num_tokens: int = 40) -> None:
 
 def run_broadcast_example(num_nodes: int = 16) -> None:
     """Naive flooding against the Section-2 worst-case adversary."""
-    problem = random_assignment_problem(num_nodes, num_nodes, seed=3)
-    adversary = LowerBoundAdversary()
-    result = Simulator(problem, FloodingAlgorithm(), adversary, seed=3).run()
+    spec = ScenarioSpec(
+        problem="random-placement",
+        problem_params={"num_nodes": num_nodes, "num_tokens": num_nodes, "seed": 3},
+        algorithm="flooding",
+        adversary="lower-bound",
+        seed=3,
+        name="quickstart-broadcast",
+    )
+    # materialize() gives access to the live objects (here: the adversary's
+    # free-edge statistics) while the scenario stays registry-named.
+    problem, algorithm, adversary = materialize(spec)
+    result = Simulator(problem, algorithm, adversary, seed=spec.seed).run()
 
     print("Naive flooding against the strongly adaptive lower-bound adversary")
     print(

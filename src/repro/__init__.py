@@ -21,8 +21,22 @@ Quickstart::
     ).run()
     print(result.total_messages, result.amortized_adversary_competitive_messages())
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured comparison of every table and theorem.
+Or declaratively, through the Scenario API (registries + serializable specs
++ a parallel batch runner)::
+
+    from repro import ScenarioSpec, run_scenario
+
+    spec = ScenarioSpec(
+        problem="single-source",
+        problem_params={"num_nodes": 30, "num_tokens": 60},
+        algorithm="single-source",
+        adversary="churn",
+        seed=7,
+    )
+    print(run_scenario(spec).total_messages)
+
+See README.md for installation, the Scenario API (spec JSON, sweeps,
+``--workers``) and the registry extension recipe.
 """
 
 from repro.core import (
@@ -87,6 +101,20 @@ from repro.algorithms import (
     RandomWalkDisseminator,
     SingleSourceUnicastAlgorithm,
     SpanningTreeAlgorithm,
+)
+from repro.scenarios import (
+    ADVERSARY_REGISTRY,
+    ALGORITHM_REGISTRY,
+    PROBLEM_REGISTRY,
+    ScenarioRunner,
+    ScenarioSpec,
+    materialize,
+    register_adversary,
+    register_algorithm,
+    register_problem,
+    run_scenario,
+    run_spec,
+    sweep,
 )
 from repro.analysis import (
     ExperimentRecord,
@@ -167,6 +195,19 @@ __all__ = [
     "MultiSourceUnicastAlgorithm",
     "ObliviousMultiSourceAlgorithm",
     "RandomWalkDisseminator",
+    # scenarios
+    "ADVERSARY_REGISTRY",
+    "ALGORITHM_REGISTRY",
+    "PROBLEM_REGISTRY",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "materialize",
+    "register_adversary",
+    "register_algorithm",
+    "register_problem",
+    "run_scenario",
+    "run_spec",
+    "sweep",
     # analysis
     "ExperimentRecord",
     "ExperimentRunner",

@@ -1,10 +1,14 @@
-"""Experiment runner: repeated executions, sweeps and scaling fits.
+"""Legacy experiment runner plus record aggregation and scaling fits.
 
-The benchmark harnesses (and EXPERIMENTS.md) are built on three pieces:
+.. deprecated::
+    :class:`ExperimentRunner` predates the declarative Scenario API and is
+    kept as a thin shim for existing callers.  New code should describe
+    experiments as :class:`repro.scenarios.ScenarioSpec` objects and run
+    them with :class:`repro.scenarios.ScenarioRunner`, which adds JSON
+    serialization, grid sweeps and multiprocessing fan-out.
 
-* :class:`ExperimentRunner.run` executes a (problem, algorithm, adversary)
-  configuration a number of times with derived seeds and returns one
-  :class:`ExperimentRecord` per repetition;
+The analysis helpers remain first-class:
+
 * :func:`aggregate_records` averages records sharing the same parameters;
 * :func:`fit_power_law` fits ``y ≈ c · x^α`` on a measured series so the
   *shape* of a bound (the exponent α) can be compared against the paper.
@@ -12,13 +16,13 @@ The benchmark harnesses (and EXPERIMENTS.md) are built on three pieces:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from statistics import mean
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.engine import Simulator
 from repro.core.problem import DisseminationProblem
 from repro.core.result import ExecutionResult
 from repro.utils.rng import derive_seed
@@ -65,9 +69,22 @@ class ExperimentRecord:
 
 
 class ExperimentRunner:
-    """Runs repeated executions of one configuration with derived seeds."""
+    """Runs repeated executions of one configuration with derived seeds.
+
+    .. deprecated::
+        Use :class:`repro.scenarios.ScenarioRunner` with
+        :class:`repro.scenarios.ScenarioSpec` instead; this class remains a
+        thin factory-based shim over the same execution path.
+    """
 
     def __init__(self, base_seed: int = 0):
+        warnings.warn(
+            "ExperimentRunner is deprecated; describe experiments as "
+            "repro.scenarios.ScenarioSpec and run them with "
+            "repro.scenarios.ScenarioRunner",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._base_seed = base_seed
 
     def run(
@@ -82,17 +99,19 @@ class ExperimentRunner:
         label: str = "",
     ) -> List[ExperimentRecord]:
         """Run ``repetitions`` independent executions and return their records."""
+        from repro.scenarios.runner import execute
+
         require_positive_int(repetitions, "repetitions")
         records: List[ExperimentRecord] = []
         for repetition in range(repetitions):
             seed = derive_seed(self._base_seed, label, repetition)
-            problem = problem_factory()
-            algorithm = algorithm_factory()
-            adversary = adversary_factory()
-            simulator = Simulator(
-                problem, algorithm, adversary, max_rounds=max_rounds, seed=seed
+            result = execute(
+                problem_factory(),
+                algorithm_factory(),
+                adversary_factory(),
+                seed=seed,
+                max_rounds=max_rounds,
             )
-            result = simulator.run()
             merged_params = dict(params or {})
             merged_params["repetition"] = repetition
             records.append(ExperimentRecord.from_result(result, merged_params))

@@ -1,17 +1,27 @@
 """Command-line interface.
 
 ``python -m repro`` exposes the most common workflows without writing any
-code:
+code.  All commands are driven by the scenario registries
+(:mod:`repro.scenarios`), so newly registered algorithms, adversaries and
+problems show up automatically:
 
-* ``run`` — execute one algorithm against one adversary on a generated
-  dissemination instance and print the paper's cost measures;
+* ``run`` — execute one scenario (from flags or a spec JSON file) and print
+  the paper's cost measures;
+* ``sweep`` — expand a parameter grid into a batch of scenarios, run it
+  (optionally across worker processes) and persist JSONL records;
+* ``list`` — enumerate the registered algorithms, adversaries and problems
+  with their tunable parameters;
 * ``table1`` — regenerate Table 1 (analytic bounds) for a given n;
 * ``bounds`` — evaluate every theorem bound at a given (n, k, s).
 
 Examples::
 
     python -m repro run --algorithm single-source --adversary churn -n 20 -k 40
-    python -m repro run --algorithm flooding --adversary lower-bound -n 16 -k 16
+    python -m repro run --spec scenario.json --json
+    python -m repro list
+    python -m repro sweep --algorithm single-source --adversary churn \\
+        -n 16 -k 32 --grid problem.num_nodes=16,32,64 --repetitions 3 \\
+        --workers 2 --output results.jsonl
     python -m repro table1 -n 4096
     python -m repro bounds -n 1024 -k 2048 -s 8
 """
@@ -19,26 +29,11 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import ast
+import json
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.adversaries import (
-    AdaptiveRewiringAdversary,
-    ControlledChurnAdversary,
-    LowerBoundAdversary,
-    RandomChurnObliviousAdversary,
-    RequestCuttingAdversary,
-    StarRecenterAdversary,
-)
-from repro.algorithms import (
-    FloodingAlgorithm,
-    MultiSourceUnicastAlgorithm,
-    NaiveUnicastAlgorithm,
-    ObliviousMultiSourceAlgorithm,
-    OneShotFloodingAlgorithm,
-    SingleSourceUnicastAlgorithm,
-    SpanningTreeAlgorithm,
-)
 from repro.analysis.bounds import (
     flooding_amortized_upper_bound,
     local_broadcast_lower_bound,
@@ -48,35 +43,32 @@ from repro.analysis.bounds import (
     static_spanning_tree_amortized,
 )
 from repro.analysis.reporting import format_table, render_table1
-from repro.core.engine import Simulator
-from repro.core.problem import (
-    n_gossip_problem,
-    random_assignment_problem,
-    single_source_problem,
-    uniform_multi_source_problem,
+from repro.scenarios import (
+    ADVERSARY_REGISTRY,
+    ALGORITHM_REGISTRY,
+    PROBLEM_REGISTRY,
+    ScenarioRunner,
+    ScenarioSpec,
+    record_to_json_line,
+    run_scenario,
+    run_spec,
+    sweep,
 )
+from repro.scenarios.registry import Registry
+from repro.utils.validation import ConfigurationError
 
+#: Deprecated aliases kept for backwards compatibility: the registries are
+#: the source of truth; these views expose ``name -> zero-argument factory``.
 ALGORITHMS: Dict[str, Callable[[], object]] = {
-    "flooding": FloodingAlgorithm,
-    "one-shot-flooding": OneShotFloodingAlgorithm,
-    "naive-unicast": NaiveUnicastAlgorithm,
-    "spanning-tree": SpanningTreeAlgorithm,
-    "single-source": SingleSourceUnicastAlgorithm,
-    "multi-source": MultiSourceUnicastAlgorithm,
-    "oblivious": lambda: ObliviousMultiSourceAlgorithm(
-        force_two_phase=True, center_probability=0.2
-    ),
+    name: ALGORITHM_REGISTRY.get(name).create for name in ALGORITHM_REGISTRY.names()
+}
+ADVERSARIES: Dict[str, Callable[[], object]] = {
+    name: ADVERSARY_REGISTRY.get(name).create for name in ADVERSARY_REGISTRY.names()
 }
 
-ADVERSARIES: Dict[str, Callable[[], object]] = {
-    "churn": lambda: ControlledChurnAdversary(changes_per_round=5, edge_probability=0.25),
-    "static": lambda: ControlledChurnAdversary(changes_per_round=0, edge_probability=0.25),
-    "random": lambda: RandomChurnObliviousAdversary(edge_probability=0.25),
-    "lower-bound": LowerBoundAdversary,
-    "request-cutting": lambda: RequestCuttingAdversary(cut_fraction=0.7),
-    "star-recenter": StarRecenterAdversary,
-    "adaptive-rewiring": AdaptiveRewiringAdversary,
-}
+_DEFAULT_TOKENS = 40
+
+_REGISTRY_PLURALS = {"algorithm": "algorithms", "adversary": "adversaries", "problem": "problems"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,25 +80,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    run = subparsers.add_parser("run", help="run one execution and print the cost measures")
-    run.add_argument("--algorithm", choices=sorted(ALGORITHMS), default="single-source")
-    run.add_argument("--adversary", choices=sorted(ADVERSARIES), default="churn")
-    run.add_argument("-n", "--nodes", type=int, default=20, help="number of nodes")
-    run.add_argument("-k", "--tokens", type=int, default=40, help="number of tokens")
-    run.add_argument(
-        "-s",
-        "--sources",
-        type=int,
-        default=1,
-        help="number of sources (use 0 for n-gossip, i.e. one token per node)",
+    run = subparsers.add_parser(
+        "run", help="run one scenario and print the cost measures"
     )
-    run.add_argument("--seed", type=int, default=0)
-    run.add_argument("--max-rounds", type=int, default=None)
+    _add_scenario_arguments(run)
     run.add_argument(
-        "--random-placement",
-        action="store_true",
-        help="place each token at each node independently with probability 1/4 "
-        "(the Section-2 lower-bound distribution)",
+        "--spec",
+        metavar="FILE",
+        default=None,
+        help="load the scenario from a ScenarioSpec JSON file instead of flags",
+    )
+    run.add_argument(
+        "--json", action="store_true", help="emit the result record(s) as JSON lines"
+    )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a parameter-grid sweep of scenarios, optionally in parallel"
+    )
+    _add_scenario_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        help="sweep dimension, e.g. problem.num_nodes=16,32,64 or seed=0,1,2 "
+        "(repeatable; the cross product of all dimensions is run)",
+    )
+    sweep_parser.add_argument(
+        "--repetitions", type=int, default=1, help="independently seeded runs per scenario"
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes for the batch"
+    )
+    sweep_parser.add_argument(
+        "--output", metavar="FILE", default=None, help="write records to a JSONL file"
+    )
+    sweep_parser.add_argument(
+        "--json", action="store_true", help="print records as JSON lines instead of a table"
+    )
+
+    list_parser = subparsers.add_parser(
+        "list", help="list registered algorithms, adversaries and problems"
+    )
+    list_parser.add_argument(
+        "--json", action="store_true", help="emit the registry contents as JSON"
     )
 
     table1 = subparsers.add_parser("table1", help="regenerate Table 1 for a given n")
@@ -119,30 +136,167 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _build_problem(args: argparse.Namespace):
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--algorithm", choices=ALGORITHM_REGISTRY.names(), default="single-source"
+    )
+    parser.add_argument(
+        "--adversary", choices=ADVERSARY_REGISTRY.names(), default="churn"
+    )
+    parser.add_argument(
+        "--problem",
+        choices=PROBLEM_REGISTRY.names(),
+        default=None,
+        help="select the problem by registry name; -n/-k/-s map onto its matching "
+        "parameters and --set problem.* overrides the rest (default: the problem "
+        "is derived from -n/-k/-s/--random-placement)",
+    )
+    parser.add_argument("-n", "--nodes", type=int, default=20, help="number of nodes")
+    parser.add_argument(
+        "-k",
+        "--tokens",
+        type=int,
+        default=None,
+        help=f"number of tokens (default {_DEFAULT_TOKENS}; forced to n for n-gossip)",
+    )
+    parser.add_argument(
+        "-s",
+        "--sources",
+        type=int,
+        default=1,
+        help="number of sources (use 0 for n-gossip, i.e. one token per node)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-rounds", type=int, default=None)
+    parser.add_argument(
+        "--random-placement",
+        action="store_true",
+        help="place each token at each node independently with probability 1/4 "
+        "(the Section-2 lower-bound distribution)",
+    )
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="SECTION.KEY=VALUE",
+        help="override a component parameter, e.g. --set adversary.changes_per_round=3 "
+        "(sections: problem, algorithm, adversary; repeatable)",
+    )
+
+
+def _parse_value(text: str) -> Any:
+    """Parse a CLI value: Python literal if possible, bare string otherwise."""
+    try:
+        return ast.literal_eval(text)
+    except (SyntaxError, ValueError):
+        return text
+
+
+def _parse_overrides(assignments: Sequence[str]) -> Dict[str, Dict[str, Any]]:
+    sections: Dict[str, Dict[str, Any]] = {"problem": {}, "algorithm": {}, "adversary": {}}
+    for assignment in assignments:
+        key, separator, value = assignment.partition("=")
+        section, _, param = key.partition(".")
+        if not separator or section not in sections or not param:
+            raise ConfigurationError(
+                f"invalid --set {assignment!r}: expected SECTION.KEY=VALUE with "
+                f"SECTION one of {sorted(sections)}"
+            )
+        sections[section][param] = _parse_value(value)
+    return sections
+
+
+def _parse_grid(dimensions: Sequence[str]) -> Dict[str, List[Any]]:
+    grid: Dict[str, List[Any]] = {}
+    for dimension in dimensions:
+        key, separator, values_text = dimension.partition("=")
+        if not separator or not key or not values_text:
+            raise ConfigurationError(
+                f"invalid --grid {dimension!r}: expected KEY=V1,V2,..."
+            )
+        grid[key.strip()] = [_parse_value(value) for value in values_text.split(",")]
+    return grid
+
+
+def _problem_from_dimensions(args: argparse.Namespace) -> Tuple[str, Dict[str, Any]]:
+    """Map the historical -n/-k/-s/--random-placement flags to a problem spec."""
+    tokens = args.tokens if args.tokens is not None else _DEFAULT_TOKENS
     if args.random_placement:
-        return random_assignment_problem(args.nodes, args.tokens, seed=args.seed)
+        return "random-placement", {
+            "num_nodes": args.nodes,
+            "num_tokens": tokens,
+            "seed": args.seed,
+        }
     if args.sources == 0:
-        return n_gossip_problem(args.nodes)
+        if args.tokens is not None and args.tokens != args.nodes:
+            raise ConfigurationError(
+                f"--sources 0 selects n-gossip, which forces k = n; "
+                f"drop -k or pass -k {args.nodes} (got -k {args.tokens} with -n {args.nodes})"
+            )
+        return "n-gossip", {"num_nodes": args.nodes}
     if args.sources <= 1:
-        return single_source_problem(args.nodes, args.tokens)
-    return uniform_multi_source_problem(args.nodes, args.sources, args.tokens, seed=args.seed)
+        return "single-source", {"num_nodes": args.nodes, "num_tokens": tokens}
+    return "multi-source", {
+        "num_nodes": args.nodes,
+        "num_sources": args.sources,
+        "num_tokens": tokens,
+        "seed": args.seed,
+    }
 
 
-def command_run(args: argparse.Namespace) -> int:
-    problem = _build_problem(args)
-    algorithm = ALGORITHMS[args.algorithm]()
-    adversary = ADVERSARIES[args.adversary]()
-    result = Simulator(
-        problem, algorithm, adversary, seed=args.seed, max_rounds=args.max_rounds
-    ).run()
+def _named_problem_params(args: argparse.Namespace) -> Dict[str, Any]:
+    """Map the -n/-k/-s flags onto whichever parameters the problem accepts."""
+    entry = PROBLEM_REGISTRY.get(args.problem)
+    params: Dict[str, Any] = {}
+    if entry.accepts("num_nodes"):
+        params["num_nodes"] = args.nodes
+    if entry.accepts("num_tokens"):
+        params["num_tokens"] = args.tokens if args.tokens is not None else _DEFAULT_TOKENS
+    if entry.accepts("num_sources"):
+        params["num_sources"] = max(args.sources, 1)
+    return params
+
+
+def _spec_from_args(args: argparse.Namespace, *, repetitions: int = 1) -> ScenarioSpec:
+    overrides = _parse_overrides(args.overrides)
+    if args.problem is not None:
+        problem_name = args.problem
+        problem_params = _named_problem_params(args)
+        problem_params.update(overrides["problem"])
+    else:
+        problem_name, problem_params = _problem_from_dimensions(args)
+        problem_params.update(overrides["problem"])
+    adversary_params = dict(overrides["adversary"])
+    adversary_entry = ADVERSARY_REGISTRY.get(args.adversary)
+    # Adversaries that must know the node count (e.g. static-random) pick it
+    # up from the problem dimensions unless given explicitly.
+    if "num_nodes" not in adversary_params and any(
+        info.name == "num_nodes" and info.required for info in adversary_entry.parameters()
+    ):
+        adversary_params["num_nodes"] = problem_params.get("num_nodes", args.nodes)
+    return ScenarioSpec(
+        problem=problem_name,
+        problem_params=problem_params,
+        algorithm=args.algorithm,
+        algorithm_params=overrides["algorithm"],
+        adversary=args.adversary,
+        adversary_params=adversary_params,
+        seed=args.seed,
+        repetitions=repetitions,
+        max_rounds=args.max_rounds,
+    )
+
+
+def _print_result_table(spec: ScenarioSpec, result) -> None:
     rows = [
+        ["scenario", spec.label],
         ["algorithm", result.algorithm_name],
         ["adversary", result.adversary_name],
         ["communication model", result.communication_model.value],
         ["nodes (n)", result.num_nodes],
         ["tokens (k)", result.num_tokens],
-        ["sources (s)", problem.num_sources],
+        ["sources (s)", result.problem.num_sources],
         ["completed", result.completed],
         ["rounds", result.rounds],
         ["total messages", result.total_messages],
@@ -156,7 +310,124 @@ def command_run(args: argparse.Namespace) -> int:
         ["token learnings", result.token_learnings()],
     ]
     print(format_table(["metric", "value"], rows))
+
+
+#: (namespace attribute, parser default, flag spelling) for every scenario
+#: flag that ``--spec`` supersedes; used to reject contradictory usage.
+_SPEC_INCOMPATIBLE_FLAGS = [
+    ("algorithm", "single-source", "--algorithm"),
+    ("adversary", "churn", "--adversary"),
+    ("problem", None, "--problem"),
+    ("nodes", 20, "-n/--nodes"),
+    ("tokens", None, "-k/--tokens"),
+    ("sources", 1, "-s/--sources"),
+    ("seed", 0, "--seed"),
+    ("max_rounds", None, "--max-rounds"),
+    ("random_placement", False, "--random-placement"),
+    ("overrides", [], "--set"),
+]
+
+
+def _reject_scenario_flags_with_spec(args: argparse.Namespace) -> None:
+    offending = [
+        flag
+        for attribute, default, flag in _SPEC_INCOMPATIBLE_FLAGS
+        if getattr(args, attribute) != default
+    ]
+    if offending:
+        raise ConfigurationError(
+            "--spec defines the complete scenario; drop the conflicting "
+            f"flag(s): {', '.join(offending)}"
+        )
+
+
+def command_run(args: argparse.Namespace) -> int:
+    if args.spec is not None:
+        _reject_scenario_flags_with_spec(args)
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            spec = ScenarioSpec.from_json(handle.read())
+        records = run_spec(spec)
+        if args.json:
+            for record in records:
+                print(record_to_json_line(record))
+        else:
+            print(_records_table(records))
+        return 0 if all(record["completed"] for record in records) else 1
+
+    spec = _spec_from_args(args)
+    result = run_scenario(spec)
+    if args.json:
+        from repro.scenarios import record_from_result, repetition_seed
+
+        print(record_to_json_line(record_from_result(spec, 0, repetition_seed(spec, 0), result)))
+    else:
+        _print_result_table(spec, result)
     return 0 if result.completed else 1
+
+
+_RECORD_COLUMNS = [
+    "scenario",
+    "n",
+    "k",
+    "s",
+    "repetition",
+    "completed",
+    "rounds",
+    "total_messages",
+    "amortized_messages",
+    "topological_changes",
+]
+
+
+def _records_table(records: Sequence[Mapping[str, Any]]) -> str:
+    rows = []
+    for record in records:
+        row = []
+        for column in _RECORD_COLUMNS:
+            value = record.get(column, "")
+            if isinstance(value, float):
+                value = round(value, 3)
+            row.append(value)
+        rows.append(row)
+    return format_table(_RECORD_COLUMNS, rows)
+
+
+def command_sweep(args: argparse.Namespace) -> int:
+    base = _spec_from_args(args, repetitions=args.repetitions)
+    specs = sweep(base, _parse_grid(args.grid))
+    runner = ScenarioRunner(workers=args.workers)
+    records = runner.run(specs, jsonl_path=args.output)
+    if args.json:
+        for record in records:
+            print(record_to_json_line(record))
+    else:
+        print(_records_table(records))
+        print(f"\n{len(records)} record(s) from {len(specs)} scenario(s)", end="")
+        print(f" -> {args.output}" if args.output else "")
+    return 0 if all(record["completed"] for record in records) else 1
+
+
+def command_list(args: argparse.Namespace) -> int:
+    registries: List[Registry] = [ALGORITHM_REGISTRY, ADVERSARY_REGISTRY, PROBLEM_REGISTRY]
+    if args.json:
+        payload = {
+            _REGISTRY_PLURALS[registry.kind]: [entry.describe() for entry in registry.entries()]
+            for registry in registries
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for registry in registries:
+        print(f"{_REGISTRY_PLURALS[registry.kind]}:")
+        for entry in registry.entries():
+            parameters = ", ".join(
+                f"{info.name}" + ("" if info.required else f"={info.default!r}")
+                for info in entry.parameters()
+            )
+            suffix = f"  ({parameters})" if parameters else ""
+            description = f" — {entry.description}" if entry.description else ""
+            print(f"  {entry.name}{description}{suffix}")
+        print()
+    return 0
 
 
 def command_table1(args: argparse.Namespace) -> int:
@@ -182,8 +453,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    handlers = {"run": command_run, "table1": command_table1, "bounds": command_bounds}
-    return handlers[args.command](args)
+    handlers = {
+        "run": command_run,
+        "sweep": command_sweep,
+        "list": command_list,
+        "table1": command_table1,
+        "bounds": command_bounds,
+    }
+    try:
+        return handlers[args.command](args)
+    except (ConfigurationError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro

@@ -1,0 +1,74 @@
+"""The declarative Scenario API: the single front door to the simulator.
+
+Everything the CLI, the benchmarks and the examples run goes through three
+layers:
+
+* **registries** (:mod:`repro.scenarios.registry`) name every algorithm,
+  adversary and problem, with decorator-based extension for third parties;
+* **specs** (:mod:`repro.scenarios.spec`) describe a complete experiment as
+  JSON-serializable data, with :func:`sweep` expanding parameter grids;
+* the **runner** (:mod:`repro.scenarios.runner`) executes batches of specs
+  with derived per-repetition seeds, optional multiprocessing fan-out and
+  JSONL persistence.
+
+Quickstart::
+
+    from repro.scenarios import ScenarioSpec, ScenarioRunner, sweep
+
+    base = ScenarioSpec(
+        problem="single-source",
+        problem_params={"num_nodes": 16, "num_tokens": 32},
+        algorithm="single-source",
+        adversary="churn",
+        repetitions=3,
+    )
+    specs = sweep(base, {"problem.num_nodes": [16, 32, 64]})
+    records = ScenarioRunner(workers=2).run(specs, jsonl_path="results.jsonl")
+"""
+
+from repro.scenarios.registry import (
+    ADVERSARY_REGISTRY,
+    ALGORITHM_REGISTRY,
+    PROBLEM_REGISTRY,
+    ParameterInfo,
+    Registry,
+    RegistryEntry,
+    register_adversary,
+    register_algorithm,
+    register_problem,
+)
+from repro.scenarios import builtins as _builtins  # noqa: F401  (populates registries)
+from repro.scenarios.spec import ScenarioSpec, load_specs, sweep
+from repro.scenarios.runner import (
+    MaterializedScenario,
+    ScenarioRunner,
+    materialize,
+    record_from_result,
+    record_to_json_line,
+    repetition_seed,
+    run_scenario,
+    run_spec,
+)
+
+__all__ = [
+    "ADVERSARY_REGISTRY",
+    "ALGORITHM_REGISTRY",
+    "PROBLEM_REGISTRY",
+    "ParameterInfo",
+    "Registry",
+    "RegistryEntry",
+    "register_adversary",
+    "register_algorithm",
+    "register_problem",
+    "ScenarioSpec",
+    "load_specs",
+    "sweep",
+    "MaterializedScenario",
+    "ScenarioRunner",
+    "materialize",
+    "record_from_result",
+    "record_to_json_line",
+    "repetition_seed",
+    "run_scenario",
+    "run_spec",
+]

@@ -1,0 +1,114 @@
+"""Registration of every built-in algorithm, adversary and problem.
+
+Importing this module (done automatically by :mod:`repro.scenarios`)
+populates the three registries with the components shipped by the library.
+The registrations are centralized here — rather than decorating each class
+in its home module — so the core packages stay import-order independent;
+third-party extensions should use the decorators from
+:mod:`repro.scenarios.registry` directly.
+
+The registered names and defaults deliberately match the historical CLI
+spellings (``python -m repro run --algorithm oblivious`` keeps meaning a
+forced two-phase run with ``center_probability=0.2``).
+"""
+
+from __future__ import annotations
+
+from repro.adversaries.adaptive import (
+    AdaptiveRewiringAdversary,
+    RequestCuttingAdversary,
+    StarRecenterAdversary,
+)
+from repro.adversaries.lower_bound import LowerBoundAdversary
+from repro.adversaries.oblivious import (
+    ControlledChurnAdversary,
+    RandomChurnObliviousAdversary,
+    ScheduleAdversary,
+)
+from repro.algorithms.flooding import FloodingAlgorithm, OneShotFloodingAlgorithm
+from repro.algorithms.multi_source import MultiSourceUnicastAlgorithm
+from repro.algorithms.naive_unicast import NaiveUnicastAlgorithm
+from repro.algorithms.oblivious_multi_source import ObliviousMultiSourceAlgorithm
+from repro.algorithms.single_source import SingleSourceUnicastAlgorithm
+from repro.algorithms.spanning_tree import SpanningTreeAlgorithm
+from repro.core.problem import (
+    n_gossip_problem,
+    random_assignment_problem,
+    single_source_problem,
+    uniform_multi_source_problem,
+)
+from repro.dynamics.generators import static_random_schedule
+from repro.scenarios.registry import (
+    register_adversary,
+    register_algorithm,
+    register_problem,
+)
+
+# -- algorithms ------------------------------------------------------------
+
+register_algorithm("flooding")(FloodingAlgorithm)
+register_algorithm("one-shot-flooding")(OneShotFloodingAlgorithm)
+register_algorithm("naive-unicast")(NaiveUnicastAlgorithm)
+register_algorithm("spanning-tree")(SpanningTreeAlgorithm)
+register_algorithm("single-source")(SingleSourceUnicastAlgorithm)
+register_algorithm("multi-source")(MultiSourceUnicastAlgorithm)
+register_algorithm(
+    "oblivious",
+    defaults={"force_two_phase": True, "center_probability": 0.2},
+)(ObliviousMultiSourceAlgorithm)
+
+# -- adversaries -----------------------------------------------------------
+
+register_adversary(
+    "churn",
+    defaults={"changes_per_round": 5, "edge_probability": 0.25},
+    description="Oblivious adversary applying a fixed number of edge changes per round.",
+)(ControlledChurnAdversary)
+register_adversary(
+    "static",
+    defaults={"changes_per_round": 0, "edge_probability": 0.25, "name": "static"},
+    description="A fixed random connected graph (controlled churn with zero changes).",
+)(ControlledChurnAdversary)
+register_adversary(
+    "random",
+    defaults={"edge_probability": 0.25},
+    description="Oblivious adversary redrawing a random connected graph every period.",
+)(RandomChurnObliviousAdversary)
+register_adversary("lower-bound")(LowerBoundAdversary)
+register_adversary(
+    "request-cutting", defaults={"cut_fraction": 0.7}
+)(RequestCuttingAdversary)
+register_adversary("star-recenter")(StarRecenterAdversary)
+register_adversary("adaptive-rewiring")(AdaptiveRewiringAdversary)
+
+
+@register_adversary(
+    "static-random",
+    description="A static Erdős–Rényi-style connected graph fixed for the whole run.",
+)
+def static_random_adversary(
+    num_nodes: int, edge_probability: float = 0.35, seed: int = 0
+) -> ScheduleAdversary:
+    """A :class:`ScheduleAdversary` replaying one static random graph."""
+    schedule = static_random_schedule(num_nodes, edge_probability=edge_probability, seed=seed)
+    return ScheduleAdversary(schedule, name="static-random")
+
+
+# -- problems --------------------------------------------------------------
+
+register_problem(
+    "single-source",
+    description="All k tokens start at one source node (Section 3.1).",
+)(single_source_problem)
+register_problem(
+    "multi-source",
+    description="k tokens spread evenly over s random source nodes (Section 3.2).",
+)(uniform_multi_source_problem)
+register_problem(
+    "n-gossip",
+    description="One token per node: k = n, s = n.",
+)(n_gossip_problem)
+register_problem(
+    "random-placement",
+    description="Each token given to each node independently (Section-2 distribution).",
+)(random_assignment_problem)

@@ -9,11 +9,23 @@ adversary choices and the same algorithm behaviour.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Iterable, List, Optional, Sequence, TypeVar, Union
 
 T = TypeVar("T")
 
 SeedLike = Union[None, int, random.Random]
+
+
+def stable_hash(label: object) -> int:
+    """A 32-bit hash of ``str(label)`` that is stable across processes.
+
+    Python's built-in ``hash`` of strings is randomized per interpreter
+    (PYTHONHASHSEED), so it cannot be used to derive seeds that must agree
+    between a parent process and its worker processes (or between two runs
+    of the same command).  CRC32 is deterministic everywhere.
+    """
+    return zlib.crc32(str(label).encode("utf-8")) & 0xFFFFFFFF
 
 
 def ensure_rng(seed: SeedLike = None) -> random.Random:
@@ -39,7 +51,7 @@ def spawn_rng(rng: random.Random, label: str = "") -> random.Random:
     decorrelated but reproducible randomness.
     """
     base = rng.getrandbits(64)
-    mix = hash(label) & 0xFFFFFFFF
+    mix = stable_hash(label)
     return random.Random(base ^ (mix << 16))
 
 
@@ -92,6 +104,6 @@ def derive_seed(seed: Optional[int], *labels: object) -> int:
     base = 0 if seed is None else int(seed)
     value = base & 0xFFFFFFFFFFFFFFFF
     for label in labels:
-        value = (value * 1000003) ^ (hash(str(label)) & 0xFFFFFFFF)
+        value = (value * 1000003) ^ stable_hash(label)
         value &= 0xFFFFFFFFFFFFFFFF
     return value

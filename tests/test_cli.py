@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import ADVERSARIES, ALGORITHMS, build_parser, main
+from repro.scenarios import ADVERSARY_REGISTRY, ALGORITHM_REGISTRY, ScenarioSpec
 
 
 class TestParser:
@@ -15,7 +18,9 @@ class TestParser:
         assert args.algorithm == "single-source"
         assert args.adversary == "churn"
         assert args.nodes == 20
-        assert args.tokens == 40
+        # -k defaults to None so that an explicit -k can be told apart from
+        # the default (needed to reject contradictory n-gossip invocations).
+        assert args.tokens is None
 
     def test_rejects_unknown_algorithm(self):
         with pytest.raises(SystemExit):
@@ -26,6 +31,10 @@ class TestParser:
         assert "lower-bound" in ADVERSARIES
         for factory in list(ALGORITHMS.values()) + list(ADVERSARIES.values()):
             assert callable(factory)
+
+    def test_legacy_dicts_mirror_the_registries(self):
+        assert sorted(ALGORITHMS) == ALGORITHM_REGISTRY.names()
+        assert sorted(ADVERSARIES) == ADVERSARY_REGISTRY.names()
 
 
 class TestRunCommand:
@@ -75,3 +84,164 @@ class TestAnalyticCommands:
         output = capsys.readouterr().out
         assert "single-source competitive" in output
         assert "multi-source competitive" in output
+
+
+class TestExitCodeContract:
+    """Pin the run exit codes: 0 on completion, 1 on a round-limit stop.
+
+    The JSON output path must preserve the same codes as the table path.
+    """
+
+    COMPLETING = ["run", "--algorithm", "single-source", "--adversary", "churn",
+                  "-n", "10", "-k", "8", "--seed", "3"]
+    ROUND_LIMITED = ["run", "--algorithm", "single-source", "--adversary", "static",
+                     "-n", "10", "-k", "8", "--max-rounds", "1", "--seed", "5"]
+
+    def test_completion_is_zero(self, capsys):
+        assert main(self.COMPLETING) == 0
+
+    def test_round_limit_stop_is_one(self, capsys):
+        assert main(self.ROUND_LIMITED) == 1
+
+    def test_completion_is_zero_with_json(self, capsys):
+        assert main(self.COMPLETING + ["--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["completed"] is True
+
+    def test_round_limit_stop_is_one_with_json(self, capsys):
+        assert main(self.ROUND_LIMITED + ["--json"]) == 1
+        record = json.loads(capsys.readouterr().out)
+        assert record["completed"] is False
+        assert record["rounds"] == 1
+
+    def test_configuration_error_is_two(self, capsys):
+        assert main(["run", "--set", "adversary.not_a_param=1"]) == 2
+        assert "not_a_param" in capsys.readouterr().err
+
+
+class TestNGossipTokenConflict:
+    def test_sources_zero_with_contradictory_k_is_rejected(self, capsys):
+        exit_code = main(["run", "--sources", "0", "-k", "40", "-n", "20"])
+        assert exit_code == 2
+        assert "forces k = n" in capsys.readouterr().err
+
+    def test_sources_zero_with_matching_k_is_accepted(self, capsys):
+        args = ["run", "--algorithm", "multi-source", "-n", "8", "-k", "8", "-s", "0",
+                "--seed", "4"]
+        assert main(args) == 0
+
+    def test_sources_zero_without_k_is_accepted(self, capsys):
+        args = ["run", "--algorithm", "multi-source", "-n", "8", "-s", "0", "--seed", "4"]
+        assert main(args) == 0
+
+
+class TestListCommand:
+    def test_list_enumerates_all_registries(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for section in ("algorithms:", "adversaries:", "problems:"):
+            assert section in output
+        for name in ("single-source", "lower-bound", "n-gossip"):
+            assert name in output
+
+    def test_list_json_is_machine_readable(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"algorithms", "adversaries", "problems"}
+        names = {entry["name"] for entry in payload["algorithms"]}
+        assert "flooding" in names
+        oblivious = next(e for e in payload["algorithms"] if e["name"] == "oblivious")
+        defaults = {p["name"]: p.get("default") for p in oblivious["parameters"]}
+        assert defaults["force_two_phase"] is True
+
+
+class TestSweepCommand:
+    def test_sweep_runs_grid_and_writes_jsonl(self, tmp_path, capsys):
+        output = tmp_path / "records.jsonl"
+        exit_code = main([
+            "sweep", "--algorithm", "single-source", "--adversary", "churn",
+            "-n", "8", "-k", "6", "--grid", "problem.num_nodes=8,10",
+            "--repetitions", "2", "--seed", "9", "--output", str(output),
+        ])
+        assert exit_code == 0
+        lines = output.read_text().strip().splitlines()
+        assert len(lines) == 4  # 2 grid points x 2 repetitions
+        records = [json.loads(line) for line in lines]
+        assert {record["n"] for record in records} == {8, 10}
+        assert all(record["completed"] for record in records)
+
+    def test_sweep_json_output_matches_file(self, tmp_path, capsys):
+        output = tmp_path / "records.jsonl"
+        args = ["sweep", "-n", "8", "-k", "6", "--grid", "seed=1,2",
+                "--output", str(output), "--json"]
+        assert main(args) == 0
+        stdout_lines = capsys.readouterr().out.strip().splitlines()
+        assert stdout_lines == output.read_text().strip().splitlines()
+
+    def test_sweep_with_set_overrides(self, capsys):
+        exit_code = main([
+            "sweep", "-n", "8", "-k", "6", "--grid", "seed=0,1",
+            "--set", "adversary.changes_per_round=1",
+        ])
+        assert exit_code == 0
+
+    def test_invalid_grid_is_rejected(self, capsys):
+        assert main(["sweep", "--grid", "nonsense"]) == 2
+
+
+class TestSpecFile:
+    def test_run_from_spec_file(self, tmp_path, capsys):
+        spec = ScenarioSpec(
+            problem="single-source",
+            problem_params={"num_nodes": 8, "num_tokens": 6},
+            algorithm="single-source",
+            adversary="churn",
+            repetitions=2,
+            seed=3,
+            name="from-file",
+        )
+        path = tmp_path / "scenario.json"
+        path.write_text(spec.to_json())
+        assert main(["run", "--spec", str(path), "--json"]) == 0
+        records = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
+        assert len(records) == 2
+        assert all(record["scenario"] == "from-file" for record in records)
+
+
+class TestReviewRegressions:
+    def test_named_problem_picks_up_dimension_flags(self, capsys):
+        args = ["run", "--problem", "multi-source", "--algorithm", "multi-source",
+                "-n", "12", "-k", "8", "-s", "4", "--json"]
+        assert main(args) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert (record["n"], record["k"], record["s"]) == (12, 8, 4)
+
+    def test_static_random_adversary_gets_num_nodes_from_the_problem(self, capsys):
+        assert main(["run", "--adversary", "static-random", "-n", "10", "-k", "6",
+                     "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["spec"]["adversary_params"]["num_nodes"] == 10
+
+    def test_missing_required_parameter_is_a_clean_error(self, capsys):
+        # No -n mapping exists for sweep-less problems given only via --problem
+        # with the dimension flags at defaults; a missing required parameter
+        # must exit 2 with a message, not a traceback.
+        assert main(["run", "--set", "adversary.num_nodes=5"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_spec_file_is_a_clean_error(self, capsys):
+        assert main(["run", "--spec", "/no/such/file.json"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_spec_rejects_conflicting_scenario_flags(self, tmp_path, capsys):
+        spec = ScenarioSpec(
+            problem="single-source",
+            problem_params={"num_nodes": 8, "num_tokens": 6},
+            algorithm="single-source",
+            adversary="churn",
+        )
+        path = tmp_path / "scenario.json"
+        path.write_text(spec.to_json())
+        assert main(["run", "--spec", str(path), "--seed", "99"]) == 2
+        assert "--seed" in capsys.readouterr().err
+        assert main(["run", "--spec", str(path)]) == 0

@@ -1,0 +1,306 @@
+"""Tests for the declarative Scenario API: registries, specs and the runner."""
+
+import json
+
+import pytest
+
+from repro.algorithms.base import TokenForwardingAlgorithm
+from repro.core.problem import DisseminationProblem
+from repro.scenarios import (
+    ADVERSARY_REGISTRY,
+    ALGORITHM_REGISTRY,
+    PROBLEM_REGISTRY,
+    ScenarioRunner,
+    ScenarioSpec,
+    materialize,
+    record_to_json_line,
+    repetition_seed,
+    run_scenario,
+    run_spec,
+    sweep,
+)
+from repro.scenarios.registry import Registry
+from repro.utils.validation import ConfigurationError
+
+#: Values used to satisfy required constructor parameters in bulk tests.
+REQUIRED_PARAM_VALUES = {
+    "num_nodes": 6,
+    "num_tokens": 4,
+    "num_sources": 2,
+}
+
+
+def required_params(entry):
+    return {
+        info.name: REQUIRED_PARAM_VALUES[info.name]
+        for info in entry.parameters()
+        if info.required
+    }
+
+
+class TestBuiltinRegistries:
+    def test_expected_names_are_registered(self):
+        assert "single-source" in ALGORITHM_REGISTRY
+        assert "oblivious" in ALGORITHM_REGISTRY
+        assert "churn" in ADVERSARY_REGISTRY
+        assert "lower-bound" in ADVERSARY_REGISTRY
+        assert "n-gossip" in PROBLEM_REGISTRY
+        assert "random-placement" in PROBLEM_REGISTRY
+
+    def test_every_algorithm_is_constructible_by_name(self):
+        for entry in ALGORITHM_REGISTRY.entries():
+            algorithm = entry.create(**required_params(entry))
+            assert isinstance(algorithm, TokenForwardingAlgorithm), entry.name
+
+    def test_every_adversary_is_constructible_by_name(self):
+        for entry in ADVERSARY_REGISTRY.entries():
+            adversary = entry.create(**required_params(entry))
+            assert hasattr(adversary, "reset"), entry.name
+            assert hasattr(adversary, "edges_for_round"), entry.name
+
+    def test_every_problem_is_constructible_by_name(self):
+        for entry in PROBLEM_REGISTRY.entries():
+            problem = entry.create(**required_params(entry))
+            assert isinstance(problem, DisseminationProblem), entry.name
+
+    def test_unknown_name_lists_known_names(self):
+        with pytest.raises(ConfigurationError, match="single-source"):
+            ALGORITHM_REGISTRY.get("no-such-algorithm")
+
+    def test_unknown_parameter_is_rejected_with_known_parameters(self):
+        with pytest.raises(ConfigurationError, match="changes_per_round"):
+            ADVERSARY_REGISTRY.create("churn", bogus=1)
+
+    def test_oblivious_defaults_match_the_historical_cli(self):
+        entry = ALGORITHM_REGISTRY.get("oblivious")
+        defaults = {info.name: info.default for info in entry.parameters()}
+        assert defaults["force_two_phase"] is True
+        assert defaults["center_probability"] == 0.2
+
+
+class TestRegistryExtension:
+    def test_decorator_registers_and_returns_the_factory(self):
+        registry = Registry("widget")
+
+        @registry.register("my-widget", defaults={"size": 3})
+        def make_widget(size: int = 1):
+            """A widget."""
+            return ("widget", size)
+
+        assert registry.names() == ["my-widget"]
+        assert registry.create("my-widget") == ("widget", 3)
+        assert registry.create("my-widget", size=5) == ("widget", 5)
+        assert registry.get("my-widget").description == "A widget."
+        assert make_widget(2) == ("widget", 2)
+
+    def test_duplicate_registration_is_rejected_unless_replaced(self):
+        registry = Registry("widget")
+        registry.register("w")(lambda: 1)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            registry.register("w")(lambda: 2)
+        registry.register("w", replace=True)(lambda: 3)
+        assert registry.create("w") == 3
+
+
+def small_spec(**overrides):
+    fields = dict(
+        problem="single-source",
+        problem_params={"num_nodes": 8, "num_tokens": 6},
+        algorithm="single-source",
+        adversary="churn",
+        adversary_params={"changes_per_round": 2},
+        seed=11,
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+class TestScenarioSpec:
+    def test_json_round_trip_is_identity(self):
+        spec = small_spec(repetitions=3, max_rounds=500, name="round-trip")
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_round_trip_for_every_builtin_combination_shape(self):
+        specs = [
+            small_spec(),
+            small_spec(problem="n-gossip", problem_params={"num_nodes": 6},
+                       algorithm="multi-source"),
+            small_spec(problem="random-placement",
+                       problem_params={"num_nodes": 6, "num_tokens": 6},
+                       algorithm="flooding", adversary="lower-bound",
+                       adversary_params={}),
+        ]
+        for spec in specs:
+            assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_json_fields_are_rejected(self):
+        payload = json.loads(small_spec().to_json())
+        payload["surprise"] = 1
+        with pytest.raises(ConfigurationError, match="surprise"):
+            ScenarioSpec.from_dict(payload)
+
+    def test_invalid_fields_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_spec(repetitions=0)
+        with pytest.raises(ConfigurationError):
+            small_spec(seed="nope")
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(problem="", algorithm="a", adversary="b")
+
+    def test_label_defaults_to_component_names(self):
+        assert small_spec().label == "single-source-vs-churn-on-single-source"
+        assert small_spec(name="custom").label == "custom"
+
+    def test_scenario_key_ignores_the_name(self):
+        assert small_spec(name="a").scenario_key() == small_spec(name="b").scenario_key()
+
+    def test_repetition_seeds_are_stable_and_distinct(self):
+        spec = small_spec(repetitions=3)
+        seeds = [repetition_seed(spec, r) for r in range(3)]
+        assert len(set(seeds)) == 3
+        assert seeds == [repetition_seed(spec, r) for r in range(3)]
+
+
+class TestSweep:
+    def test_empty_grid_returns_the_base(self):
+        base = small_spec()
+        assert sweep(base, {}) == [base]
+
+    def test_cross_product_expansion(self):
+        base = small_spec()
+        specs = sweep(base, {"problem.num_nodes": [8, 12, 16], "seed": [0, 1]})
+        assert len(specs) == 6
+        assert [s.problem_params["num_nodes"] for s in specs] == [8, 8, 12, 12, 16, 16]
+        assert [s.seed for s in specs] == [0, 1, 0, 1, 0, 1]
+        # The base is untouched.
+        assert base.seed == 11
+
+    def test_top_level_and_nested_keys(self):
+        specs = sweep(small_spec(), {"algorithm": ["single-source"],
+                                     "adversary.changes_per_round": [1, 3]})
+        assert [s.adversary_params["changes_per_round"] for s in specs] == [1, 3]
+
+    def test_invalid_key_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="invalid sweep key"):
+            sweep(small_spec(), {"nonsense_key": [1]})
+        with pytest.raises(ConfigurationError, match="invalid sweep key"):
+            sweep(small_spec(), {"problem_params.num_nodes": [1]})
+
+    def test_empty_values_are_rejected(self):
+        with pytest.raises(ConfigurationError, match="no values"):
+            sweep(small_spec(), {"seed": []})
+
+
+class TestMaterialization:
+    def test_materialize_builds_live_objects(self):
+        scenario = materialize(small_spec())
+        assert isinstance(scenario.problem, DisseminationProblem)
+        assert scenario.problem.num_nodes == 8
+        assert isinstance(scenario.algorithm, TokenForwardingAlgorithm)
+        assert hasattr(scenario.adversary, "edges_for_round")
+
+    def test_randomized_problem_gets_a_derived_seed(self):
+        spec = small_spec(
+            problem="multi-source",
+            problem_params={"num_nodes": 10, "num_sources": 3, "num_tokens": 6},
+            algorithm="multi-source",
+        )
+        # Without an explicit problem seed the sources must still be the
+        # same on every materialization (no hidden nondeterminism).
+        first = materialize(spec).problem
+        second = materialize(spec).problem
+        assert first.sources == second.sources
+
+    def test_explicit_problem_seed_is_respected(self):
+        spec = small_spec(
+            problem="multi-source",
+            problem_params={"num_nodes": 10, "num_sources": 3, "num_tokens": 6,
+                            "seed": 123},
+            algorithm="multi-source",
+        )
+        assert materialize(spec).problem.sources == materialize(spec).problem.sources
+
+
+class TestRunner:
+    def test_run_scenario_returns_a_full_result(self):
+        result = run_scenario(small_spec())
+        assert result.completed
+        assert result.num_nodes == 8
+        assert result.total_messages > 0
+
+    def test_run_scenario_rejects_out_of_range_repetition(self):
+        with pytest.raises(ConfigurationError, match="repetition"):
+            run_scenario(small_spec(), repetition=1)
+
+    def test_run_spec_produces_one_record_per_repetition(self):
+        records = run_spec(small_spec(repetitions=3))
+        assert [record["repetition"] for record in records] == [0, 1, 2]
+        assert all(record["completed"] for record in records)
+        assert len({record["seed"] for record in records}) == 3
+
+    def test_records_are_json_ready(self):
+        record = run_spec(small_spec())[0]
+        rebuilt = json.loads(record_to_json_line(record))
+        assert rebuilt == record
+        assert ScenarioSpec.from_dict(rebuilt["spec"]) == small_spec()
+
+    def test_parallel_batch_is_byte_identical_to_serial(self, tmp_path):
+        specs = sweep(
+            small_spec(repetitions=2),
+            {"problem.num_nodes": [8, 10, 12], "seed": [1, 2]},
+        )
+        serial_path = tmp_path / "serial.jsonl"
+        parallel_path = tmp_path / "parallel.jsonl"
+        serial = ScenarioRunner(workers=1).run(specs, jsonl_path=serial_path)
+        parallel = ScenarioRunner(workers=2).run(specs, jsonl_path=parallel_path)
+        assert serial == parallel
+        assert serial_path.read_bytes() == parallel_path.read_bytes()
+        assert len(serial_path.read_text().strip().splitlines()) == len(specs) * 2
+
+    def test_progress_callback_sees_every_spec_in_order(self):
+        specs = sweep(small_spec(), {"seed": [0, 1, 2]})
+        seen = []
+        ScenarioRunner(progress=lambda done, total, spec: seen.append((done, total, spec.seed))).run(specs)
+        assert seen == [(1, 3, 0), (2, 3, 1), (3, 3, 2)]
+
+    def test_invalid_workers_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioRunner(workers=0)
+
+    def test_non_spec_items_are_rejected(self):
+        with pytest.raises(ConfigurationError, match="ScenarioSpec"):
+            ScenarioRunner().run([{"problem": "single-source"}])
+
+
+class TestReviewRegressions:
+    def test_missing_required_parameter_is_a_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="num_nodes"):
+            ADVERSARY_REGISTRY.create("static-random")
+        with pytest.raises(ConfigurationError, match="requires"):
+            PROBLEM_REGISTRY.create("single-source")
+
+    def test_scenario_key_ignores_repetitions_and_max_rounds(self):
+        base = small_spec(repetitions=1)
+        extended = small_spec(repetitions=3, max_rounds=999)
+        assert base.scenario_key() == extended.scenario_key()
+        # Extending a batch keeps already-run repetitions reproducible.
+        assert repetition_seed(base, 0) == repetition_seed(extended, 0)
+        first = run_spec(base)[0]
+        rerun = run_spec(extended)[0]
+        for field in ("seed", "rounds", "total_messages", "completed"):
+            assert first[field] == rerun[field]
+
+    def test_extension_modules_are_validated(self):
+        with pytest.raises(ConfigurationError, match="extension_modules"):
+            ScenarioRunner(extension_modules=[""])
+        with pytest.raises(ConfigurationError, match="extension_modules"):
+            ScenarioRunner(extension_modules=[object()])
+
+    def test_parallel_run_imports_extension_modules(self, tmp_path):
+        # "repro.scenarios" is trivially importable in workers; this pins the
+        # payload plumbing without needing a spawn-start interpreter.
+        specs = sweep(small_spec(), {"seed": [0, 1]})
+        records = ScenarioRunner(
+            workers=2, extension_modules=["repro.scenarios"]
+        ).run(specs)
+        assert len(records) == 2
