@@ -116,6 +116,14 @@ from repro.scenarios import (
     run_spec,
     sweep,
 )
+from repro.results import (
+    RunRecord,
+    RunStore,
+    aggregate,
+    compare_to_bounds,
+    register_bound,
+    render_report,
+)
 from repro.analysis import (
     ExperimentRecord,
     ExperimentRunner,
@@ -208,6 +216,13 @@ __all__ = [
     "run_scenario",
     "run_spec",
     "sweep",
+    # results
+    "RunRecord",
+    "RunStore",
+    "aggregate",
+    "compare_to_bounds",
+    "register_bound",
+    "render_report",
     # analysis
     "ExperimentRecord",
     "ExperimentRunner",

@@ -9,6 +9,10 @@ problems show up automatically:
   the paper's cost measures;
 * ``sweep`` — expand a parameter grid into a batch of scenarios, run it
   (optionally across worker processes) and persist JSONL records;
+* ``analyze`` — aggregate run records (from a JSONL file, a run-store
+  directory or stdin) with confidence intervals, and optionally compare the
+  measured scaling against the paper's bounds;
+* ``report`` — render the full paper-vs-measured markdown report;
 * ``list`` — enumerate the registered algorithms, adversaries and problems
   with their tunable parameters;
 * ``table1`` — regenerate Table 1 (analytic bounds) for a given n;
@@ -21,7 +25,11 @@ Examples::
     python -m repro list
     python -m repro sweep --algorithm single-source --adversary churn \\
         -n 16 -k 32 --grid problem.num_nodes=16,32,64 --repetitions 3 \\
-        --workers 2 --output results.jsonl
+        --workers 2 --output results.jsonl --store results-store
+    python -m repro sweep --grid '{"num_nodes": [8, 16, 32]}' --json \\
+        | python -m repro analyze --bounds
+    python -m repro analyze results-store/ --group-by algorithm,n --format csv
+    python -m repro report results-store/ --output report.md
     python -m repro table1 -n 4096
     python -m repro bounds -n 1024 -k 2048 -s 8
 """
@@ -54,7 +62,9 @@ from repro.scenarios import (
     run_spec,
     sweep,
 )
+from repro.results.records import RecordValidationError
 from repro.scenarios.registry import Registry
+from repro.scenarios.spec import _TOP_LEVEL_SWEEP_FIELDS
 from repro.utils.validation import ConfigurationError
 
 #: Deprecated aliases kept for backwards compatibility: the registries are
@@ -116,7 +126,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", metavar="FILE", default=None, help="write records to a JSONL file"
     )
     sweep_parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="merge records into a run-store directory (idempotent: re-running "
+        "the same sweep adds nothing)",
+    )
+    sweep_parser.add_argument(
         "--json", action="store_true", help="print records as JSON lines instead of a table"
+    )
+
+    analyze = subparsers.add_parser(
+        "analyze",
+        help="aggregate run records and compare the measured scaling to the paper bounds",
+    )
+    analyze.add_argument(
+        "source",
+        nargs="?",
+        default="-",
+        metavar="RUNS.jsonl|STORE/",
+        help="records source: a JSONL file, a run-store directory, or '-' for stdin "
+        "(default; lets 'repro sweep --json | repro analyze' pipe)",
+    )
+    _add_analysis_arguments(analyze)
+    analyze.add_argument(
+        "--bounds",
+        action="store_true",
+        help="append the paper-bound comparison (fitted exponents + verdicts)",
+    )
+    analyze.add_argument(
+        "--format",
+        choices=("text", "md", "csv", "json"),
+        default="md",
+        help="output format (default md)",
+    )
+
+    report = subparsers.add_parser(
+        "report", help="render the full paper-vs-measured markdown report"
+    )
+    report.add_argument(
+        "source",
+        nargs="?",
+        default="-",
+        metavar="RUNS.jsonl|STORE/",
+        help="records source: a JSONL file, a run-store directory, or '-' for stdin",
+    )
+    _add_analysis_arguments(report)
+    report.add_argument(
+        "--output", metavar="FILE", default=None, help="write the report to a file"
+    )
+    report.add_argument(
+        "--title", default="Results report", help="report heading"
     )
 
     list_parser = subparsers.add_parser(
@@ -185,6 +245,30 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_analysis_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--group-by",
+        default=None,
+        metavar="AXIS[,AXIS...]",
+        help="group-by axes: record fields (n, k, s, seed, ...), component names "
+        "(algorithm, adversary, problem) or dotted parameters "
+        "(problem.num_nodes); default algorithm,adversary,n,k",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="METRIC[,METRIC...]",
+        help="metrics to summarize (default total_messages, amortized_messages, "
+        "rounds, topological_changes, amortized_adversary_competitive)",
+    )
+    parser.add_argument(
+        "--x-axis",
+        default="n",
+        metavar="AXIS",
+        help="sweep axis the scaling exponents are fitted against (default n)",
+    )
+
+
 def _parse_value(text: str) -> Any:
     """Parse a CLI value: Python literal if possible, bare string otherwise."""
     try:
@@ -207,15 +291,41 @@ def _parse_overrides(assignments: Sequence[str]) -> Dict[str, Dict[str, Any]]:
     return sections
 
 
+def _normalize_grid_key(key: str) -> str:
+    # Bare keys that are not spec fields are shorthand for problem parameters
+    # (``num_nodes`` etc.); spec fields come from the sweep implementation so
+    # the two never drift apart.
+    if "." in key or key in _TOP_LEVEL_SWEEP_FIELDS:
+        return key
+    return f"problem.{key}"
+
+
 def _parse_grid(dimensions: Sequence[str]) -> Dict[str, List[Any]]:
     grid: Dict[str, List[Any]] = {}
     for dimension in dimensions:
+        if dimension.lstrip().startswith("{"):
+            # JSON form: --grid '{"num_nodes": [8, 16, 32], "seed": [0, 1]}'.
+            try:
+                payload = json.loads(dimension)
+            except json.JSONDecodeError as error:
+                raise ConfigurationError(f"invalid --grid JSON: {error}") from error
+            if not isinstance(payload, dict):
+                raise ConfigurationError(
+                    f"--grid JSON must be an object of key -> value list, got {payload!r}"
+                )
+            for key, values in payload.items():
+                if not isinstance(values, list):
+                    values = [values]
+                grid[_normalize_grid_key(key.strip())] = values
+            continue
         key, separator, values_text = dimension.partition("=")
         if not separator or not key or not values_text:
             raise ConfigurationError(
-                f"invalid --grid {dimension!r}: expected KEY=V1,V2,..."
+                f"invalid --grid {dimension!r}: expected KEY=V1,V2,... or a JSON object"
             )
-        grid[key.strip()] = [_parse_value(value) for value in values_text.split(",")]
+        grid[_normalize_grid_key(key.strip())] = [
+            _parse_value(value) for value in values_text.split(",")
+        ]
     return grid
 
 
@@ -392,11 +502,43 @@ def _records_table(records: Sequence[Mapping[str, Any]]) -> str:
     return format_table(_RECORD_COLUMNS, rows)
 
 
+def _resync_adversary_num_nodes(
+    spec: ScenarioSpec, grid: Mapping[str, Sequence[Any]], overrides: Mapping[str, Mapping[str, Any]]
+) -> ScenarioSpec:
+    """Follow a swept problem.num_nodes into an auto-injected adversary num_nodes.
+
+    ``_spec_from_args`` copies the node count into adversaries that require
+    it *before* grid expansion; when the grid then sweeps the problem's node
+    count, the stale copy would make every non-default grid point fail.  An
+    explicitly set value (``--set adversary.num_nodes`` or a grid dimension)
+    is the user's choice and is left alone.
+    """
+    if "adversary.num_nodes" in grid or "num_nodes" in overrides["adversary"]:
+        return spec
+    problem_nodes = spec.problem_params.get("num_nodes")
+    if (
+        problem_nodes is None
+        or "num_nodes" not in spec.adversary_params
+        or spec.adversary_params["num_nodes"] == problem_nodes
+    ):
+        return spec
+    return spec.with_params(adversary={"num_nodes": problem_nodes})
+
+
 def command_sweep(args: argparse.Namespace) -> int:
     base = _spec_from_args(args, repetitions=args.repetitions)
-    specs = sweep(base, _parse_grid(args.grid))
+    grid = _parse_grid(args.grid)
+    overrides = _parse_overrides(args.overrides)
+    specs = [
+        _resync_adversary_num_nodes(spec, grid, overrides) for spec in sweep(base, grid)
+    ]
     runner = ScenarioRunner(workers=args.workers)
     records = runner.run(specs, jsonl_path=args.output)
+    stored = None
+    if args.store is not None:
+        from repro.results import RunStore
+
+        stored = RunStore(args.store).add(records)
     if args.json:
         for record in records:
             print(record_to_json_line(record))
@@ -404,7 +546,67 @@ def command_sweep(args: argparse.Namespace) -> int:
         print(_records_table(records))
         print(f"\n{len(records)} record(s) from {len(specs)} scenario(s)", end="")
         print(f" -> {args.output}" if args.output else "")
+        if stored is not None:
+            added, skipped = stored
+            print(f"store {args.store}: {added} added, {skipped} already present")
     return 0 if all(record["completed"] for record in records) else 1
+
+
+def _split_option(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    parts = [part.strip() for part in value.split(",") if part.strip()]
+    if not parts:
+        raise ConfigurationError(f"expected a comma-separated list, got {value!r}")
+    return parts
+
+
+def _load_analysis_records(source: str):
+    from repro.results import iter_records, open_source
+
+    if source == "-":
+        records = list(iter_records(sys.stdin, source="<stdin>"))
+        if not records:
+            raise ConfigurationError(
+                "no records on stdin; pipe 'repro sweep --json' into this command "
+                "or pass a JSONL file / run-store directory"
+            )
+        return records
+    records = open_source(source)
+    if not records:
+        raise ConfigurationError(f"{source} holds no records")
+    return records
+
+
+def command_analyze(args: argparse.Namespace) -> int:
+    from repro.results import DEFAULT_GROUP_BY, DEFAULT_METRICS, render_aggregates, render_comparison
+
+    records = _load_analysis_records(args.source)
+    group_by = _split_option(args.group_by) or list(DEFAULT_GROUP_BY)
+    metrics = _split_option(args.metrics) or list(DEFAULT_METRICS)
+    print(render_aggregates(records, group_by=group_by, metrics=metrics, fmt=args.format))
+    if args.bounds:
+        print()
+        print(render_comparison(records, fmt=args.format, x_axis=args.x_axis))
+    return 0
+
+
+def command_report(args: argparse.Namespace) -> int:
+    from repro.results import DEFAULT_GROUP_BY, DEFAULT_METRICS, render_report
+
+    records = _load_analysis_records(args.source)
+    group_by = _split_option(args.group_by) or list(DEFAULT_GROUP_BY)
+    metrics = _split_option(args.metrics) or list(DEFAULT_METRICS)
+    document = render_report(
+        records, group_by=group_by, metrics=metrics, x_axis=args.x_axis, title=args.title
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(document + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(document)
+    return 0
 
 
 def command_list(args: argparse.Namespace) -> int:
@@ -456,13 +658,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "run": command_run,
         "sweep": command_sweep,
+        "analyze": command_analyze,
+        "report": command_report,
         "list": command_list,
         "table1": command_table1,
         "bounds": command_bounds,
     }
     try:
         return handlers[args.command](args)
-    except (ConfigurationError, OSError) as error:
+    except (ConfigurationError, RecordValidationError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -21,7 +21,7 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 
 from repro.core.tokens import Token, make_tokens, tokens_by_source, validate_token_universe
 from repro.utils.ids import NodeId, validate_nodes
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import ConfigurationError, require_positive_int
 
 
@@ -157,7 +157,7 @@ def n_gossip_problem(num_nodes: int) -> DisseminationProblem:
 
 
 def uniform_multi_source_problem(
-    num_nodes: int, num_sources: int, num_tokens: int, seed=None
+    num_nodes: int, num_sources: int, num_tokens: int, seed: SeedLike = None
 ) -> DisseminationProblem:
     """``num_tokens`` tokens spread as evenly as possible over ``num_sources`` random sources."""
     rng = ensure_rng(seed)
@@ -181,7 +181,7 @@ def random_assignment_problem(
     num_nodes: int,
     num_tokens: int,
     inclusion_probability: float = 0.25,
-    seed=None,
+    seed: SeedLike = None,
 ) -> DisseminationProblem:
     """Each token is given independently to each node with the given probability.
 

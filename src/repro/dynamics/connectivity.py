@@ -9,7 +9,7 @@ forests (used by the lower-bound adversary to keep round graphs sparse).
 from __future__ import annotations
 
 import random
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.utils.ids import Edge, NodeId, normalize_edge
 from repro.utils.rng import ensure_rng
@@ -62,7 +62,7 @@ def is_connected(nodes: Iterable[NodeId], edges: Iterable[Edge]) -> bool:
 def ensure_connected(
     nodes: Sequence[NodeId],
     edges: Iterable[Edge],
-    rng: random.Random = None,
+    rng: Optional[random.Random] = None,
 ) -> Set[Edge]:
     """Return a superset of ``edges`` that is connected over ``nodes``.
 
@@ -93,7 +93,7 @@ def spanning_forest(nodes: Iterable[NodeId], edges: Iterable[Edge]) -> Set[Edge]
 
 def connecting_edges_between_components(
     components: Sequence[Set[NodeId]],
-    rng: random.Random = None,
+    rng: Optional[random.Random] = None,
 ) -> Set[Edge]:
     """Return ``len(components) - 1`` edges that chain the given components together."""
     rng = ensure_rng(rng)

@@ -19,7 +19,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from repro.dynamics.connectivity import ensure_connected
 from repro.dynamics.graph_sequence import GraphSchedule
 from repro.utils.ids import Edge, NodeId, normalize_edge
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import (
     ConfigurationError,
     require_non_negative_int,
@@ -40,7 +40,7 @@ def _all_pairs(nodes: Sequence[NodeId]) -> List[Edge]:
 def random_connected_edges(
     nodes: Sequence[NodeId],
     edge_probability: float,
-    rng: random.Random = None,
+    rng: Optional[random.Random] = None,
 ) -> Set[Edge]:
     """A G(n, p) sample over ``nodes``, repaired to be connected."""
     rng = ensure_rng(rng)
@@ -106,7 +106,7 @@ def static_random_schedule(
     num_nodes: int,
     edge_probability: float = 0.2,
     num_rounds: int = 1,
-    seed=None,
+    seed: SeedLike = None,
 ) -> GraphSchedule:
     """A single connected G(n, p) sample repeated for every round."""
     rng = ensure_rng(seed)
@@ -120,7 +120,7 @@ def churn_schedule(
     num_rounds: int,
     edge_probability: float = 0.1,
     churn_fraction: float = 0.3,
-    seed=None,
+    seed: SeedLike = None,
 ) -> GraphSchedule:
     """Per-round partial rewiring: a fraction of edges is replaced every round.
 
@@ -156,7 +156,7 @@ def edge_markovian_schedule(
     num_rounds: int,
     birth_probability: float = 0.02,
     death_probability: float = 0.2,
-    seed=None,
+    seed: SeedLike = None,
 ) -> GraphSchedule:
     """Edge-Markovian evolving graph (Clementi et al.): each potential edge
     appears with probability ``birth_probability`` if absent and disappears
@@ -190,7 +190,7 @@ def rewiring_regular_schedule(
     num_rounds: int,
     degree: int = 4,
     rewire_probability: float = 0.5,
-    seed=None,
+    seed: SeedLike = None,
 ) -> GraphSchedule:
     """Approximately ``degree``-regular graphs whose edges are partially
     rewired every round.
@@ -232,7 +232,7 @@ def star_oscillator_schedule(
     num_nodes: int,
     num_rounds: int,
     period: int = 1,
-    seed=None,
+    seed: SeedLike = None,
 ) -> GraphSchedule:
     """A star whose center moves every ``period`` rounds.
 
@@ -259,7 +259,7 @@ def path_shuffle_schedule(
     num_nodes: int,
     num_rounds: int,
     period: int = 1,
-    seed=None,
+    seed: SeedLike = None,
 ) -> GraphSchedule:
     """A Hamiltonian path whose node order is reshuffled every ``period`` rounds.
 
@@ -286,7 +286,7 @@ def geometric_mobility_schedule(
     num_rounds: int,
     radius: float = 0.35,
     speed: float = 0.05,
-    seed=None,
+    seed: SeedLike = None,
 ) -> GraphSchedule:
     """Random-waypoint-style mobility on the unit square.
 

@@ -37,7 +37,15 @@ from repro.core.problem import (
     single_source_problem,
     uniform_multi_source_problem,
 )
-from repro.dynamics.generators import static_random_schedule
+from repro.dynamics.generators import (
+    churn_schedule,
+    edge_markovian_schedule,
+    geometric_mobility_schedule,
+    path_shuffle_schedule,
+    rewiring_regular_schedule,
+    star_oscillator_schedule,
+    static_random_schedule,
+)
 from repro.scenarios.registry import (
     register_adversary,
     register_algorithm,
@@ -92,6 +100,122 @@ def static_random_adversary(
     """A :class:`ScheduleAdversary` replaying one static random graph."""
     schedule = static_random_schedule(num_nodes, edge_probability=edge_probability, seed=seed)
     return ScheduleAdversary(schedule, name="static-random")
+
+
+# Every dynamics generator is registered as a schedule-replaying adversary so
+# its parameters are sweepable (``--grid adversary.churn_fraction=...``) and
+# ``python -m repro list`` shows it.  ``num_rounds`` bounds the pre-committed
+# schedule; past its end the last round graph repeats (ScheduleAdversary).
+
+_DEFAULT_SCHEDULE_ROUNDS = 512
+
+
+@register_adversary(
+    "churn-schedule",
+    description="Pre-committed steady churn: a fraction of edges rewired every round.",
+)
+def churn_schedule_adversary(
+    num_nodes: int,
+    num_rounds: int = _DEFAULT_SCHEDULE_ROUNDS,
+    edge_probability: float = 0.1,
+    churn_fraction: float = 0.3,
+    seed: int = 0,
+) -> ScheduleAdversary:
+    schedule = churn_schedule(
+        num_nodes,
+        num_rounds,
+        edge_probability=edge_probability,
+        churn_fraction=churn_fraction,
+        seed=seed,
+    )
+    return ScheduleAdversary(schedule, name="churn-schedule")
+
+
+@register_adversary(
+    "edge-markovian",
+    description="Edge-Markovian evolving graph: per-edge birth/death chains.",
+)
+def edge_markovian_adversary(
+    num_nodes: int,
+    num_rounds: int = _DEFAULT_SCHEDULE_ROUNDS,
+    birth_probability: float = 0.02,
+    death_probability: float = 0.2,
+    seed: int = 0,
+) -> ScheduleAdversary:
+    schedule = edge_markovian_schedule(
+        num_nodes,
+        num_rounds,
+        birth_probability=birth_probability,
+        death_probability=death_probability,
+        seed=seed,
+    )
+    return ScheduleAdversary(schedule, name="edge-markovian")
+
+
+@register_adversary(
+    "rewiring-regular",
+    description="Approximately regular expander-like graphs with per-round chord rewiring.",
+)
+def rewiring_regular_adversary(
+    num_nodes: int,
+    num_rounds: int = _DEFAULT_SCHEDULE_ROUNDS,
+    degree: int = 4,
+    rewire_probability: float = 0.5,
+    seed: int = 0,
+) -> ScheduleAdversary:
+    schedule = rewiring_regular_schedule(
+        num_nodes,
+        num_rounds,
+        degree=degree,
+        rewire_probability=rewire_probability,
+        seed=seed,
+    )
+    return ScheduleAdversary(schedule, name="rewiring-regular")
+
+
+@register_adversary(
+    "star-oscillator",
+    description="A star whose center moves every period rounds (Θ(n) changes per move).",
+)
+def star_oscillator_adversary(
+    num_nodes: int,
+    num_rounds: int = _DEFAULT_SCHEDULE_ROUNDS,
+    period: int = 1,
+    seed: int = 0,
+) -> ScheduleAdversary:
+    schedule = star_oscillator_schedule(num_nodes, num_rounds, period=period, seed=seed)
+    return ScheduleAdversary(schedule, name="star-oscillator")
+
+
+@register_adversary(
+    "path-shuffle",
+    description="A Hamiltonian path reshuffled every period rounds (sparsest churn).",
+)
+def path_shuffle_adversary(
+    num_nodes: int,
+    num_rounds: int = _DEFAULT_SCHEDULE_ROUNDS,
+    period: int = 1,
+    seed: int = 0,
+) -> ScheduleAdversary:
+    schedule = path_shuffle_schedule(num_nodes, num_rounds, period=period, seed=seed)
+    return ScheduleAdversary(schedule, name="path-shuffle")
+
+
+@register_adversary(
+    "geometric-mobility",
+    description="Random-waypoint mobility on the unit square with a distance radius.",
+)
+def geometric_mobility_adversary(
+    num_nodes: int,
+    num_rounds: int = _DEFAULT_SCHEDULE_ROUNDS,
+    radius: float = 0.35,
+    speed: float = 0.05,
+    seed: int = 0,
+) -> ScheduleAdversary:
+    schedule = geometric_mobility_schedule(
+        num_nodes, num_rounds, radius=radius, speed=speed, seed=seed
+    )
+    return ScheduleAdversary(schedule, name="geometric-mobility")
 
 
 # -- problems --------------------------------------------------------------

@@ -54,6 +54,10 @@ from repro.utils.validation import ConfigurationError
 #: ``progress(completed, total, spec)`` called after each spec finishes.
 ProgressCallback = Callable[[int, int, ScenarioSpec], None]
 
+#: Version stamped into every emitted record; bump on incompatible layout
+#: changes so :mod:`repro.results.records` can reject records it cannot read.
+RECORD_SCHEMA_VERSION = 1
+
 
 class MaterializedScenario(NamedTuple):
     """Live objects built from a spec, ready to hand to the Simulator."""
@@ -110,6 +114,7 @@ def record_from_result(
 ) -> Dict[str, Any]:
     """Flatten one execution into a JSON-ready record."""
     return {
+        "schema_version": RECORD_SCHEMA_VERSION,
         "scenario": spec.label,
         "spec": spec.to_dict(),
         "repetition": repetition,

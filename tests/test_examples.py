@@ -18,6 +18,7 @@ EXAMPLE_FILES = [
     "p2p_gossip.py",
     "sensor_stream.py",
     "adversarial_lower_bound.py",
+    "results_warehouse.py",
 ]
 
 

@@ -1,0 +1,433 @@
+"""Tests for the results warehouse: records, store, aggregation, comparison."""
+
+import json
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.results import (
+    SCHEMA_VERSION,
+    RecordValidationError,
+    RunRecord,
+    RunStore,
+    aggregate,
+    bound_ratio_rows,
+    compare_to_bounds,
+    dump_records,
+    fit_scaling_exponent,
+    load_records,
+    open_source,
+    register_bound,
+    render_report,
+)
+from repro.results.compare import (
+    VERDICT_ABOVE,
+    VERDICT_WITHIN,
+    BoundSpec,
+    registered_bounds,
+)
+from repro.results.report import render_markdown_table, render_table
+from repro.scenarios import ScenarioRunner, ScenarioSpec, sweep
+from repro.utils.validation import ConfigurationError
+
+
+def small_specs(repetitions=2, nodes=(8, 10)):
+    base = ScenarioSpec(
+        problem="single-source",
+        problem_params={"num_nodes": 8, "num_tokens": 6},
+        algorithm="single-source",
+        adversary="churn",
+        repetitions=repetitions,
+        seed=3,
+    )
+    return sweep(base, {"problem.num_nodes": list(nodes)})
+
+
+@pytest.fixture(scope="module")
+def run_records():
+    """Records from one small serial sweep (shared; runs are deterministic)."""
+    return ScenarioRunner().run(small_specs())
+
+
+def synthetic_record(algorithm, n, k, s, repetition, amortized, competitive=None):
+    """A hand-built record with controlled metric values."""
+    spec = ScenarioSpec(
+        problem="single-source",
+        problem_params={"num_nodes": n, "num_tokens": k},
+        algorithm=algorithm,
+        adversary="churn",
+        seed=0,
+        repetitions=repetition + 1,
+    )
+    return RunRecord(
+        scenario=spec.label,
+        spec=spec.to_dict(),
+        repetition=repetition,
+        seed=repetition,
+        n=n,
+        k=k,
+        s=s,
+        completed=True,
+        rounds=10,
+        total_messages=int(amortized * k),
+        amortized_messages=float(amortized),
+        topological_changes=5,
+        adversary_competitive=float(competitive if competitive is not None else amortized) * k,
+        amortized_adversary_competitive=float(
+            competitive if competitive is not None else amortized
+        ),
+        token_learnings=n * k,
+    )
+
+
+class TestRunRecord:
+    def test_round_trip_preserves_schema_version(self, run_records):
+        record = RunRecord.from_dict(run_records[0])
+        assert record.schema_version == SCHEMA_VERSION
+        clone = RunRecord.from_json_line(record.to_json_line())
+        assert clone == record
+        assert json.loads(record.to_json_line())["schema_version"] == SCHEMA_VERSION
+
+    def test_runner_records_carry_the_schema_version(self, run_records):
+        assert all(r["schema_version"] == SCHEMA_VERSION for r in run_records)
+
+    def test_legacy_record_without_version_is_read_as_current(self, run_records):
+        payload = dict(run_records[0])
+        payload.pop("schema_version")
+        assert RunRecord.from_dict(payload).schema_version == SCHEMA_VERSION
+
+    def test_future_schema_version_is_rejected(self, run_records):
+        payload = dict(run_records[0], schema_version=SCHEMA_VERSION + 1)
+        with pytest.raises(ValueError, match="upgrade"):
+            RunRecord.from_dict(payload)
+
+    def test_identity_ignores_label_but_not_content(self, run_records):
+        record = RunRecord.from_dict(run_records[0])
+        renamed = RunRecord.from_dict(
+            dict(run_records[0], spec=dict(run_records[0]["spec"], name="other-label"))
+        )
+        assert renamed.identity() == record.identity()
+        reseeded = RunRecord.from_dict(
+            dict(run_records[0], spec=dict(run_records[0]["spec"], seed=99))
+        )
+        assert reseeded.identity() != record.identity()
+
+    def test_axis_values(self, run_records):
+        record = RunRecord.from_dict(run_records[0])
+        assert record.axis_value("algorithm") == "single-source"
+        assert record.axis_value("problem.num_nodes") == record.n
+        assert record.axis_value("n") == record.n
+        with pytest.raises(RecordValidationError, match="unknown axis"):
+            record.axis_value("not_an_axis")
+
+
+class TestJsonl:
+    def test_file_round_trip(self, tmp_path, run_records):
+        path = tmp_path / "runs.jsonl"
+        written = dump_records(run_records, path)
+        loaded = load_records(path)
+        assert written == len(run_records) == len(loaded)
+        assert [r.to_dict() for r in loaded] == [
+            RunRecord.from_dict(r).to_dict() for r in run_records
+        ]
+
+    def test_validation_error_names_file_and_line(self, tmp_path, run_records):
+        path = tmp_path / "runs.jsonl"
+        lines = [json.dumps(run_records[0]), "{not json", json.dumps(run_records[1])]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(RecordValidationError) as error:
+            load_records(path)
+        assert f"{path}:2" in str(error.value)
+
+    def test_tolerant_read_skips_bad_lines(self, tmp_path, run_records):
+        path = tmp_path / "runs.jsonl"
+        lines = [json.dumps(run_records[0]), "", "garbage", json.dumps(run_records[1])]
+        path.write_text("\n".join(lines) + "\n")
+        assert len(load_records(path, on_error="skip")) == 2
+
+    def test_wrongly_typed_field_is_rejected_with_its_name(self, run_records):
+        payload = dict(run_records[0], rounds="many")
+        with pytest.raises(ValueError, match="rounds"):
+            RunRecord.from_dict(payload)
+
+
+class TestRunStore:
+    def test_add_then_readd_is_a_no_op(self, tmp_path, run_records):
+        store = RunStore(tmp_path / "store")
+        assert store.add(run_records) == (len(run_records), 0)
+        assert store.add(run_records) == (0, len(run_records))
+        assert len(store) == len(run_records)
+
+    def test_reopened_store_sees_the_same_records(self, tmp_path, run_records):
+        RunStore(tmp_path / "store").add(run_records)
+        reopened = RunStore(tmp_path / "store")
+        assert [r.to_dict() for r in reopened.records()] == sorted(
+            (RunRecord.from_dict(r).to_dict() for r in run_records),
+            key=lambda d: (
+                ScenarioSpec.from_dict(d["spec"]).scenario_key(), d["repetition"],
+            ),
+        )
+
+    def test_merge_of_split_worker_outputs_equals_direct_store(self, tmp_path, run_records):
+        direct = RunStore(tmp_path / "direct")
+        direct.add(run_records)
+        half = len(run_records) // 2
+        worker_a = RunStore(tmp_path / "worker-a")
+        worker_a.add(run_records[:half])
+        worker_b = RunStore(tmp_path / "worker-b")
+        worker_b.add(run_records[half:])
+        merged = RunStore(tmp_path / "merged")
+        merged.merge(worker_a)
+        merged.merge(worker_b)
+        merged.merge(worker_a)  # idempotent: merging twice changes nothing
+        assert [r.to_dict() for r in merged.records()] == [
+            r.to_dict() for r in direct.records()
+        ]
+
+    def test_ingest_jsonl(self, tmp_path, run_records):
+        path = tmp_path / "runs.jsonl"
+        dump_records(run_records, path)
+        store = RunStore(tmp_path / "store")
+        assert store.ingest_jsonl(path) == (len(run_records), 0)
+        assert store.ingest_jsonl(path) == (0, len(run_records))
+
+    def test_query_filters(self, tmp_path, run_records):
+        store = RunStore(tmp_path / "store")
+        store.add(run_records)
+        assert store.query(algorithm="single-source") == store.records()
+        assert store.query(algorithm="flooding") == []
+        only_eight = store.query(where={"problem.num_nodes": 8})
+        assert only_eight and all(r.n == 8 for r in only_eight)
+
+    def test_lost_manifest_is_recovered_without_duplicates(self, tmp_path, run_records):
+        # A crash between the shard append and the manifest save loses the
+        # index but not the data; reopening must recover both the visibility
+        # of the records and exact dedup.
+        store_dir = tmp_path / "store"
+        RunStore(store_dir).add(run_records)
+        (store_dir / "manifest.json").unlink()
+        reopened = RunStore(store_dir)
+        assert len(reopened.records()) == len(run_records)
+        assert reopened.add(run_records) == (0, len(run_records))
+        shard_lines = sum(
+            len(path.read_text().splitlines())
+            for path in (store_dir / "shards").glob("*.jsonl")
+        )
+        assert shard_lines == len(run_records)
+
+    def test_open_source_reads_stores_and_files(self, tmp_path, run_records):
+        store = RunStore(tmp_path / "store")
+        store.add(run_records)
+        path = tmp_path / "runs.jsonl"
+        dump_records(run_records, path)
+        assert len(open_source(tmp_path / "store")) == len(run_records)
+        assert len(open_source(path)) == len(run_records)
+        with pytest.raises(ConfigurationError):
+            open_source(tmp_path / "missing.jsonl")
+        with pytest.raises(ConfigurationError):
+            open_source(tmp_path)  # a directory without a manifest
+
+
+class TestAggregation:
+    def test_rows_are_independent_of_record_order(self, run_records):
+        forward = aggregate(run_records, group_by=("algorithm", "n"))
+        backward = aggregate(list(reversed(run_records)), group_by=("algorithm", "n"))
+        assert forward == backward
+
+    def test_parallel_and_serial_runs_aggregate_identically(self):
+        specs = small_specs()
+        serial = ScenarioRunner(workers=1).run(specs)
+        parallel = ScenarioRunner(workers=2).run(specs)
+        group_by = ("algorithm", "adversary", "n", "k")
+        assert aggregate(serial, group_by) == aggregate(parallel, group_by)
+
+    def test_statistics_of_known_values(self):
+        records = [
+            synthetic_record("flooding", 8, 4, 1, rep, amortized=value)
+            for rep, value in enumerate([10.0, 20.0, 30.0])
+        ]
+        (row,) = aggregate(records, group_by=("algorithm",), metrics=("amortized_messages",))
+        assert row["runs"] == 3
+        assert row["amortized_messages_mean"] == pytest.approx(20.0)
+        assert row["amortized_messages_median"] == pytest.approx(20.0)
+        assert row["amortized_messages_min"] == 10.0
+        assert row["amortized_messages_max"] == 30.0
+        assert (
+            row["amortized_messages_ci_low"]
+            <= row["amortized_messages_mean"]
+            <= row["amortized_messages_ci_high"]
+        )
+
+    def test_grouping_by_component_parameter(self, run_records):
+        rows = aggregate(run_records, group_by=("problem.num_nodes",))
+        assert [row["problem.num_nodes"] for row in rows] == [8, 10]
+
+
+class TestComparison:
+    def power_law_records(self, algorithm, exponent, k=8):
+        return [
+            synthetic_record(
+                algorithm, n, k, 1, rep, amortized=float(n**exponent), competitive=float(n**exponent)
+            )
+            for n in (8, 16, 32, 64)
+            for rep in (0, 1)
+        ]
+
+    def test_slope_fit_recovers_the_exponent(self):
+        records = self.power_law_records("flooding", exponent=2)
+        points = [{"n": r.n, "measured": r.amortized_messages} for r in records]
+        fitted = fit_scaling_exponent(points)
+        assert fitted == pytest.approx(2.0, abs=1e-6)
+
+    def test_quadratic_growth_is_within_the_flooding_bound(self):
+        rows = compare_to_bounds(self.power_law_records("flooding", exponent=2))
+        (row,) = rows
+        assert row["algorithm"] == "flooding"
+        assert row["paper_bound"] == "O(n^2)"
+        assert row["measured_exponent"] == pytest.approx(2.0, abs=1e-6)
+        assert row["verdict"] == VERDICT_WITHIN
+
+    def test_cubic_growth_exceeds_the_flooding_bound(self):
+        rows = compare_to_bounds(self.power_law_records("flooding", exponent=3))
+        assert rows[0]["verdict"] == VERDICT_ABOVE
+
+    def test_ratio_rows_divide_measured_by_bound(self):
+        records = [synthetic_record("flooding", 10, 4, 1, 0, amortized=50.0)]
+        (row,) = bound_ratio_rows(records)
+        assert row["bound"] == pytest.approx(100.0)
+        assert row["ratio"] == pytest.approx(0.5)
+
+    def test_algorithms_without_bounds_are_omitted(self):
+        spec_fields = synthetic_record("flooding", 8, 4, 1, 0, amortized=1.0).to_dict()
+        spec_fields["spec"]["algorithm"] = "random-walk-not-registered"
+        assert bound_ratio_rows([spec_fields]) == []
+
+    def test_every_builtin_algorithm_has_a_bound(self):
+        bounds = registered_bounds()
+        for name in ("flooding", "one-shot-flooding", "naive-unicast",
+                     "spanning-tree", "single-source", "multi-source", "oblivious"):
+            assert name in bounds
+            value = bounds[name].evaluate(16, 32, 2)
+            assert math.isfinite(value) and value > 0
+
+    def test_register_bound_extension_hook(self):
+        name = "custom-bound-test-algorithm"
+        try:
+            register_bound(name, BoundSpec(expression="n", evaluate=lambda n, k, s: float(n)))
+            assert name in registered_bounds()
+            with pytest.raises(ConfigurationError, match="replace=True"):
+                register_bound(name, BoundSpec(expression="n", evaluate=lambda n, k, s: 1.0))
+        finally:
+            registered_bounds()  # defensive copy; remove via private map
+            from repro.results import compare
+
+            compare._ALGORITHM_BOUNDS.pop(name, None)
+
+
+class TestRendering:
+    def test_markdown_table_shape(self):
+        table = render_markdown_table(["a", "b"], [[1, 2.5], ["x", None]])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "| --- | --- |"
+        assert "| x | — |" in lines
+
+    def test_formats_dispatch(self):
+        headers, rows = ["a"], [[1]]
+        assert render_table(headers, rows, "csv") == "a\n1"
+        assert json.loads(render_table(headers, rows, "json")) == [{"a": 1}]
+        assert "a" in render_table(headers, rows, "text")
+        with pytest.raises(ConfigurationError):
+            render_table(headers, rows, "pdf")
+
+    def test_report_contains_all_sections(self, run_records):
+        document = render_report(run_records)
+        assert "# Results report" in document
+        assert "## Aggregates" in document
+        assert "## Paper bounds vs measured" in document
+        assert "## Table 1 (paper vs measured)" in document
+        assert "within bound" in document or "above bound" in document
+
+
+class TestCliAnalyze:
+    def test_analyze_jsonl_file_with_bounds(self, tmp_path, capsys, run_records):
+        path = tmp_path / "runs.jsonl"
+        dump_records(run_records, path)
+        assert main(["analyze", str(path), "--bounds"]) == 0
+        output = capsys.readouterr().out
+        assert "| algorithm |" in output
+        assert "verdict" in output
+
+    def test_analyze_reads_stdin(self, capsys, monkeypatch, run_records):
+        import io
+
+        lines = "\n".join(json.dumps(record) for record in run_records) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        assert main(["analyze", "--group-by", "algorithm,n", "--format", "csv"]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("algorithm,n,")
+
+    def test_analyze_store_directory(self, tmp_path, capsys, run_records):
+        store_dir = tmp_path / "store"
+        RunStore(store_dir).add(run_records)
+        assert main(["analyze", str(store_dir), "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows and rows[0]["runs"] >= 1
+
+    def test_analyze_empty_stdin_is_a_clean_error(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        assert main(["analyze"]) == 2
+        assert "no records" in capsys.readouterr().err
+
+    def test_analyze_bad_jsonl_reports_the_line(self, tmp_path, capsys):
+        path = tmp_path / "broken.jsonl"
+        path.write_text("not json\n")
+        assert main(["analyze", str(path)]) == 2
+        assert ":1" in capsys.readouterr().err
+
+    def test_report_command_writes_a_file(self, tmp_path, capsys, run_records):
+        path = tmp_path / "runs.jsonl"
+        dump_records(run_records, path)
+        out = tmp_path / "report.md"
+        assert main(["report", str(path), "--output", str(out)]) == 0
+        assert out.read_text().startswith("# Results report")
+
+
+class TestCliSweepStore:
+    def test_sweep_store_roundtrip_is_idempotent(self, tmp_path, capsys):
+        store_dir = tmp_path / "warehouse"
+        args = ["sweep", "-n", "8", "-k", "6", "--grid", '{"num_nodes": [8, 10]}',
+                "--repetitions", "2", "--seed", "3", "--store", str(store_dir)]
+        assert main(args) == 0
+        first = len(RunStore(store_dir))
+        assert first == 4
+        assert main(args) == 0
+        assert len(RunStore(store_dir)) == first
+        assert "0 added, 4 already present" in capsys.readouterr().out
+
+    def test_sweeping_num_nodes_follows_into_schedule_adversaries(self, capsys):
+        # The adversary's required num_nodes is injected from -n before the
+        # grid expands; sweeping the node count must update it per grid point.
+        assert main(["sweep", "--adversary", "star-oscillator", "-n", "8", "-k", "6",
+                     "--grid", '{"num_nodes": [8, 10]}', "--json"]) == 0
+        records = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
+        assert {r["n"] for r in records} == {8, 10}
+        assert all(r["spec"]["adversary_params"]["num_nodes"] == r["n"] for r in records)
+
+    def test_explicit_adversary_num_nodes_is_not_resynced(self, capsys):
+        # An explicit --set adversary.num_nodes is the user's choice; the
+        # engine then reports the mismatch instead of silently overriding.
+        exit_code = main(["sweep", "--adversary", "star-oscillator", "-n", "8", "-k", "6",
+                          "--set", "adversary.num_nodes=8",
+                          "--grid", '{"num_nodes": [10]}', "--json"])
+        assert exit_code == 2
+
+    def test_json_grid_bare_keys_map_to_problem_params(self, capsys):
+        assert main(["sweep", "-n", "8", "-k", "6",
+                     "--grid", '{"num_nodes": [8, 10], "seed": [1]}', "--json"]) == 0
+        records = [json.loads(line) for line in capsys.readouterr().out.strip().splitlines()]
+        assert {record["n"] for record in records} == {8, 10}
+        assert all(record["spec"]["seed"] == 1 for record in records)
