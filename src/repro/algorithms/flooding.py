@@ -53,11 +53,22 @@ class FloodingAlgorithm(LocalBroadcastAlgorithm):
 
     def on_setup(self) -> None:
         self._token_order = tuple(sorted(self.problem.tokens))
-        self._phase_length = (
-            self._rounds_per_token
-            if self._rounds_per_token is not None
-            else max(1, self.problem.num_nodes)
-        )
+        self._phase_length = self.phase_length_for(self.problem.num_nodes)
+
+    @property
+    def configured_rounds_per_token(self) -> Optional[int]:
+        """The explicit phase length, or ``None`` for the n-round default."""
+        return self._rounds_per_token
+
+    def phase_length_for(self, num_nodes: int) -> int:
+        """The phase length used on an ``num_nodes``-node problem.
+
+        Exposed so alternative execution backends reproduce the exact
+        phase schedule without going through :meth:`setup`.
+        """
+        if self._rounds_per_token is not None:
+            return self._rounds_per_token
+        return max(1, num_nodes)
 
     def current_token(self, round_index: int) -> Optional[Token]:
         """The token being flooded in the given round (None once all phases ended)."""

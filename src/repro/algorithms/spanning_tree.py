@@ -52,6 +52,15 @@ class SpanningTreeAlgorithm(UnicastAlgorithm):
         self._distributed_seen: Dict[NodeId, Set[Token]] = {}
         self._down_progress: Dict[NodeId, Dict[NodeId, int]] = {}
 
+    @property
+    def configured_root(self) -> Optional[NodeId]:
+        """The root requested at construction time (``None`` = lowest node ID).
+
+        Exposed so alternative execution backends pick the same root without
+        going through :meth:`setup`.
+        """
+        return self._configured_root
+
     # -- setup -----------------------------------------------------------------
 
     def on_setup(self) -> None:

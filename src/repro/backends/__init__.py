@@ -1,0 +1,42 @@
+"""Pluggable execution backends.
+
+A backend is one way of executing a materialized scenario; all backends must
+produce results structurally identical to the reference engine.  Importing
+this package registers the built-in backends:
+
+* ``reference`` — the pure-Python :class:`~repro.core.engine.Simulator`
+  (supports everything; defines the semantics);
+* ``bitset`` — an integer-bitmask fast path for the deterministic
+  token-forwarding family (flooding, single-source, spanning-tree) under
+  oblivious adversaries.
+
+Select a backend per scenario (``ScenarioSpec(backend="bitset", ...)``,
+``python -m repro run --backend bitset``) and check equivalence with the
+differential harness (:mod:`repro.backends.differential`, ``python -m repro
+verify-backend``).
+
+The differential harness imports the scenario layer, which in turn imports
+this package, so it is *not* re-exported here — import it as
+``from repro.backends import differential`` (or via the CLI) after the
+scenario layer is loaded.
+"""
+
+from repro.backends.base import (
+    BACKEND_REGISTRY,
+    DEFAULT_BACKEND,
+    EngineBackend,
+    get_backend,
+    register_backend,
+)
+from repro.backends.bitset import BitsetBackend
+from repro.backends.reference import ReferenceBackend
+
+__all__ = [
+    "BACKEND_REGISTRY",
+    "DEFAULT_BACKEND",
+    "EngineBackend",
+    "get_backend",
+    "register_backend",
+    "BitsetBackend",
+    "ReferenceBackend",
+]

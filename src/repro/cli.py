@@ -13,15 +13,20 @@ problems show up automatically:
   directory or stdin) with confidence intervals, and optionally compare the
   measured scaling against the paper's bounds;
 * ``report`` — render the full paper-vs-measured markdown report;
-* ``list`` — enumerate the registered algorithms, adversaries and problems
-  with their tunable parameters;
+* ``verify-backend`` — differentially validate an execution backend against
+  the reference engine on a seeded scenario grid;
+* ``list`` — enumerate the registered algorithms, adversaries, problems and
+  execution backends with their tunable parameters;
 * ``table1`` — regenerate Table 1 (analytic bounds) for a given n;
 * ``bounds`` — evaluate every theorem bound at a given (n, k, s).
 
 Examples::
 
     python -m repro run --algorithm single-source --adversary churn -n 20 -k 40
+    python -m repro run --algorithm flooding --adversary static-random \\
+        -n 128 -k 128 --backend bitset
     python -m repro run --spec scenario.json --json
+    python -m repro verify-backend
     python -m repro list
     python -m repro sweep --algorithm single-source --adversary churn \\
         -n 16 -k 32 --grid problem.num_nodes=16,32,64 --repetitions 3 \\
@@ -51,6 +56,7 @@ from repro.analysis.bounds import (
     static_spanning_tree_amortized,
 )
 from repro.analysis.reporting import format_table, render_table1
+from repro.backends import BACKEND_REGISTRY, DEFAULT_BACKEND
 from repro.scenarios import (
     ADVERSARY_REGISTRY,
     ALGORITHM_REGISTRY,
@@ -78,7 +84,12 @@ ADVERSARIES: Dict[str, Callable[[], object]] = {
 
 _DEFAULT_TOKENS = 40
 
-_REGISTRY_PLURALS = {"algorithm": "algorithms", "adversary": "adversaries", "problem": "problems"}
+_REGISTRY_PLURALS = {
+    "algorithm": "algorithms",
+    "adversary": "adversaries",
+    "problem": "problems",
+    "backend": "backends",
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -179,8 +190,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--title", default="Results report", help="report heading"
     )
 
+    verify = subparsers.add_parser(
+        "verify-backend",
+        help="differentially validate a backend against the reference engine",
+    )
+    verify.add_argument(
+        "--backend",
+        default="bitset",
+        metavar="NAME",
+        help="candidate backend to validate (default bitset; validated against "
+        "the registry after --import modules are loaded, so third-party "
+        "backends work)",
+    )
+    verify.add_argument(
+        "--reference",
+        default=DEFAULT_BACKEND,
+        metavar="NAME",
+        help="backend treated as ground truth (default reference)",
+    )
+    verify.add_argument(
+        "--import",
+        dest="import_modules",
+        action="append",
+        default=[],
+        metavar="MODULE",
+        help="import a module that registers third-party backends before "
+        "validating (repeatable)",
+    )
+    verify.add_argument(
+        "--spec",
+        metavar="FILE",
+        default=None,
+        help="validate one ScenarioSpec JSON file instead of the built-in grid",
+    )
+    verify.add_argument(
+        "--json", action="store_true", help="emit the differential report as JSON"
+    )
+
     list_parser = subparsers.add_parser(
-        "list", help="list registered algorithms, adversaries and problems"
+        "list", help="list registered algorithms, adversaries, problems and backends"
     )
     list_parser.add_argument(
         "--json", action="store_true", help="emit the registry contents as JSON"
@@ -228,6 +276,14 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--max-rounds", type=int, default=None)
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_REGISTRY.names(),
+        default=DEFAULT_BACKEND,
+        help="execution backend (validated backends give identical results; "
+        "'bitset' is the fast path for flooding/single-source/spanning-tree "
+        "under oblivious adversaries)",
+    )
     parser.add_argument(
         "--random-placement",
         action="store_true",
@@ -395,6 +451,7 @@ def _spec_from_args(args: argparse.Namespace, *, repetitions: int = 1) -> Scenar
         seed=args.seed,
         repetitions=repetitions,
         max_rounds=args.max_rounds,
+        backend=args.backend,
     )
 
 
@@ -435,6 +492,7 @@ _SPEC_INCOMPATIBLE_FLAGS = [
     ("max_rounds", None, "--max-rounds"),
     ("random_placement", False, "--random-placement"),
     ("overrides", [], "--set"),
+    ("backend", DEFAULT_BACKEND, "--backend"),
 ]
 
 
@@ -609,8 +667,54 @@ def command_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def command_verify_backend(args: argparse.Namespace) -> int:
+    import importlib
+
+    from repro.backends.differential import default_differential_specs, validate_backends
+
+    for module_name in args.import_modules:
+        try:
+            importlib.import_module(module_name)
+        except ImportError as error:
+            raise ConfigurationError(
+                f"cannot import backend module {module_name!r}: {error}"
+            ) from error
+    if args.spec is not None:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            specs = [ScenarioSpec.from_json(handle.read())]
+    else:
+        specs = default_differential_specs()
+    report = validate_backends(
+        specs, reference=args.reference, candidate=args.backend
+    )
+    if args.json:
+        print(json.dumps(report.describe(), indent=2, sort_keys=True))
+        return 0 if report.passed else 1
+    rows = []
+    for outcome in report.outcomes:
+        status = "ok" if outcome.equal else ", ".join(
+            difference.field for difference in outcome.differences
+        )
+        rows.append(
+            [outcome.spec.label, outcome.repetition, outcome.seed, status]
+        )
+    print(format_table(["scenario", "repetition", "seed", "status"], rows))
+    verdict = "PASS" if report.passed else "FAIL"
+    print(
+        f"\n{verdict}: {len(report.outcomes)} execution(s), "
+        f"{len(report.failures)} mismatch(es) "
+        f"({args.backend} vs {args.reference})"
+    )
+    return 0 if report.passed else 1
+
+
 def command_list(args: argparse.Namespace) -> int:
-    registries: List[Registry] = [ALGORITHM_REGISTRY, ADVERSARY_REGISTRY, PROBLEM_REGISTRY]
+    registries: List[Registry] = [
+        ALGORITHM_REGISTRY,
+        ADVERSARY_REGISTRY,
+        PROBLEM_REGISTRY,
+        BACKEND_REGISTRY,
+    ]
     if args.json:
         payload = {
             _REGISTRY_PLURALS[registry.kind]: [entry.describe() for entry in registry.entries()]
@@ -660,6 +764,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": command_sweep,
         "analyze": command_analyze,
         "report": command_report,
+        "verify-backend": command_verify_backend,
         "list": command_list,
         "table1": command_table1,
         "bounds": command_bounds,

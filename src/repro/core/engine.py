@@ -66,6 +66,12 @@ class Simulator:
             generators derived from it.
         require_connected: enforce per-round connectivity (the paper's model
             requirement).  Disable only for diagnostic experiments.
+        keep_trace: when ``False`` the dynamic-graph trace drops per-round
+            edge sets as it goes (``TC(E)``, removals and per-round
+            connectivity are still computed incrementally), so long
+            executions use O(current edges) memory instead of
+            O(rounds x edges).  All headline result numbers are unaffected;
+            only round-by-round trace queries become unavailable.
     """
 
     def __init__(
@@ -87,6 +93,11 @@ class Simulator:
         self._max_rounds = require_positive_int(max_rounds, "max_rounds")
         self._require_connected = require_connected
         self._keep_trace = keep_trace
+        # Per-round invariants, hoisted out of the round loop: the node set
+        # never changes during an execution, so neither membership checks nor
+        # the inbox skeleton need to rebuild it every round.
+        self._nodes: Tuple[NodeId, ...] = problem.nodes
+        self._node_set = frozenset(problem.nodes)
         base_rng = ensure_rng(seed)
         self._algorithm_rng = spawn_rng(base_rng, "algorithm")
         self._adversary_rng = spawn_rng(base_rng, "adversary")
@@ -106,7 +117,7 @@ class Simulator:
         algorithm.setup(problem, self._algorithm_rng)
         adversary.reset(problem, self._adversary_rng)
 
-        trace = DynamicGraphTrace(problem.nodes)
+        trace = DynamicGraphTrace(problem.nodes, keep_history=self._keep_trace)
         accountant = MessageAccountant(algorithm.communication_model)
         events = EventLog()
         previous_messages: Tuple[SentRecord, ...] = ()
@@ -188,7 +199,7 @@ class Simulator:
         previous_messages: Tuple[SentRecord, ...],
     ) -> Tuple[SentRecord, ...]:
         algorithm: LocalBroadcastAlgorithm = self._algorithm  # type: ignore[assignment]
-        node_set = set(self._problem.nodes)
+        node_set = self._node_set
 
         broadcasts = algorithm.select_broadcasts(round_index)
         for node in broadcasts:
@@ -198,7 +209,7 @@ class Simulator:
         observation = self._observation(round_index, broadcasts, previous_messages)
         neighbors = self._round_graph(round_index, observation, trace)
 
-        inbox: Dict[NodeId, List[ReceivedMessage]] = {node: [] for node in node_set}
+        inbox: Dict[NodeId, List[ReceivedMessage]] = {node: [] for node in self._nodes}
         sent_records: List[SentRecord] = []
         for node in sorted(broadcasts):
             payload = broadcasts[node]
@@ -220,7 +231,7 @@ class Simulator:
         previous_messages: Tuple[SentRecord, ...],
     ) -> Tuple[SentRecord, ...]:
         algorithm: UnicastAlgorithm = self._algorithm  # type: ignore[assignment]
-        node_set = set(self._problem.nodes)
+        node_set = self._node_set
 
         observation = self._observation(round_index, {}, previous_messages)
         neighbors = self._round_graph(round_index, observation, trace)
@@ -232,7 +243,7 @@ class Simulator:
         )
 
         sends = algorithm.select_messages(round_index, neighbors)
-        inbox: Dict[NodeId, List[ReceivedMessage]] = {node: [] for node in node_set}
+        inbox: Dict[NodeId, List[ReceivedMessage]] = {node: [] for node in self._nodes}
         sent_records: List[SentRecord] = []
         for sender in sorted(sends):
             if sender not in node_set:

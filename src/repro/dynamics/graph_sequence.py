@@ -28,14 +28,25 @@ class DynamicGraphTrace:
     """The recorded sequence of round graphs of a single execution.
 
     Rounds are 1-indexed, matching the paper.  Round 0 is the empty graph.
+
+    With ``keep_history=False`` the trace maintains only the current round
+    graph and the running totals (``TC(E)``, removals): long executions then
+    use O(current edges) memory instead of O(rounds x edges), at the price
+    that only the *latest* round can be queried — accessing an earlier round,
+    :meth:`edge_lifetime` or :meth:`as_schedule` raises ``SimulationError``.
     """
 
-    def __init__(self, nodes: Iterable[NodeId]):
+    def __init__(self, nodes: Iterable[NodeId], *, keep_history: bool = True):
         self._nodes: List[NodeId] = validate_nodes(nodes)
         self._node_set: FrozenSet[NodeId] = frozenset(self._nodes)
+        self._keep_history = keep_history
         self._edge_sets: List[FrozenSet[Edge]] = []
         self._insertions: List[FrozenSet[Edge]] = []
         self._removals: List[FrozenSet[Edge]] = []
+        self._num_rounds = 0
+        self._current_edges: FrozenSet[Edge] = frozenset()
+        self._current_insertions: FrozenSet[Edge] = frozenset()
+        self._current_removals: FrozenSet[Edge] = frozenset()
         self._total_insertions = 0
         self._total_removals = 0
 
@@ -52,34 +63,58 @@ class DynamicGraphTrace:
     @property
     def num_rounds(self) -> int:
         """Number of rounds recorded so far."""
-        return len(self._edge_sets)
+        return self._num_rounds
+
+    @property
+    def keeps_history(self) -> bool:
+        """Whether per-round edge sets are retained (see ``keep_history``)."""
+        return self._keep_history
 
     def record_round(self, edges: Iterable[Edge]) -> FrozenSet[Edge]:
         """Record the edge set of the next round and return it normalized."""
         edge_set = validate_edges(self._node_set, edges)
-        previous = self._edge_sets[-1] if self._edge_sets else frozenset()
+        previous = self._current_edges
         inserted = frozenset(edge_set - previous)
         removed = frozenset(previous - edge_set)
-        self._edge_sets.append(edge_set)
-        self._insertions.append(inserted)
-        self._removals.append(removed)
+        self._num_rounds += 1
+        self._current_edges = edge_set
+        self._current_insertions = inserted
+        self._current_removals = removed
         self._total_insertions += len(inserted)
         self._total_removals += len(removed)
+        if self._keep_history:
+            self._edge_sets.append(edge_set)
+            self._insertions.append(inserted)
+            self._removals.append(removed)
         return edge_set
 
     def _check_round(self, round_index: int) -> int:
-        if round_index < 1 or round_index > len(self._edge_sets):
+        if round_index < 1 or round_index > self._num_rounds:
             raise SimulationError(
                 f"round {round_index} has not been recorded "
-                f"(recorded rounds: 1..{len(self._edge_sets)})"
+                f"(recorded rounds: 1..{self._num_rounds})"
+            )
+        if not self._keep_history and round_index != self._num_rounds:
+            raise SimulationError(
+                f"round {round_index} was dropped (keep_history=False retains "
+                f"only the current round {self._num_rounds})"
             )
         return round_index
+
+    def _require_history(self, what: str) -> None:
+        if not self._keep_history:
+            raise SimulationError(
+                f"{what} needs the full round history, "
+                "but this trace was recorded with keep_history=False"
+            )
 
     def edges_in_round(self, round_index: int) -> FrozenSet[Edge]:
         """``E_r`` for a recorded round ``r`` (``E_0`` is the empty set)."""
         if round_index == 0:
             return frozenset()
         self._check_round(round_index)
+        if not self._keep_history:
+            return self._current_edges
         return self._edge_sets[round_index - 1]
 
     def inserted_edges(self, round_index: int) -> FrozenSet[Edge]:
@@ -87,6 +122,8 @@ class DynamicGraphTrace:
         if round_index == 0:
             return frozenset()
         self._check_round(round_index)
+        if not self._keep_history:
+            return self._current_insertions
         return self._insertions[round_index - 1]
 
     def removed_edges(self, round_index: int) -> FrozenSet[Edge]:
@@ -94,6 +131,8 @@ class DynamicGraphTrace:
         if round_index == 0:
             return frozenset()
         self._check_round(round_index)
+        if not self._keep_history:
+            return self._current_removals
         return self._removals[round_index - 1]
 
     def topological_changes(self, up_to_round: Optional[int] = None) -> int:
@@ -103,6 +142,11 @@ class DynamicGraphTrace:
         if up_to_round < 0:
             raise ConfigurationError("up_to_round must be non-negative")
         up_to_round = min(up_to_round, self.num_rounds)
+        if up_to_round == self.num_rounds:
+            return self._total_insertions
+        if up_to_round == 0:
+            return 0
+        self._require_history("a topological-changes prefix")
         return sum(len(self._insertions[r]) for r in range(up_to_round))
 
     def total_edge_removals(self, up_to_round: Optional[int] = None) -> int:
@@ -110,6 +154,11 @@ class DynamicGraphTrace:
         if up_to_round is None:
             return self._total_removals
         up_to_round = min(max(up_to_round, 0), self.num_rounds)
+        if up_to_round == self.num_rounds:
+            return self._total_removals
+        if up_to_round == 0:
+            return 0
+        self._require_history("an edge-removals prefix")
         return sum(len(self._removals[r]) for r in range(up_to_round))
 
     def graph(self, round_index: int) -> nx.Graph:
@@ -129,11 +178,13 @@ class DynamicGraphTrace:
 
     def edge_lifetime(self, edge: Edge) -> int:
         """Total number of rounds in which ``edge`` was present."""
+        self._require_history("edge_lifetime")
         canonical = normalize_edge(*edge)
         return sum(1 for edge_set in self._edge_sets if canonical in edge_set)
 
     def as_schedule(self) -> "GraphSchedule":
         """Freeze the recorded trace into a replayable :class:`GraphSchedule`."""
+        self._require_history("as_schedule")
         return GraphSchedule(self._nodes, list(self._edge_sets))
 
     def __len__(self) -> int:

@@ -56,7 +56,8 @@ ProgressCallback = Callable[[int, int, ScenarioSpec], None]
 
 #: Version stamped into every emitted record; bump on incompatible layout
 #: changes so :mod:`repro.results.records` can reject records it cannot read.
-RECORD_SCHEMA_VERSION = 1
+#: v2: the embedded spec gained the ``backend`` field.
+RECORD_SCHEMA_VERSION = 2
 
 
 class MaterializedScenario(NamedTuple):
@@ -91,22 +92,34 @@ def repetition_seed(spec: ScenarioSpec, repetition: int) -> int:
     return derive_seed(spec.seed, spec.scenario_key(), repetition)
 
 
-def run_scenario(spec: ScenarioSpec, repetition: int = 0) -> ExecutionResult:
-    """Run one repetition of ``spec`` and return the full execution result."""
+def run_scenario(
+    spec: ScenarioSpec, repetition: int = 0, *, keep_trace: bool = True
+) -> ExecutionResult:
+    """Run one repetition of ``spec`` and return the full execution result.
+
+    The execution is dispatched to the backend named by ``spec.backend``
+    (see :mod:`repro.backends`); all validated backends produce structurally
+    identical results, so the choice only affects wall-clock and memory.
+    """
     if repetition < 0 or repetition >= spec.repetitions:
         raise ConfigurationError(
             f"repetition {repetition} out of range for a spec with "
             f"{spec.repetitions} repetition(s)"
         )
+    # Imported lazily: repro.backends itself imports the scenario layer (for
+    # the shared Registry), so a module-level import here would be circular.
+    from repro.backends import get_backend
+
     scenario = materialize(spec)
-    simulator = Simulator(
+    backend = get_backend(spec.backend)
+    return backend.run(
         scenario.problem,
         scenario.algorithm,
         scenario.adversary,
         seed=repetition_seed(spec, repetition),
         max_rounds=spec.max_rounds,
+        keep_trace=keep_trace,
     )
-    return simulator.run()
 
 
 def record_from_result(

@@ -36,7 +36,13 @@ _TOP_LEVEL_SWEEP_FIELDS = (
     "repetitions",
     "max_rounds",
     "name",
+    "backend",
 )
+
+#: Spec fields that are execution details, not scientific content: they are
+#: excluded from :meth:`ScenarioSpec.scenario_key` (and hence from derived
+#: seeds), so changing them never reseeds an experiment.
+_EXECUTION_FIELDS = ("name", "repetitions", "max_rounds", "backend")
 
 _PARAM_SECTIONS = {
     "problem": "problem_params",
@@ -71,6 +77,10 @@ class ScenarioSpec:
         repetitions: how many independently seeded executions to run.
         max_rounds: optional round limit (defaults to the engine's bound).
         name: optional human-readable label used in records and reports.
+        backend: registry name of the execution backend (see
+            :mod:`repro.backends`).  An execution detail like ``name``: it
+            never changes the derived seeds, so validated backends produce
+            identical records under any choice.
     """
 
     problem: str
@@ -83,6 +93,7 @@ class ScenarioSpec:
     repetitions: int = 1
     max_rounds: Optional[int] = None
     name: str = ""
+    backend: str = "reference"
 
     def __post_init__(self) -> None:
         for field_name in ("problem", "algorithm", "adversary"):
@@ -98,6 +109,10 @@ class ScenarioSpec:
         require_positive_int(self.repetitions, "repetitions")
         if self.max_rounds is not None:
             require_positive_int(self.max_rounds, "max_rounds")
+        if not self.backend or not isinstance(self.backend, str):
+            raise ConfigurationError(
+                f"backend must be a non-empty registry name, got {self.backend!r}"
+            )
 
     # -- identity ----------------------------------------------------------
 
@@ -112,12 +127,13 @@ class ScenarioSpec:
         Used to derive per-repetition seeds: two specs describing the same
         experiment get the same random streams regardless of how they are
         labelled, batched or distributed over worker processes.  ``name``
-        is excluded (a label is not content), and so are ``repetitions``
-        and ``max_rounds``: raising the repetition count or adding a round
-        cap must not reseed the repetitions already run.
+        is excluded (a label is not content), and so are ``repetitions``,
+        ``max_rounds`` and ``backend``: raising the repetition count,
+        adding a round cap or switching the execution backend must not
+        reseed the repetitions already run.
         """
         payload = self.to_dict()
-        for execution_field in ("name", "repetitions", "max_rounds"):
+        for execution_field in _EXECUTION_FIELDS:
             payload.pop(execution_field, None)
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
@@ -136,6 +152,7 @@ class ScenarioSpec:
             "repetitions": self.repetitions,
             "max_rounds": self.max_rounds,
             "name": self.name,
+            "backend": self.backend,
         }
 
     def to_json(self, *, indent: Optional[int] = None) -> str:

@@ -139,17 +139,19 @@ class TestListCommand:
     def test_list_enumerates_all_registries(self, capsys):
         assert main(["list"]) == 0
         output = capsys.readouterr().out
-        for section in ("algorithms:", "adversaries:", "problems:"):
+        for section in ("algorithms:", "adversaries:", "problems:", "backends:"):
             assert section in output
-        for name in ("single-source", "lower-bound", "n-gossip"):
+        for name in ("single-source", "lower-bound", "n-gossip", "bitset"):
             assert name in output
 
     def test_list_json_is_machine_readable(self, capsys):
         assert main(["list", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert set(payload) == {"algorithms", "adversaries", "problems"}
+        assert set(payload) == {"algorithms", "adversaries", "problems", "backends"}
         names = {entry["name"] for entry in payload["algorithms"]}
         assert "flooding" in names
+        backend_names = {entry["name"] for entry in payload["backends"]}
+        assert {"reference", "bitset"} <= backend_names
         oblivious = next(e for e in payload["algorithms"] if e["name"] == "oblivious")
         defaults = {p["name"]: p.get("default") for p in oblivious["parameters"]}
         assert defaults["force_two_phase"] is True

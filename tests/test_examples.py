@@ -19,6 +19,7 @@ EXAMPLE_FILES = [
     "sensor_stream.py",
     "adversarial_lower_bound.py",
     "results_warehouse.py",
+    "backends_fast_path.py",
 ]
 
 

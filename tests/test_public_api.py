@@ -40,6 +40,7 @@ class TestPublicApi:
             "repro.adversaries",
             "repro.algorithms",
             "repro.analysis",
+            "repro.backends",
             "repro.utils",
         ):
             assert importlib.import_module(module) is not None
