@@ -35,8 +35,27 @@ Or declaratively, through the Scenario API (registries + serializable specs
     )
     print(run_scenario(spec).total_messages)
 
+Or as one fluent expression through the Experiment API
+(:mod:`repro.api`), which chains grid → run → store → aggregate →
+compare → report and re-executes only what a bound store is missing::
+
+    from repro import Experiment
+
+    print(
+        Experiment.grid(algorithm="flooding", adversary="static-random",
+                        num_nodes=[16, 32, 64], num_tokens=32)
+        .seeds(5)
+        .backend("bitset")
+        .store(".repro-store")          # re-runs skip cells already stored
+        .run(workers=4)                 # streams records as they complete
+        .aggregate(by=["n"])
+        .compare(bounds=True)
+        .report("md")
+    )
+
 See README.md for installation, the Scenario API (spec JSON, sweeps,
-``--workers``) and the registry extension recipe.
+``--workers``), one-expression experiments and the registry extension
+recipe.
 """
 
 from repro.core import (
@@ -139,11 +158,37 @@ from repro.analysis import (
     single_source_competitive_bound,
     table1_rows,
 )
+from repro.api import (
+    Aggregate,
+    Comparison,
+    Experiment,
+    ExperimentError,
+    ExperimentPlan,
+    RunSet,
+    load_runs,
+)
+from repro.utils.validation import (
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    # fluent experiment API
+    "Experiment",
+    "ExperimentError",
+    "ExperimentPlan",
+    "RunSet",
+    "Aggregate",
+    "Comparison",
+    "load_runs",
     # core
     "CommunicationModel",
     "DisseminationProblem",

@@ -81,7 +81,8 @@ class ExperimentRunner:
         warnings.warn(
             "ExperimentRunner is deprecated; describe experiments as "
             "repro.scenarios.ScenarioSpec and run them with "
-            "repro.scenarios.ScenarioRunner",
+            "repro.scenarios.ScenarioRunner, or use the fluent "
+            "repro.Experiment pipeline (grid/seeds/store/run/aggregate)",
             DeprecationWarning,
             stacklevel=2,
         )

@@ -1,0 +1,827 @@
+"""The fluent Experiment API: one composable pipeline from grid to report.
+
+This module is the single high-level front door over the three subsystems
+that previously had to be stitched together by hand (or via CLI pipes):
+:mod:`repro.scenarios` (specs, registries, execution),
+:mod:`repro.results` (store, aggregation, bound comparison) and
+:mod:`repro.backends` (execution engines).  The whole run → store →
+aggregate → compare → report loop is one lazily-evaluated expression::
+
+    from repro import Experiment
+
+    report = (
+        Experiment.grid(algorithm="flooding", adversary="static-random",
+                        num_nodes=[32, 64, 128], num_tokens=64)
+        .seeds(10)
+        .backend("bitset")
+        .store(".repro-store")
+        .run(workers=8)
+        .aggregate(by=["n"])
+        .compare(bounds=True)
+        .report("md")
+    )
+
+Every stage returns a typed handle that can also be consumed directly:
+
+* :meth:`Experiment.plan` → :class:`ExperimentPlan` — the expanded
+  scenario×repetition cells, split into cached and pending;
+* :meth:`Experiment.run` / :meth:`ExperimentPlan.run` → :class:`RunSet` —
+  iterable, **streaming** records as executions complete;
+* :meth:`RunSet.aggregate` → :class:`Aggregate` — grouped statistic rows;
+* :meth:`Aggregate.compare` → :class:`Comparison` — paper-bound verdicts
+  plus the full markdown report.
+
+**Incremental runs.**  With a bound store (:meth:`Experiment.store`), the
+plan phase consults the :class:`~repro.results.store.RunStore` and skips
+every scenario×repetition cell whose record already exists — keyed by
+``scenario_key`` (which embeds the base seed, hence the derived
+per-repetition seed) plus the repetition index and the current record
+schema version.  Enlarging a grid or raising the seed count therefore only
+executes the delta, while the :class:`RunSet` still yields the *complete*
+record set (cached + fresh), so aggregates and reports are byte-identical
+to a cold full run.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+from dataclasses import dataclass, replace
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.results.aggregate import (
+    DEFAULT_GROUP_BY,
+    DEFAULT_METRICS,
+    aggregate as _aggregate_records,
+    aggregate_columns,
+)
+from repro.results.compare import compare_to_bounds
+from repro.results.records import SCHEMA_VERSION, RunRecord, coerce_record
+from repro.results.report import (
+    COMPARISON_COLUMNS,
+    render_report,
+    rows_to_table,
+)
+from repro.results.store import RunStore, open_source
+from repro.scenarios.registry import (
+    ADVERSARY_REGISTRY,
+    ALGORITHM_REGISTRY,
+    PROBLEM_REGISTRY,
+)
+from repro.scenarios.runner import (
+    record_from_result,
+    repetition_seed,
+    run_scenario,
+)
+from repro.scenarios.spec import _TOP_LEVEL_SWEEP_FIELDS, ScenarioSpec, sweep
+from repro.utils.validation import ConfigurationError, ReproError
+
+__all__ = [
+    "Aggregate",
+    "Comparison",
+    "Experiment",
+    "ExperimentError",
+    "ExperimentPlan",
+    "PlanCell",
+    "RunSet",
+    "load_runs",
+]
+
+#: Path-like accepted wherever a store directory is named.
+StorePath = Union[str, "RunStore"]
+
+#: One JSON-ready run record (the runner's currency).
+Record = Dict[str, Any]
+
+
+class ExperimentError(ReproError):
+    """Raised when a pipeline stage is used inconsistently at run time."""
+
+
+def _normalize_dimension_key(key: str) -> str:
+    """Bare non-spec-field keys are shorthand for problem parameters."""
+    if "." in key or key in _TOP_LEVEL_SWEEP_FIELDS:
+        return key
+    return f"problem.{key}"
+
+
+def _is_dimension(value: Any) -> bool:
+    """Lists, tuples and ranges sweep; every other value configures."""
+    return isinstance(value, (list, tuple, range))
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """An immutable, lazily-evaluated description of a batch of scenarios.
+
+    Build one with :meth:`grid` (keyword dimensions), :meth:`from_spec`
+    (one base spec plus an optional grid) or :meth:`from_specs` (an
+    explicit, already-expanded batch).  Every fluent method returns a new
+    ``Experiment``; nothing executes until :meth:`plan` or :meth:`run` —
+    and because planning re-reads the bound store, the *same* experiment
+    object can be run repeatedly, executing only what is missing each time.
+    """
+
+    _base: Optional[ScenarioSpec] = None
+    _grid: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+    _explicit: Optional[Tuple[ScenarioSpec, ...]] = None
+    _store_path: Optional[str] = None
+    _extensions: Tuple[str, ...] = ()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def grid(
+        cls,
+        dimensions: Optional[Mapping[str, Any]] = None,
+        **kwargs: Any,
+    ) -> "Experiment":
+        """Build an experiment from keyword dimensions.
+
+        Keys are spec fields (``problem``, ``algorithm``, ``adversary``,
+        ``backend``, ``seed``, ...), dotted parameter paths
+        (``"adversary.changes_per_round"`` — via the ``dimensions``
+        mapping, since dots cannot appear in keyword names) or bare problem
+        parameters (``num_nodes`` → ``problem.num_nodes``).  A list, tuple
+        or range value becomes a swept grid dimension; any other value
+        configures the base scenario::
+
+            Experiment.grid(algorithm="flooding", adversary="static-random",
+                            num_nodes=[32, 64, 128], num_tokens=64)
+        """
+        overlap = sorted(set(dimensions or {}) & set(kwargs))
+        if overlap:
+            raise ConfigurationError(
+                f"grid key(s) {overlap} passed both in the dimensions mapping "
+                f"and as keyword arguments; pass each once"
+            )
+        merged: Dict[str, Any] = dict(dimensions or {})
+        merged.update(kwargs)
+        spec_fields: Dict[str, Any] = {}
+        params: Dict[str, Dict[str, Any]] = {"problem": {}, "algorithm": {}, "adversary": {}}
+        grid: Dict[str, List[Any]] = {}
+        seen: Dict[str, str] = {}  # normalized key -> raw spelling
+        for raw_key, value in merged.items():
+            if not isinstance(raw_key, str) or not raw_key:
+                raise ConfigurationError(f"grid keys must be non-empty strings, got {raw_key!r}")
+            key = _normalize_dimension_key(raw_key)
+            if key in seen:
+                # E.g. a dotted "problem.num_nodes" in the mapping plus a
+                # bare num_nodes kwarg: one would silently win — refuse.
+                raise ConfigurationError(
+                    f"grid keys {seen[key]!r} and {raw_key!r} both address "
+                    f"{key!r}; pass it once"
+                )
+            seen[key] = raw_key
+            if _is_dimension(value):
+                values = list(value)
+                if not values:
+                    raise ConfigurationError(f"grid dimension {raw_key!r} has no values")
+                grid[key] = values
+            elif key in _TOP_LEVEL_SWEEP_FIELDS:
+                spec_fields[key] = value
+            else:
+                section, _, param = key.partition(".")
+                if section not in params or not param:
+                    raise ConfigurationError(
+                        f"invalid grid key {raw_key!r}: use a spec field "
+                        f"{_TOP_LEVEL_SWEEP_FIELDS}, a dotted parameter path or a "
+                        f"bare problem parameter"
+                    )
+                params[section][param] = value
+        base = ScenarioSpec(
+            problem=spec_fields.pop("problem", "single-source"),
+            algorithm=spec_fields.pop("algorithm", "single-source"),
+            adversary=spec_fields.pop("adversary", "churn"),
+            problem_params=params["problem"],
+            algorithm_params=params["algorithm"],
+            adversary_params=params["adversary"],
+            **spec_fields,
+        )
+        return cls(_base=base, _grid=tuple((key, tuple(values)) for key, values in grid.items()))
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: ScenarioSpec,
+        grid: Optional[Mapping[str, Sequence[Any]]] = None,
+    ) -> "Experiment":
+        """Wrap one base spec, optionally crossed with a sweep grid."""
+        if not isinstance(spec, ScenarioSpec):
+            raise ConfigurationError(f"expected a ScenarioSpec, got {type(spec).__name__}")
+        dims = tuple(
+            (_normalize_dimension_key(key), tuple(values))
+            for key, values in (grid or {}).items()
+        )
+        return cls(_base=spec, _grid=dims)
+
+    @classmethod
+    def from_specs(cls, specs: Iterable[ScenarioSpec]) -> "Experiment":
+        """Wrap an explicit, already-expanded batch of specs (the CLI path).
+
+        No grid expansion or parameter autofill is applied: the given specs
+        run exactly as written.
+        """
+        batch = tuple(specs)
+        for spec in batch:
+            if not isinstance(spec, ScenarioSpec):
+                raise ConfigurationError(f"expected a ScenarioSpec, got {type(spec).__name__}")
+        if not batch:
+            raise ConfigurationError("an experiment needs at least one spec")
+        return cls(_explicit=batch)
+
+    # -- fluent configuration ---------------------------------------------
+
+    def _map_specs(self, transform: Any) -> "Experiment":
+        if self._explicit is not None:
+            return replace(self, _explicit=tuple(transform(spec) for spec in self._explicit))
+        return replace(self, _base=transform(self._base))
+
+    def seeds(self, seeds: Union[int, Iterable[int]]) -> "Experiment":
+        """Repetition count (``.seeds(10)``) or explicit base seeds to sweep.
+
+        An integer sets ``repetitions`` — repetition ``r`` derives its seed
+        from the scenario content, so growing the count later only executes
+        the new repetitions.  An iterable of integers sweeps the base
+        ``seed`` field instead (one repetition per listed seed).
+        """
+        if isinstance(seeds, bool):
+            raise ConfigurationError(f"seeds must be an int or ints, got {seeds!r}")
+        if isinstance(seeds, int):
+            return self._map_specs(lambda spec: replace(spec, repetitions=seeds))
+        values = list(seeds)
+        if not values or any(isinstance(v, bool) or not isinstance(v, int) for v in values):
+            raise ConfigurationError(f"seeds must be a non-empty list of ints, got {values!r}")
+        return self.vary("seed", values)
+
+    def backend(self, name: str) -> "Experiment":
+        """Select the execution backend (an execution detail — never reseeds)."""
+        return self._map_specs(lambda spec: replace(spec, backend=name))
+
+    def configure(
+        self,
+        *,
+        problem: Optional[Mapping[str, Any]] = None,
+        algorithm: Optional[Mapping[str, Any]] = None,
+        adversary: Optional[Mapping[str, Any]] = None,
+        **spec_fields: Any,
+    ) -> "Experiment":
+        """Merge component parameters and/or replace spec fields."""
+        return self._map_specs(
+            lambda spec: spec.with_params(
+                problem=problem, algorithm=algorithm, adversary=adversary, **spec_fields
+            )
+        )
+
+    def vary(self, key: str, values: Sequence[Any]) -> "Experiment":
+        """Add (or replace) one swept grid dimension."""
+        if self._explicit is not None:
+            raise ExperimentError(
+                "cannot add grid dimensions to an experiment built from explicit "
+                "specs; use Experiment.grid or Experiment.from_spec"
+            )
+        values = list(values)
+        if not values:
+            raise ConfigurationError(f"grid dimension {key!r} has no values")
+        key = _normalize_dimension_key(key)
+        dims = [(k, v) for k, v in self._grid if k != key]
+        dims.append((key, tuple(values)))
+        return replace(self, _grid=tuple(dims))
+
+    def store(self, path: StorePath) -> "Experiment":
+        """Bind a run-store directory: runs persist into it and re-runs skip
+        every cell it already holds."""
+        if isinstance(path, RunStore):
+            path = str(path.path)
+        return replace(self, _store_path=str(path))
+
+    def extensions(self, *modules: str) -> "Experiment":
+        """Modules to import in worker processes (third-party registrations)."""
+        for module in modules:
+            if not isinstance(module, str) or not module:
+                raise ConfigurationError(
+                    f"extensions must be importable module names, got {module!r}"
+                )
+        return replace(self, _extensions=self._extensions + tuple(modules))
+
+    # -- evaluation --------------------------------------------------------
+
+    def specs(self) -> List[ScenarioSpec]:
+        """The expanded, validated scenario batch (deterministic order).
+
+        Registry names (problem, algorithm, adversary, backend) are
+        validated here — before anything executes — so typos fail fast with
+        a did-you-mean suggestion.  Adversaries that require ``num_nodes``
+        inherit it from the problem dimensions unless set explicitly.
+        """
+        if self._explicit is not None:
+            batch = list(self._explicit)
+        else:
+            if self._base is None:
+                raise ExperimentError("empty experiment: build one with Experiment.grid(...)")
+            batch = sweep(self._base, {key: list(values) for key, values in self._grid})
+            batch = [self._autofill_adversary_nodes(spec) for spec in batch]
+        for spec in batch:
+            self._validate_spec(spec)
+        return batch
+
+    @staticmethod
+    def _autofill_adversary_nodes(spec: ScenarioSpec) -> ScenarioSpec:
+        entry = ADVERSARY_REGISTRY.get(spec.adversary)
+        if "num_nodes" in spec.adversary_params:
+            return spec
+        requires_nodes = any(
+            info.name == "num_nodes" and info.required for info in entry.parameters()
+        )
+        nodes = spec.problem_params.get("num_nodes")
+        if requires_nodes and nodes is not None:
+            return spec.with_params(adversary={"num_nodes": nodes})
+        return spec
+
+    @staticmethod
+    def _validate_spec(spec: ScenarioSpec) -> None:
+        PROBLEM_REGISTRY.get(spec.problem)
+        ALGORITHM_REGISTRY.get(spec.algorithm)
+        ADVERSARY_REGISTRY.get(spec.adversary)
+        # Imported lazily: repro.backends imports the scenario layer, so a
+        # module-level import here would be order-sensitive.
+        from repro.backends import BACKEND_REGISTRY
+
+        BACKEND_REGISTRY.get(spec.backend)
+
+    def plan(self) -> "ExperimentPlan":
+        """Expand the grid into scenario×repetition cells and split them
+        into cached (already in the bound store, current schema) and
+        pending (to execute).  Re-planning re-reads the store, so a plan
+        always reflects the store's state *now*.
+        """
+        store = RunStore(self._store_path) if self._store_path is not None else None
+        cells: List[PlanCell] = []
+        for spec in self.specs():
+            stored: Mapping[int, Any] = {}
+            if store is not None:
+                stored = store.repetitions_present(
+                    spec.scenario_key(), schema_version=SCHEMA_VERSION
+                )
+            for repetition in range(spec.repetitions):
+                record = stored.get(repetition)
+                # scenario_key excludes execution-detail fields, but one of
+                # them — max_rounds — changes the *result*: a record produced
+                # under a different round cap does not satisfy this cell.
+                if (
+                    record is not None
+                    and record.spec.get("max_rounds") != spec.max_rounds
+                ):
+                    record = None
+                cells.append(
+                    PlanCell(
+                        spec=spec,
+                        repetition=repetition,
+                        seed=repetition_seed(spec, repetition),
+                        cached_record=record.to_dict() if record is not None else None,
+                    )
+                )
+        return ExperimentPlan(
+            cells=tuple(cells), store=store, extensions=self._extensions
+        )
+
+    def run(self, workers: int = 1) -> "RunSet":
+        """Plan and execute: cached cells are read back, pending cells run
+        (optionally across worker processes) and persist through the store
+        as they complete.  The returned :class:`RunSet` streams records in
+        deterministic batch order."""
+        return self.plan().run(workers=workers)
+
+
+@dataclass(frozen=True)
+class PlanCell:
+    """One scenario×repetition execution slot of a plan."""
+
+    spec: ScenarioSpec
+    repetition: int
+    seed: int
+    cached_record: Optional[Record] = None
+
+    @property
+    def cached(self) -> bool:
+        """Whether the bound store already holds this cell's record."""
+        return self.cached_record is not None
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """The expanded cells of an experiment, ready to execute.
+
+    Consume it directly (iterate the cells, inspect :attr:`pending` /
+    :attr:`cached`) or call :meth:`run` to execute the pending delta.
+    """
+
+    cells: Tuple[PlanCell, ...]
+    store: Optional[RunStore] = None
+    extensions: Tuple[str, ...] = ()
+
+    def __iter__(self) -> Iterator[PlanCell]:
+        return iter(self.cells)
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    @property
+    def pending(self) -> List[PlanCell]:
+        """Cells that must execute (no stored record under the current schema)."""
+        return [cell for cell in self.cells if not cell.cached]
+
+    @property
+    def cached(self) -> List[PlanCell]:
+        """Cells satisfied by the bound store."""
+        return [cell for cell in self.cells if cell.cached]
+
+    def specs(self) -> List[ScenarioSpec]:
+        """The distinct specs of the plan, in batch order."""
+        seen: List[ScenarioSpec] = []
+        for cell in self.cells:
+            if not seen or seen[-1] != cell.spec:
+                seen.append(cell.spec)
+        return seen
+
+    def describe(self) -> Dict[str, int]:
+        """Counts for logging: total / pending / cached cells and scenarios."""
+        return {
+            "cells": len(self.cells),
+            "pending": len(self.pending),
+            "cached": len(self.cached),
+            "scenarios": len(self.specs()),
+        }
+
+    def run(self, workers: int = 1) -> "RunSet":
+        """Execute the pending cells; see :meth:`Experiment.run`."""
+        if isinstance(workers, bool) or not isinstance(workers, int) or workers < 1:
+            raise ConfigurationError(f"workers must be a positive int, got {workers!r}")
+        return RunSet(plan=self, workers=workers)
+
+
+def _execute_cell(spec: ScenarioSpec, repetition: int) -> Record:
+    result = run_scenario(spec, repetition)
+    return record_from_result(spec, repetition, repetition_seed(spec, repetition), result)
+
+
+def _execute_cell_payload(payload: Tuple[str, int, Tuple[str, ...]]) -> Record:
+    """Worker entry point: rebuild the spec from JSON and run one cell."""
+    spec_json, repetition, extension_modules = payload
+    for module_name in extension_modules:
+        importlib.import_module(module_name)
+    return _execute_cell(ScenarioSpec.from_json(spec_json), repetition)
+
+
+class RunSet:
+    """The (lazily produced) records of one experiment run.
+
+    Iterating a fresh ``RunSet`` *executes* it: records stream out in
+    deterministic batch order as cells complete — cached cells are yielded
+    from the store, pending cells run (in-process or across workers) and
+    persist through the store the moment they finish, so partial progress
+    survives interruption.  After one full pass the records are held in
+    memory and every later iteration (or :meth:`records`,
+    :meth:`aggregate`, :meth:`report`) replays them without re-executing.
+    """
+
+    def __init__(
+        self,
+        plan: Optional[ExperimentPlan] = None,
+        *,
+        workers: int = 1,
+        records: Optional[Iterable[Record]] = None,
+    ) -> None:
+        if (plan is None) == (records is None):
+            raise ConfigurationError("RunSet needs exactly one of plan= or records=")
+        self._plan = plan
+        self._workers = workers
+        self._records: Optional[List[Record]] = None
+        #: Progress of an in-flight (or abandoned) streaming pass: records
+        #: for the plan-order prefix of cells handled so far.  An abandoned
+        #: iterator's work is kept — the next pass replays it and resumes.
+        self._collected: List[Record] = []
+        self._active: Optional[Iterator[Record]] = None
+        self._executed = 0
+        self._stored = 0
+        if records is not None:
+            self._records = [
+                record.to_dict()
+                if isinstance(record, RunRecord)  # already validated
+                else coerce_record(record).to_dict()
+                for record in records
+            ]
+
+    @classmethod
+    def from_records(
+        cls, records: Iterable[Union[Record, Any]]
+    ) -> "RunSet":
+        """Wrap already-available records (a JSONL file, stdin, a query)."""
+        return cls(records=records)
+
+    # -- execution / iteration --------------------------------------------
+
+    def __iter__(self) -> Iterator[Record]:
+        if self._records is not None:
+            return iter(self._records)
+        if self._active is not None:
+            # Supersede a partially consumed earlier iterator explicitly —
+            # close() runs its cleanup now, on every Python implementation,
+            # instead of waiting for garbage collection.  Its progress is
+            # kept in _collected and replayed, never re-executed.
+            self._active.close()  # type: ignore[attr-defined]
+            self._active = None
+        iterator = self._execute()
+        self._active = iterator
+        return iterator
+
+    def _execute(self) -> Iterator[Record]:
+        # Replay the progress an abandoned earlier pass already made;
+        # those cells executed (and persisted) once and are not re-run.
+        for record in list(self._collected):
+            yield record
+        yield from self._stream(start=len(self._collected))
+        self._records = list(self._collected)
+
+    def _stream(self, start: int = 0) -> Iterator[Record]:
+        plan = self._plan
+        assert plan is not None
+        remaining = plan.cells[start:]
+        pending = [cell for cell in remaining if not cell.cached]
+        workers = min(self._workers, len(pending)) if pending else 1
+        try:
+            if workers <= 1:
+                fresh: Iterator[Record] = (
+                    _execute_cell(cell.spec, cell.repetition) for cell in pending
+                )
+                yield from self._interleave(remaining, fresh)
+            else:
+                payloads = [
+                    (cell.spec.to_json(), cell.repetition, plan.extensions)
+                    for cell in pending
+                ]
+                with multiprocessing.Pool(processes=workers) as pool:
+                    # imap (not imap_unordered) keeps batch order, which keeps
+                    # parallel output byte-identical to the serial path.
+                    yield from self._interleave(
+                        remaining, pool.imap(_execute_cell_payload, payloads, chunksize=1)
+                    )
+        finally:
+            # Shard appends are durable per record; the manifest index is
+            # deferred to one write per stream (reopening a store whose
+            # stream crashed repairs the index from the shards).
+            if plan.store is not None:
+                plan.store.flush()
+
+    def _interleave(
+        self, cells: Sequence[PlanCell], fresh: Iterator[Record]
+    ) -> Iterator[Record]:
+        plan = self._plan
+        assert plan is not None
+        for cell in cells:
+            if cell.cached:
+                record = cell.cached_record  # type: ignore[assignment]
+            else:
+                record = next(fresh)
+                self._executed += 1
+                if plan.store is not None:
+                    # replace=True: a cell is only pending when the store has
+                    # no *valid* record for it — but a stale one (old schema,
+                    # different round cap) may occupy the identity and must
+                    # be superseded, not silently skipped.  The manifest
+                    # write is deferred to the end of the stream.
+                    added, _ = plan.store.add(
+                        [record], replace=True, save_manifest=False
+                    )
+                    self._stored += added
+            self._collected.append(record)
+            yield record
+
+    # -- materialized views ------------------------------------------------
+
+    def records(self) -> List[Record]:
+        """All records (cached + executed), materializing if needed."""
+        if self._records is None:
+            for _ in iter(self):
+                pass
+        assert self._records is not None
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    @property
+    def executed_count(self) -> int:
+        """How many cells actually executed (0 on a fully cached re-run)."""
+        self.records()
+        return self._executed
+
+    @property
+    def cached_count(self) -> int:
+        """How many cells were satisfied from the bound store."""
+        self.records()
+        return len(self._records or []) - self._executed
+
+    @property
+    def stored_count(self) -> int:
+        """How many fresh records the bound store accepted."""
+        self.records()
+        return self._stored
+
+    @property
+    def completed(self) -> bool:
+        """Whether every execution disseminated all tokens in time."""
+        return all(record["completed"] for record in self.records())
+
+    # -- pipeline ----------------------------------------------------------
+
+    def aggregate(
+        self,
+        by: Optional[Sequence[str]] = None,
+        metrics: Optional[Sequence[str]] = None,
+    ) -> "Aggregate":
+        """Group-by statistical summary of the records."""
+        return Aggregate(
+            self.records(),
+            group_by=tuple(by) if by is not None else DEFAULT_GROUP_BY,
+            metrics=tuple(metrics) if metrics is not None else DEFAULT_METRICS,
+        )
+
+    def compare(self, bounds: bool = True, *, x_axis: str = "n") -> "Comparison":
+        """Shortcut for ``.aggregate().compare(...)``."""
+        return self.aggregate().compare(bounds, x_axis=x_axis)
+
+    def report(
+        self,
+        fmt: str = "md",
+        *,
+        by: Optional[Sequence[str]] = None,
+        metrics: Optional[Sequence[str]] = None,
+        x_axis: str = "n",
+        title: str = "Results report",
+    ) -> str:
+        """The full paper-vs-measured report document."""
+        return self.aggregate(by=by, metrics=metrics).report(
+            fmt, x_axis=x_axis, title=title
+        )
+
+
+class Aggregate:
+    """Grouped statistic rows over a record set (lazily computed)."""
+
+    def __init__(
+        self,
+        records: Sequence[Record],
+        *,
+        group_by: Sequence[str] = DEFAULT_GROUP_BY,
+        metrics: Sequence[str] = DEFAULT_METRICS,
+    ) -> None:
+        self._records = list(records)
+        self._group_by = tuple(group_by)
+        self._metrics = tuple(metrics)
+        self._rows: Optional[List[Dict[str, Any]]] = None
+
+    @property
+    def group_by(self) -> Tuple[str, ...]:
+        """The grouping axes."""
+        return self._group_by
+
+    @property
+    def metrics(self) -> Tuple[str, ...]:
+        """The summarized metrics."""
+        return self._metrics
+
+    @property
+    def rows(self) -> List[Dict[str, Any]]:
+        """One summary row per group (mean/median/stddev/CI per metric)."""
+        if self._rows is None:
+            self._rows = _aggregate_records(self._records, self._group_by, self._metrics)
+        return list(self._rows)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def table(
+        self,
+        fmt: str = "md",
+        *,
+        statistics: Sequence[str] = ("mean", "ci_low", "ci_high"),
+    ) -> str:
+        """Render the rows as a text / markdown / CSV / JSON table."""
+        return rows_to_table(
+            self.rows,
+            aggregate_columns(self._group_by, self._metrics, statistics=statistics),
+            fmt,
+        )
+
+    def compare(self, bounds: bool = True, *, x_axis: str = "n") -> "Comparison":
+        """Join the measured scaling against the paper's closed-form bounds."""
+        return Comparison(
+            self._records,
+            group_by=self._group_by,
+            metrics=self._metrics,
+            x_axis=x_axis,
+            with_bounds=bounds,
+        )
+
+    def report(
+        self, fmt: str = "md", *, x_axis: str = "n", title: str = "Results report"
+    ) -> str:
+        """The full report without an explicit compare step."""
+        return self.compare(x_axis=x_axis).report(fmt, title=title)
+
+
+class Comparison:
+    """Paper-bound verdicts over a record set, plus the final report."""
+
+    def __init__(
+        self,
+        records: Sequence[Record],
+        *,
+        group_by: Sequence[str] = DEFAULT_GROUP_BY,
+        metrics: Sequence[str] = DEFAULT_METRICS,
+        x_axis: str = "n",
+        with_bounds: bool = True,
+    ) -> None:
+        self._records = list(records)
+        self._group_by = tuple(group_by)
+        self._metrics = tuple(metrics)
+        self._x_axis = x_axis
+        self._with_bounds = with_bounds
+        self._rows: Optional[List[Dict[str, Any]]] = None
+
+    @property
+    def rows(self) -> List[Dict[str, Any]]:
+        """One verdict row per algorithm with a registered bound."""
+        if not self._with_bounds:
+            return []
+        if self._rows is None:
+            self._rows = compare_to_bounds(self._records, x_axis=self._x_axis)
+        return list(self._rows)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def table(self, fmt: str = "md") -> str:
+        """The verdict table (raises if no algorithm has a registered bound)."""
+        if not self._with_bounds:
+            raise ConfigurationError(
+                "this comparison was built with bounds=False and has no "
+                "verdicts to render; build it with compare(bounds=True)"
+            )
+        rows = self.rows  # cached: the log-log fits run once per Comparison
+        if not rows:
+            raise ConfigurationError(
+                "no algorithm in these records has a registered bound; "
+                "see repro.results.compare.register_bound"
+            )
+        return rows_to_table(rows, COMPARISON_COLUMNS, fmt)
+
+    def report(self, fmt: str = "md", *, title: str = "Results report") -> str:
+        """The full document: inventory, aggregates, verdicts, Table 1.
+
+        With ``bounds=False`` the bound-comparison sections (including the
+        regenerated Table 1) are omitted.
+        """
+        if fmt != "md":
+            raise ConfigurationError(
+                f"the full report is a markdown document (got fmt={fmt!r}); "
+                f"use .table(fmt=...) for csv/json/text tables"
+            )
+        return render_report(
+            self._records,
+            group_by=self._group_by,
+            metrics=self._metrics,
+            x_axis=self._x_axis,
+            title=title,
+            with_bounds=self._with_bounds,
+        )
+
+
+def load_runs(source: Union[str, "RunStore"]) -> RunSet:
+    """A :class:`RunSet` over an existing JSONL file or run-store directory.
+
+    The entry point for analyzing records produced elsewhere — it plugs
+    straight into the same ``.aggregate(...).compare(...).report(...)``
+    pipeline an :class:`Experiment` run returns.
+    """
+    if isinstance(source, RunStore):
+        return RunSet.from_records(source.records())
+    return RunSet.from_records(open_source(source))

@@ -56,22 +56,20 @@ from repro.analysis.bounds import (
     static_spanning_tree_amortized,
 )
 from repro.analysis.reporting import format_table, render_table1
+from repro.api import Experiment, RunSet, load_runs
 from repro.backends import BACKEND_REGISTRY, DEFAULT_BACKEND
 from repro.scenarios import (
     ADVERSARY_REGISTRY,
     ALGORITHM_REGISTRY,
     PROBLEM_REGISTRY,
-    ScenarioRunner,
     ScenarioSpec,
     record_to_json_line,
     run_scenario,
-    run_spec,
     sweep,
 )
-from repro.results.records import RecordValidationError
 from repro.scenarios.registry import Registry
 from repro.scenarios.spec import _TOP_LEVEL_SWEEP_FIELDS
-from repro.utils.validation import ConfigurationError
+from repro.utils.validation import ConfigurationError, ReproError
 
 #: Deprecated aliases kept for backwards compatibility: the registries are
 #: the source of truth; these views expose ``name -> zero-argument factory``.
@@ -92,12 +90,30 @@ _REGISTRY_PLURALS = {
 }
 
 
+def _package_version() -> str:
+    """The installed distribution version, falling back to the source tree's."""
+    from importlib.metadata import PackageNotFoundError, version
+
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        import repro
+
+        return repro.__version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'The Communication Cost of Information Spreading "
         "in Dynamic Networks' (ICDCS 2019).",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_package_version()}",
+        help="print the package version and exit",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -510,27 +526,29 @@ def _reject_scenario_flags_with_spec(args: argparse.Namespace) -> None:
 
 
 def command_run(args: argparse.Namespace) -> int:
+    """Thin adapter over :mod:`repro.api` for one scenario."""
     if args.spec is not None:
         _reject_scenario_flags_with_spec(args)
         with open(args.spec, "r", encoding="utf-8") as handle:
             spec = ScenarioSpec.from_json(handle.read())
-        records = run_spec(spec)
-        if args.json:
-            for record in records:
-                print(record_to_json_line(record))
-        else:
-            print(_records_table(records))
-        return 0 if all(record["completed"] for record in records) else 1
-
-    spec = _spec_from_args(args)
-    result = run_scenario(spec)
-    if args.json:
-        from repro.scenarios import record_from_result, repetition_seed
-
-        print(record_to_json_line(record_from_result(spec, 0, repetition_seed(spec, 0), result)))
     else:
+        spec = _spec_from_args(args)
+
+    if not args.json and args.spec is None:
+        # The rich single-execution table needs the full ExecutionResult
+        # (communication model, per-class names, ...), which records do not
+        # carry — this is the one direct call into the api's cell executor.
+        result = run_scenario(spec)
         _print_result_table(spec, result)
-    return 0 if result.completed else 1
+        return 0 if result.completed else 1
+
+    runset = Experiment.from_specs([spec]).run()
+    if args.json:
+        for record in runset:
+            print(record_to_json_line(record))
+    else:
+        print(_records_table(runset.records()))
+    return 0 if runset.completed else 1
 
 
 _RECORD_COLUMNS = [
@@ -584,29 +602,47 @@ def _resync_adversary_num_nodes(
 
 
 def command_sweep(args: argparse.Namespace) -> int:
+    """Thin adapter over :mod:`repro.api` for a parameter-grid batch.
+
+    With ``--store`` the run is **incremental**: the plan consults the
+    store and only executes the scenario×repetition cells it does not
+    already hold, while the output still covers the complete batch.
+    """
     base = _spec_from_args(args, repetitions=args.repetitions)
     grid = _parse_grid(args.grid)
     overrides = _parse_overrides(args.overrides)
     specs = [
         _resync_adversary_num_nodes(spec, grid, overrides) for spec in sweep(base, grid)
     ]
-    runner = ScenarioRunner(workers=args.workers)
-    records = runner.run(specs, jsonl_path=args.output)
-    stored = None
+    experiment = Experiment.from_specs(specs)
     if args.store is not None:
-        from repro.results import RunStore
-
-        stored = RunStore(args.store).add(records)
-    if args.json:
-        for record in records:
-            print(record_to_json_line(record))
-    else:
+        experiment = experiment.store(args.store)
+    runset = experiment.run(workers=args.workers)
+    sink = open(args.output, "w", encoding="utf-8") if args.output else None
+    records = []
+    try:
+        # Stream: records arrive as cells complete, so the JSONL file (and
+        # --json stdout) hold partial output if the batch is interrupted.
+        for record in runset:
+            records.append(record)
+            if sink is not None:
+                sink.write(record_to_json_line(record) + "\n")
+                sink.flush()
+            if args.json:
+                print(record_to_json_line(record))
+    finally:
+        if sink is not None:
+            sink.close()
+    if not args.json:
         print(_records_table(records))
         print(f"\n{len(records)} record(s) from {len(specs)} scenario(s)", end="")
         print(f" -> {args.output}" if args.output else "")
-        if stored is not None:
-            added, skipped = stored
-            print(f"store {args.store}: {added} added, {skipped} already present")
+        if args.store is not None:
+            print(
+                f"store {args.store}: {runset.stored_count} added, "
+                f"{runset.cached_count} already present "
+                f"({runset.executed_count} executed)"
+            )
     return 0 if all(record["completed"] for record in records) else 1
 
 
@@ -619,8 +655,9 @@ def _split_option(value: Optional[str]) -> Optional[List[str]]:
     return parts
 
 
-def _load_analysis_records(source: str):
-    from repro.results import iter_records, open_source
+def _load_runset(source: str) -> RunSet:
+    """A :class:`repro.api.RunSet` over a file, store directory or stdin."""
+    from repro.results import iter_records
 
     if source == "-":
         records = list(iter_records(sys.stdin, source="<stdin>"))
@@ -629,34 +666,34 @@ def _load_analysis_records(source: str):
                 "no records on stdin; pipe 'repro sweep --json' into this command "
                 "or pass a JSONL file / run-store directory"
             )
-        return records
-    records = open_source(source)
-    if not records:
+        return RunSet.from_records(records)
+    runset = load_runs(source)
+    if not len(runset):
         raise ConfigurationError(f"{source} holds no records")
-    return records
+    return runset
 
 
 def command_analyze(args: argparse.Namespace) -> int:
-    from repro.results import DEFAULT_GROUP_BY, DEFAULT_METRICS, render_aggregates, render_comparison
-
-    records = _load_analysis_records(args.source)
-    group_by = _split_option(args.group_by) or list(DEFAULT_GROUP_BY)
-    metrics = _split_option(args.metrics) or list(DEFAULT_METRICS)
-    print(render_aggregates(records, group_by=group_by, metrics=metrics, fmt=args.format))
+    """Thin adapter: ``RunSet.aggregate(...).table()`` plus the verdicts."""
+    runset = _load_runset(args.source)
+    group_by = _split_option(args.group_by)
+    metrics = _split_option(args.metrics)
+    aggregated = runset.aggregate(by=group_by, metrics=metrics)
+    print(aggregated.table(args.format))
     if args.bounds:
         print()
-        print(render_comparison(records, fmt=args.format, x_axis=args.x_axis))
+        print(aggregated.compare(x_axis=args.x_axis).table(args.format))
     return 0
 
 
 def command_report(args: argparse.Namespace) -> int:
-    from repro.results import DEFAULT_GROUP_BY, DEFAULT_METRICS, render_report
-
-    records = _load_analysis_records(args.source)
-    group_by = _split_option(args.group_by) or list(DEFAULT_GROUP_BY)
-    metrics = _split_option(args.metrics) or list(DEFAULT_METRICS)
-    document = render_report(
-        records, group_by=group_by, metrics=metrics, x_axis=args.x_axis, title=args.title
+    """Thin adapter: the full ``RunSet.report(...)`` document."""
+    runset = _load_runset(args.source)
+    document = runset.report(
+        by=_split_option(args.group_by),
+        metrics=_split_option(args.metrics),
+        x_axis=args.x_axis,
+        title=args.title,
     )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -771,7 +808,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     }
     try:
         return handlers[args.command](args)
-    except (ConfigurationError, RecordValidationError, OSError) as error:
+    except (ReproError, OSError) as error:
+        # The unified hierarchy: every library failure is a ReproError
+        # subclass (ConfigurationError, RecordValidationError, ...), so
+        # user errors exit 2 with a one-line message, never a traceback.
         print(f"error: {error}", file=sys.stderr)
         return 2
 

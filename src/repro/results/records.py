@@ -29,11 +29,14 @@ from repro.utils.validation import ReproError
 SCHEMA_VERSION = RECORD_SCHEMA_VERSION
 
 
-class RecordValidationError(ReproError):
+class RecordValidationError(ReproError, ValueError):
     """Raised when a persisted record cannot be parsed or fails validation.
 
     The message always names the source (file path or stream label) and the
-    1-based line number of the offending record.
+    1-based line number of the offending record.  Subclasses
+    :class:`ValueError` as well as :class:`~repro.utils.validation.ReproError`
+    so both ``except ReproError`` (the unified hierarchy) and legacy
+    ``except ValueError`` callers catch it.
     """
 
     def __init__(self, message: str, *, source: str = "", line_number: Optional[int] = None):
@@ -59,14 +62,14 @@ _FLOAT_FIELDS = ("amortized_messages", "adversary_competitive",
 def _require_int(payload: Mapping[str, Any], name: str) -> int:
     value = payload.get(name)
     if isinstance(value, bool) or not isinstance(value, int):
-        raise ValueError(f"field {name!r} must be an int, got {value!r}")
+        raise RecordValidationError(f"field {name!r} must be an int, got {value!r}")
     return value
 
 
 def _require_float(payload: Mapping[str, Any], name: str) -> float:
     value = payload.get(name)
     if isinstance(value, bool) or not isinstance(value, (int, float)):
-        raise ValueError(f"field {name!r} must be a number, got {value!r}")
+        raise RecordValidationError(f"field {name!r} must be a number, got {value!r}")
     return float(value)
 
 
@@ -193,24 +196,28 @@ class RunRecord:
     def from_dict(cls, payload: Mapping[str, Any]) -> "RunRecord":
         """Build a record from a parsed JSON object, validating every field."""
         if not isinstance(payload, Mapping):
-            raise ValueError(f"record must be a JSON object, got {type(payload).__name__}")
+            raise RecordValidationError(
+                f"record must be a JSON object, got {type(payload).__name__}"
+            )
         version = payload.get("schema_version", SCHEMA_VERSION)
         if isinstance(version, bool) or not isinstance(version, int):
-            raise ValueError(f"schema_version must be an int, got {version!r}")
+            raise RecordValidationError(f"schema_version must be an int, got {version!r}")
         if version > SCHEMA_VERSION:
-            raise ValueError(
+            raise RecordValidationError(
                 f"record has schema_version {version}, but this build reads "
                 f"at most {SCHEMA_VERSION}; upgrade the library to read it"
             )
         spec = payload.get("spec")
         if not isinstance(spec, Mapping):
-            raise ValueError(f"field 'spec' must be a JSON object, got {spec!r}")
+            raise RecordValidationError(f"field 'spec' must be a JSON object, got {spec!r}")
         completed = payload.get("completed")
         if not isinstance(completed, bool):
-            raise ValueError(f"field 'completed' must be a boolean, got {completed!r}")
+            raise RecordValidationError(
+                f"field 'completed' must be a boolean, got {completed!r}"
+            )
         scenario = payload.get("scenario")
         if not isinstance(scenario, str):
-            raise ValueError(f"field 'scenario' must be a string, got {scenario!r}")
+            raise RecordValidationError(f"field 'scenario' must be a string, got {scenario!r}")
         values: Dict[str, Any] = {
             "schema_version": version,
             "scenario": scenario,

@@ -199,8 +199,13 @@ def render_report(
     metrics: Sequence[str] = DEFAULT_METRICS,
     x_axis: str = "n",
     title: str = "Results report",
+    with_bounds: bool = True,
 ) -> str:
-    """The full markdown report: inventory, aggregates, verdicts, Table 1."""
+    """The full markdown report: inventory, aggregates, verdicts, Table 1.
+
+    ``with_bounds=False`` omits the paper-bound comparison sections (and
+    the Table 1 regeneration, which is itself a bound comparison).
+    """
     records = [coerce_record(record) for record in records]
     if not records:
         raise ConfigurationError("no records to report on")
@@ -223,7 +228,7 @@ def render_report(
         render_aggregates(records, group_by=group_by, metrics=metrics, fmt="md"),
         "",
     ]
-    ratio_rows = bound_ratio_rows(records)
+    ratio_rows = bound_ratio_rows(records) if with_bounds else []
     if ratio_rows:
         sections += [
             "## Paper bounds vs measured",
@@ -235,10 +240,11 @@ def render_report(
             rows_to_table(ratio_rows, RATIO_COLUMNS, "md"),
             "",
         ]
-    sections += [
-        "## Table 1 (paper vs measured)",
-        "",
-        render_table1_vs_measured(records, fmt="md"),
-        "",
-    ]
+    if with_bounds:
+        sections += [
+            "## Table 1 (paper vs measured)",
+            "",
+            render_table1_vs_measured(records, fmt="md"),
+            "",
+        ]
     return "\n".join(sections)

@@ -17,6 +17,12 @@ and re-adding an identity that is already present is a no-op.  That makes
 merging the outputs of parallel workers (or re-running the same sweep) safe:
 the store converges to the same contents regardless of how many times and in
 which order the same records arrive.
+
+``add(..., replace=True)`` upgrades an existing identity instead of
+skipping it: the new record is appended and reads take the **last**
+occurrence per repetition (last-wins), which is how the incremental
+runner (:mod:`repro.api`) refreshes records written under an older schema
+without breaking the append-only layout.
 """
 
 from __future__ import annotations
@@ -55,6 +61,13 @@ class RunStore:
         # Per-shard repetition sets already seen, filled lazily from the
         # shard files; assumes this instance is the only writer while open.
         self._known: Dict[str, set] = {}
+        # Per-shard latest JSON line per repetition, kept in sync by this
+        # writer; populated lazily on the first replace-mode add to a shard
+        # so upgrades do not re-read the shard on every call.
+        self._latest_lines: Dict[str, Dict[int, str]] = {}
+        # True when in-memory manifest changes have not been saved to disk
+        # (add(..., save_manifest=False)); flush() persists them.
+        self._manifest_dirty = False
         self._recover_orphan_shards()
 
     # -- manifest ----------------------------------------------------------
@@ -132,13 +145,27 @@ class RunStore:
     # -- ingest ------------------------------------------------------------
 
     def add(
-        self, records: Iterable[Union[RunRecord, Mapping[str, Any]]]
+        self,
+        records: Iterable[Union[RunRecord, Mapping[str, Any]]],
+        *,
+        replace: bool = False,
+        save_manifest: bool = True,
     ) -> Tuple[int, int]:
         """Append new records, skipping known identities.
 
         Returns ``(added, skipped)``.  Accepts both :class:`RunRecord`
         objects and the plain dictionaries :class:`ScenarioRunner` emits.
-        """
+        With ``replace=True`` a record whose identity is already present
+        but whose **content differs** is appended anyway and supersedes
+        the stored one (last-wins on read); identical re-adds still skip.
+
+        ``save_manifest=False`` defers the manifest write (call
+        :meth:`flush` when done) so a stream of many small adds does not
+        rewrite the index per record.  The shard appends themselves are
+        always immediate, and a crash before the flush only leaves the
+        index behind the shards — the same state an interrupted batched
+        add can leave, which reopening repairs (orphan shards re-indexed,
+        stale counts refreshed on the next add)."""
         by_shard: Dict[str, List[RunRecord]] = {}
         keys: Dict[str, str] = {}
         for raw in records:
@@ -156,17 +183,32 @@ class RunStore:
         manifest_changed = False
         for shard_id in sorted(by_shard):
             shard_added, shard_skipped, shard_changed = self._append_to_shard(
-                shard_id, keys[shard_id], by_shard[shard_id]
+                shard_id, keys[shard_id], by_shard[shard_id], replace=replace
             )
             added += shard_added
             skipped += shard_skipped
             manifest_changed = manifest_changed or shard_changed
         if manifest_changed:
-            self._save_manifest()
+            if save_manifest:
+                self._save_manifest()
+                self._manifest_dirty = False
+            else:
+                self._manifest_dirty = True
         return added, skipped
 
+    def flush(self) -> None:
+        """Persist a manifest deferred by ``add(..., save_manifest=False)``."""
+        if self._manifest_dirty:
+            self._save_manifest()
+            self._manifest_dirty = False
+
     def _append_to_shard(
-        self, shard_id: str, scenario_key: str, records: List[RunRecord]
+        self,
+        shard_id: str,
+        scenario_key: str,
+        records: List[RunRecord],
+        *,
+        replace: bool = False,
     ) -> Tuple[int, int, bool]:
         entry = self._manifest["shards"].get(shard_id)
         if entry is not None and entry.get("scenario_key") != scenario_key:
@@ -182,6 +224,20 @@ class RunStore:
         fresh: List[RunRecord] = []
         for record in sorted(records, key=lambda record: record.repetition):
             if record.repetition in known:
+                if not replace:
+                    continue
+                current = self._latest_lines.get(shard_id)
+                if current is None:
+                    # One shard read, then kept in sync by this writer.
+                    current = {
+                        stored.repetition: stored.to_json_line()
+                        for stored in self._latest_records(shard_id)
+                    }
+                    self._latest_lines[shard_id] = current
+                if current.get(record.repetition) == record.to_json_line():
+                    continue  # identical content: a replace is still idempotent
+                current[record.repetition] = record.to_json_line()
+                fresh.append(record)
                 continue
             known.add(record.repetition)
             fresh.append(record)
@@ -190,6 +246,10 @@ class RunStore:
             with open(self._shard_path(shard_id), "a", encoding="utf-8") as handle:
                 for record in fresh:
                     handle.write(record.to_json_line() + "\n")
+            cache = self._latest_lines.get(shard_id)
+            if cache is not None:
+                for record in fresh:
+                    cache[record.repetition] = record.to_json_line()
         # Refresh the index entry even without new records: a previous crash
         # may have left its count behind the shard contents.
         new_entry = self._shard_entry(records[0], shard_id)
@@ -219,6 +279,34 @@ class RunStore:
             entry["scenario_key"] for entry in self._manifest["shards"].values()
         )
 
+    def records_for_key(self, scenario_key: str) -> List[RunRecord]:
+        """Every stored record of one scenario, sorted by repetition.
+
+        The lookup goes straight to the scenario's shard via the manifest,
+        so planning an incremental run over a large store only opens the
+        shards it actually needs.
+        """
+        shard_id = shard_id_for_key(scenario_key)
+        entry = self._manifest["shards"].get(shard_id)
+        if entry is None or entry.get("scenario_key") != scenario_key:
+            return []
+        return self._latest_records(shard_id)
+
+    def repetitions_present(
+        self, scenario_key: str, *, schema_version: Optional[int] = None
+    ) -> Dict[int, RunRecord]:
+        """Map ``repetition -> stored record`` for one scenario.
+
+        With ``schema_version`` given, records written under a different
+        schema are omitted — they do not satisfy an incremental-run cell
+        and must be re-executed (see :meth:`repro.api.Experiment.plan`).
+        """
+        return {
+            record.repetition: record
+            for record in self.records_for_key(scenario_key)
+            if schema_version is None or record.schema_version == schema_version
+        }
+
     def __len__(self) -> int:
         return sum(entry.get("count", 0) for entry in self._manifest["shards"].values())
 
@@ -228,6 +316,18 @@ class RunStore:
             return
         with open(path, "r", encoding="utf-8") as handle:
             yield from iter_records(handle, source=str(path))
+
+    def _latest_records(self, shard_id: str) -> List[RunRecord]:
+        """One record per repetition — the last occurrence wins.
+
+        A shard normally holds each repetition once; ``add(replace=True)``
+        appends superseding versions, and this is the canonical read that
+        resolves them.
+        """
+        latest: Dict[int, RunRecord] = {}
+        for record in self._iter_shard(shard_id):
+            latest[record.repetition] = record
+        return [latest[repetition] for repetition in sorted(latest)]
 
     def records(self) -> List[RunRecord]:
         """Every record, in deterministic (scenario_key, repetition) order."""
@@ -259,7 +359,7 @@ class RunStore:
             shard_ids.append((entry["scenario_key"], shard_id))
         results: List[RunRecord] = []
         for _, shard_id in sorted(shard_ids):
-            for record in self._iter_shard(shard_id):
+            for record in self._latest_records(shard_id):
                 if where and any(
                     record.axis_value(axis) != value for axis, value in where.items()
                 ):

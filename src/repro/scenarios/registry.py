@@ -20,6 +20,7 @@ helpful message.
 
 from __future__ import annotations
 
+import difflib
 import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple
@@ -178,13 +179,24 @@ class Registry:
         return decorator
 
     def get(self, name: str) -> RegistryEntry:
-        """The entry for ``name``; raises with the known names on a miss."""
+        """The entry for ``name``; raises with a suggestion on a miss.
+
+        A lookup miss never escapes as a bare :class:`KeyError`: it becomes
+        a :class:`~repro.utils.validation.ConfigurationError` naming the
+        closest registered name (did-you-mean) plus the full known list.
+        """
         try:
             return self._entries[name]
         except KeyError:
             known = ", ".join(self.names()) or "(none registered)"
+            suggestion = ""
+            if isinstance(name, str) and self._entries:
+                close = difflib.get_close_matches(name, self.names(), n=1, cutoff=0.5)
+                if close:
+                    suggestion = f" did you mean {close[0]!r}?"
             raise ConfigurationError(
-                f"unknown {self._kind} {name!r}; known {self._kind}s: {known}"
+                f"unknown {self._kind} {name!r};{suggestion} "
+                f"known {self._kind}s: {known}"
             ) from None
 
     def create(self, name: str, **params: Any) -> Any:

@@ -37,6 +37,29 @@ class TestParser:
         assert sorted(ADVERSARIES) == ADVERSARY_REGISTRY.names()
 
 
+class TestVersionFlag:
+    def test_version_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        output = capsys.readouterr().out
+        assert output.startswith("repro ")
+        version = output.split()[1]
+        assert version.count(".") == 2
+
+    def test_version_reads_package_metadata_with_source_fallback(self, capsys):
+        import repro
+        from repro.cli import _package_version
+
+        # When the distribution is not installed (src-layout test runs), the
+        # metadata lookup falls back to the source tree's __version__; an
+        # installed wheel reports its distribution version instead.
+        assert _package_version() == repro.__version__
+        with pytest.raises(SystemExit):
+            main(["--version"])
+        assert capsys.readouterr().out.strip() == f"repro {_package_version()}"
+
+
 class TestRunCommand:
     def test_single_source_run(self, capsys):
         exit_code = main(
@@ -247,3 +270,58 @@ class TestReviewRegressions:
         assert main(["run", "--spec", str(path), "--seed", "99"]) == 2
         assert "--seed" in capsys.readouterr().err
         assert main(["run", "--spec", str(path)]) == 0
+
+
+class TestThinAdapterExitCodes:
+    """The api-backed adapters keep the 0 / 1 / 2 exit-code contract."""
+
+    def test_sweep_completion_is_zero(self, capsys):
+        assert main(["sweep", "-n", "8", "-k", "6", "--grid", "seed=0,1"]) == 0
+
+    def test_sweep_round_limit_stop_is_one(self, capsys):
+        assert main(["sweep", "--adversary", "static", "-n", "10", "-k", "8",
+                     "--max-rounds", "1", "--grid", "seed=5,6"]) == 1
+
+    def test_sweep_unknown_component_is_two_with_a_suggestion(self, capsys):
+        # The typo passes argparse (it is a --grid value, not a choice) and
+        # must surface the registry's did-you-mean error, not a traceback.
+        assert main(["sweep", "-n", "8", "-k", "6",
+                     "--grid", "algorithm=floodng"]) == 2
+        message = capsys.readouterr().err
+        assert "did you mean 'flooding'" in message
+
+    def test_run_spec_with_unknown_backend_is_two(self, tmp_path, capsys):
+        spec = ScenarioSpec(
+            problem="single-source",
+            problem_params={"num_nodes": 8, "num_tokens": 6},
+            algorithm="single-source",
+            adversary="churn",
+            backend="bitst",
+        )
+        path = tmp_path / "scenario.json"
+        path.write_text(spec.to_json())
+        assert main(["run", "--spec", str(path)]) == 2
+        assert "did you mean 'bitset'" in capsys.readouterr().err
+
+    def test_analyze_missing_source_is_two(self, capsys):
+        assert main(["analyze", "/no/such/records.jsonl"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_report_store_roundtrip_is_zero(self, tmp_path, capsys):
+        store = tmp_path / "warehouse"
+        assert main(["sweep", "-n", "8", "-k", "6", "--grid", "seed=0,1",
+                     "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(store)]) == 0
+        assert "# Results report" in capsys.readouterr().out
+
+    def test_incremental_sweep_skips_cached_cells(self, tmp_path, capsys):
+        store = tmp_path / "warehouse"
+        args = ["sweep", "-n", "8", "-k", "6", "--grid", "seed=0,1",
+                "--repetitions", "2", "--store", str(store)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "4 added, 0 already present (4 executed)" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 added, 4 already present (0 executed)" in second

@@ -1,10 +1,21 @@
 """Tests of the top-level public API surface."""
 
 import importlib
+import json
+import pathlib
 
 import pytest
 
 import repro
+import repro.api
+
+#: The checked-in snapshot of the curated public surface.  If you change
+#: ``repro.__all__`` or ``repro.api.__all__`` on purpose, regenerate it:
+#:   PYTHONPATH=src python -c "import json, repro, repro.api; print(json.dumps(
+#:       {'repro': sorted(repro.__all__),
+#:        'repro.api': sorted(repro.api.__all__)}, indent=2))" \
+#:     > tests/data/public_api_surface.json
+SNAPSHOT_PATH = pathlib.Path(__file__).parent / "data" / "public_api_surface.json"
 
 
 class TestPublicApi:
@@ -64,3 +75,60 @@ class TestPublicApi:
         schedule = repro.static_path_schedule(4)
         restored = repro.schedule_from_json(repro.schedule_to_json(schedule))
         assert restored == schedule
+
+    def test_error_hierarchy_is_public_and_unified(self):
+        assert issubclass(repro.ConfigurationError, repro.ReproError)
+        assert issubclass(repro.SimulationError, repro.ReproError)
+        assert issubclass(repro.ExperimentError, repro.ReproError)
+        from repro.results import RecordValidationError
+
+        assert issubclass(RecordValidationError, repro.ReproError)
+
+    def test_fluent_api_is_exported_at_the_top_level(self):
+        for name in ("Experiment", "ExperimentPlan", "RunSet", "Aggregate",
+                     "Comparison", "load_runs"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is getattr(repro.api, name)
+
+
+class TestPublicApiSnapshot:
+    """The curated surface is pinned: changing it requires updating the
+    snapshot file (see SNAPSHOT_PATH's docstring for the one-liner), which
+    makes accidental API growth or breakage visible in review and CI."""
+
+    def snapshot(self):
+        return json.loads(SNAPSHOT_PATH.read_text())
+
+    def test_api_module_all_names_resolve(self):
+        for name in repro.api.__all__:
+            assert hasattr(repro.api, name)
+
+    def test_top_level_surface_matches_the_snapshot(self):
+        assert sorted(repro.__all__) == self.snapshot()["repro"], (
+            "repro.__all__ changed; if intentional, regenerate "
+            f"{SNAPSHOT_PATH} (see its docstring)"
+        )
+
+    def test_api_surface_matches_the_snapshot(self):
+        assert sorted(repro.api.__all__) == self.snapshot()["repro.api"], (
+            "repro.api.__all__ changed; if intentional, regenerate "
+            f"{SNAPSHOT_PATH} (see its docstring)"
+        )
+
+    def test_all_lists_are_duplicate_free(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+        assert len(repro.api.__all__) == len(set(repro.api.__all__))
+
+
+class TestTyping:
+    def test_py_typed_marker_ships_with_the_package(self):
+        package_dir = pathlib.Path(repro.__file__).parent
+        assert (package_dir / "py.typed").exists(), (
+            "src/repro/py.typed is the PEP 561 marker telling type-checkers "
+            "to read the package's inline annotations"
+        )
+
+    def test_packaging_declares_the_marker(self):
+        pyproject = pathlib.Path(repro.__file__).parents[2] / "pyproject.toml"
+        assert pyproject.exists()
+        assert "py.typed" in pyproject.read_text()

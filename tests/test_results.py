@@ -159,6 +159,22 @@ class TestRunStore:
         assert store.add(run_records) == (0, len(run_records))
         assert len(store) == len(run_records)
 
+    def test_add_replace_supersedes_existing_identities(self, tmp_path, run_records):
+        store = RunStore(tmp_path / "store")
+        store.add(run_records)
+        changed = dict(run_records[0], rounds=run_records[0]["rounds"] + 7)
+        # Without replace the changed record is skipped...
+        assert store.add([changed]) == (0, 1)
+        # ...with replace it supersedes (last-wins), once — an identical
+        # re-add is still idempotent.
+        assert store.add([changed], replace=True) == (1, 0)
+        assert store.add([changed], replace=True) == (0, 1)
+        reopened = RunStore(tmp_path / "store")
+        assert len(reopened) == len(run_records)
+        stored = {r.identity(): r for r in reopened.records()}
+        key = RunRecord.from_dict(changed).identity()
+        assert stored[key].rounds == changed["rounds"]
+
     def test_reopened_store_sees_the_same_records(self, tmp_path, run_records):
         RunStore(tmp_path / "store").add(run_records)
         reopened = RunStore(tmp_path / "store")
@@ -406,7 +422,9 @@ class TestCliSweepStore:
         assert first == 4
         assert main(args) == 0
         assert len(RunStore(store_dir)) == first
-        assert "0 added, 4 already present" in capsys.readouterr().out
+        # The re-run is incremental: the plan found every cell in the store
+        # and executed nothing (see repro.api.Experiment.plan).
+        assert "0 added, 4 already present (0 executed)" in capsys.readouterr().out
 
     def test_sweeping_num_nodes_follows_into_schedule_adversaries(self, capsys):
         # The adversary's required num_nodes is injected from -n before the

@@ -67,6 +67,31 @@ class TestBuiltinRegistries:
         with pytest.raises(ConfigurationError, match="single-source"):
             ALGORITHM_REGISTRY.get("no-such-algorithm")
 
+    def test_near_miss_gets_a_did_you_mean_suggestion(self):
+        with pytest.raises(ConfigurationError, match="did you mean 'flooding'"):
+            ALGORITHM_REGISTRY.get("floodng")
+        with pytest.raises(ConfigurationError, match="did you mean 'churn'"):
+            ADVERSARY_REGISTRY.get("chrun")
+        with pytest.raises(ConfigurationError, match="did you mean 'n-gossip'"):
+            PROBLEM_REGISTRY.get("ngossip")
+
+    def test_far_miss_has_no_suggestion_but_lists_names(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            ALGORITHM_REGISTRY.get("zzzzzz")
+        message = str(excinfo.value)
+        assert "did you mean" not in message
+        assert "flooding" in message
+
+    def test_lookup_miss_never_escapes_as_a_key_error(self):
+        with pytest.raises(ConfigurationError):
+            ALGORITHM_REGISTRY.get("floodng")
+        try:
+            ALGORITHM_REGISTRY.get("floodng")
+        except KeyError:  # pragma: no cover - the regression this guards
+            pytest.fail("registry misses must raise ConfigurationError, not KeyError")
+        except ConfigurationError:
+            pass
+
     def test_unknown_parameter_is_rejected_with_known_parameters(self):
         with pytest.raises(ConfigurationError, match="changes_per_round"):
             ADVERSARY_REGISTRY.create("churn", bogus=1)
