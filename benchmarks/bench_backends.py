@@ -1,11 +1,11 @@
 """Backend benchmark: reference vs bitset wall-clock on identical scenarios.
 
-Unlike the E1-E10 harnesses (which regenerate the paper's *message* series),
-this benchmark measures the one thing the paper's cost model ignores:
-wall-clock.  Every grid point runs the same seeded scenario under every
-registered-and-supported backend, asserts the results are field-identical
-(rounds, messages, token learnings, ``TC(E)``), and records the speedup of
-the fast path over the reference engine.
+Thin wrapper over :mod:`repro.benchmark` (the grid and timing logic live in
+the package so ``python -m repro bench`` reproduces the same trajectory from
+the installed entry point).  Every grid point runs the same seeded scenario
+under every registered-and-timed backend, asserts the results are
+field-identical (rounds, messages, token learnings, ``TC(E)``), and records
+the speedup of the fast path over the reference engine.
 
 The trajectory is written to ``BENCH_backends.json`` (override with
 ``--output``) and, when ``REPRO_BENCH_STORE`` is set, each reference
@@ -25,155 +25,24 @@ import argparse
 import json
 import os
 import sys
-import time
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 if __package__ in (None, ""):  # script mode: put the repo root on sys.path
     sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
-from repro.backends import get_backend
-from repro.backends.differential import diff_results
-from repro.scenarios import (
-    ScenarioSpec,
-    materialize,
-    record_from_result,
-    repetition_seed,
-)
-
-#: Matches benchmarks.helpers.BENCH_STORE_ENV (kept import-light so the file
-#: runs as a plain script).
-BENCH_STORE_ENV = "REPRO_BENCH_STORE"
-
-#: The backends every grid point is timed under; the first is ground truth.
-BACKENDS = ("reference", "bitset")
-
-
-def _flooding_spec(num_nodes: int, rounds_per_token: int = 8) -> ScenarioSpec:
-    """Flooding with k = n over a static random graph.
-
-    The paper-default phase length of n rounds makes the grid quadratic in
-    wall-clock without changing the per-round work being measured; 8 rounds
-    per phase completes every phase on these dense graphs and keeps the
-    reference runs CI-sized.
-    """
-    return ScenarioSpec(
-        problem="single-source",
-        problem_params={"num_nodes": num_nodes, "num_tokens": num_nodes},
-        algorithm="flooding",
-        algorithm_params={"rounds_per_token": rounds_per_token},
-        adversary="static-random",
-        adversary_params={"num_nodes": num_nodes, "edge_probability": 0.25},
-        name=f"bench-flooding-n{num_nodes}-k{num_nodes}",
-    )
-
-
-def _single_source_spec(num_nodes: int, num_tokens: int) -> ScenarioSpec:
-    return ScenarioSpec(
-        problem="single-source",
-        problem_params={"num_nodes": num_nodes, "num_tokens": num_tokens},
-        algorithm="single-source",
-        adversary="churn",
-        adversary_params={"changes_per_round": 2},
-        name=f"bench-single-source-n{num_nodes}-k{num_tokens}",
-    )
-
-
-def _spanning_tree_spec(num_nodes: int, num_tokens: int) -> ScenarioSpec:
-    return ScenarioSpec(
-        problem="single-source",
-        problem_params={"num_nodes": num_nodes, "num_tokens": num_tokens},
-        algorithm="spanning-tree",
-        adversary="static-random",
-        adversary_params={"num_nodes": num_nodes, "edge_probability": 0.25},
-        name=f"bench-spanning-tree-n{num_nodes}-k{num_tokens}",
-    )
-
-
-def grid(quick: bool) -> List[ScenarioSpec]:
-    """The benchmark grid; ``quick`` is the CI-sized subset."""
-    if quick:
-        return [
-            _flooding_spec(32),
-            _single_source_spec(24, 32),
-            _spanning_tree_spec(24, 24),
-        ]
-    return [
-        _flooding_spec(64),
-        _flooding_spec(128),
-        _single_source_spec(64, 96),
-        _spanning_tree_spec(64, 64),
-    ]
-
-
-def _bench_store():
-    path = os.environ.get(BENCH_STORE_ENV)
-    if not path:
-        return None
-    from repro.results import RunStore
-
-    return RunStore(path)
-
-
-def run_entry(spec: ScenarioSpec, store=None) -> Dict[str, Any]:
-    """Time one scenario under every backend and diff against the reference.
-
-    Both backends run with ``keep_trace=False`` (the memory-shedding mode)
-    so the comparison measures execution, not trace storage.
-    """
-    seed = repetition_seed(spec, 0)
-    timings: Dict[str, float] = {}
-    results = {}
-    for backend_name in BACKENDS:
-        backend = get_backend(backend_name)
-        scenario = materialize(spec)
-        start = time.perf_counter()
-        result = backend.run(
-            scenario.problem,
-            scenario.algorithm,
-            scenario.adversary,
-            seed=seed,
-            max_rounds=spec.max_rounds,
-            keep_trace=False,
-        )
-        timings[backend_name] = time.perf_counter() - start
-        results[backend_name] = result
-    reference = results[BACKENDS[0]]
-    differences: List[str] = []
-    for backend_name in BACKENDS[1:]:
-        differences.extend(
-            difference.field
-            for difference in diff_results(
-                reference, results[backend_name], compare_graphs=False
-            )
-        )
-    if store is not None:
-        store.add([record_from_result(spec, 0, seed, reference)])
-    reference_seconds = timings[BACKENDS[0]]
-    return {
-        "scenario": spec.label,
-        "algorithm": spec.algorithm,
-        "adversary": spec.adversary,
-        "n": spec.problem_params["num_nodes"],
-        "k": spec.problem_params.get(
-            "num_tokens", spec.problem_params["num_nodes"]
-        ),
-        "completed": reference.completed,
-        "rounds": reference.rounds,
-        "total_messages": reference.total_messages,
-        "seconds": {name: round(value, 4) for name, value in timings.items()},
-        "speedup": {
-            name: round(reference_seconds / timings[name], 2)
-            for name in BACKENDS[1:]
-        },
-        "equal": not differences,
-        "differences": differences,
-    }
+from repro.benchmark import bench_store, run_benchmark
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--quick", action="store_true", help="run the CI-sized grid only"
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="timings per backend and grid point; the best is kept (default 1)",
     )
     parser.add_argument(
         "--output",
@@ -183,27 +52,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    store = _bench_store()
-    entries = []
-    for spec in grid(args.quick):
-        entry = run_entry(spec, store=store)
-        entries.append(entry)
-        speedups = ", ".join(
-            f"{name} {entry['speedup'][name]}x" for name in BACKENDS[1:]
-        )
-        status = "ok" if entry["equal"] else f"MISMATCH: {entry['differences']}"
-        print(
-            f"{entry['scenario']}: n={entry['n']} k={entry['k']} "
-            f"rounds={entry['rounds']} reference={entry['seconds']['reference']}s "
-            f"({speedups}) [{status}]"
-        )
-
-    payload = {
-        "benchmark": "backends",
-        "grid": "quick" if args.quick else "full",
-        "backends": list(BACKENDS),
-        "entries": entries,
-    }
+    store = bench_store()
+    payload = run_benchmark(
+        quick=args.quick, repeat=args.repeat, store=store, progress=print
+    )
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -211,7 +63,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if store is not None:
         print(f"records merged into {store.path}")
 
-    if not all(entry["equal"] for entry in entries):
+    if not all(entry["equal"] for entry in payload["entries"]):
         print("backend results diverged; see the differences fields", file=sys.stderr)
         return 1
     return 0

@@ -2,21 +2,25 @@
 
 A token-forwarding algorithm (Section 1) may store, copy and forward tokens
 but never manipulate them.  The base classes here manage the per-node token
-knowledge, the buffering of token-learning events for the engine, and — for
-unicast algorithms — the per-edge history (insertion rounds, last token
-received) that the unicast algorithms of Section 3 use to classify edges as
-*new*, *contributive* or *idle*.
+knowledge — delegated to a pluggable
+:class:`~repro.core.state.KnowledgeState`, so any registered algorithm runs
+unchanged on the dict-of-sets reference representation *or* on the integer
+bitmasks of the fast backends — the buffering of token-learning events for
+the round kernel, and, for unicast algorithms, the per-edge history
+(insertion rounds, last token received) that the unicast algorithms of
+Section 3 use to classify edges as *new*, *contributive* or *idle*.
 """
 
 from __future__ import annotations
 
 import abc
 import random
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.comm import CommunicationModel
 from repro.core.messages import Payload, ReceivedMessage, TokenMessage
 from repro.core.problem import DisseminationProblem
+from repro.core.state import KnowledgeState, MappingKnowledgeState
 from repro.core.tokens import Token
 from repro.utils.ids import Edge, NodeId, normalize_edge
 from repro.utils.validation import SimulationError
@@ -27,7 +31,10 @@ class TokenForwardingAlgorithm(abc.ABC):
 
     Subclasses implement either the local broadcast or the unicast interface
     (see :class:`LocalBroadcastAlgorithm` / :class:`UnicastAlgorithm`).  The
-    engine interacts with algorithms exclusively through these interfaces.
+    round kernel interacts with algorithms exclusively through these
+    interfaces.  All knowledge reads and writes route through the bound
+    :class:`~repro.core.state.KnowledgeState` — the per-round knowledge
+    delta an algorithm produces is therefore representation-independent.
     """
 
     #: Human-readable algorithm name used in results and reports.
@@ -38,25 +45,25 @@ class TokenForwardingAlgorithm(abc.ABC):
     def __init__(self) -> None:
         self._problem: Optional[DisseminationProblem] = None
         self._rng: Optional[random.Random] = None
-        self._knowledge: Dict[NodeId, Set[Token]] = {}
-        self._missing_count: Dict[NodeId, int] = {}
-        self._incomplete_nodes = 0
-        self._pending_learnings: List[Tuple[NodeId, Token]] = []
+        self._state: Optional[KnowledgeState] = None
 
     # -- lifecycle -------------------------------------------------------
 
-    def setup(self, problem: DisseminationProblem, rng: random.Random) -> None:
-        """Initialize per-node state from the problem's initial distribution."""
+    def setup(
+        self,
+        problem: DisseminationProblem,
+        rng: random.Random,
+        state: Optional[KnowledgeState] = None,
+    ) -> None:
+        """Initialize per-node state from the problem's initial distribution.
+
+        ``state`` binds an externally owned knowledge representation (the
+        round kernel passes its own); when omitted, a fresh
+        :class:`~repro.core.state.MappingKnowledgeState` is created.
+        """
         self._problem = problem
         self._rng = rng
-        self._knowledge = {
-            node: set(problem.initial_knowledge[node]) for node in problem.nodes
-        }
-        self._missing_count = {
-            node: problem.num_tokens - len(self._knowledge[node]) for node in problem.nodes
-        }
-        self._incomplete_nodes = sum(1 for count in self._missing_count.values() if count > 0)
-        self._pending_learnings = []
+        self._state = state if state is not None else MappingKnowledgeState(problem)
         self.on_setup()
 
     def on_setup(self) -> None:
@@ -83,51 +90,62 @@ class TokenForwardingAlgorithm(abc.ABC):
         """The node set ``V``."""
         return self.problem.nodes
 
+    @property
+    def knowledge_state(self) -> KnowledgeState:
+        """The bound knowledge representation."""
+        if self._state is None:
+            raise SimulationError("the algorithm has not been set up with a problem yet")
+        return self._state
+
     # -- knowledge tracking ----------------------------------------------
 
     def known_tokens(self, node: NodeId) -> FrozenSet[Token]:
         """The tokens currently known by ``node`` (``K_v(t)``)."""
-        return frozenset(self._knowledge[node])
+        return self.knowledge_state.known_tokens(node)
 
     def knows(self, node: NodeId, token: Token) -> bool:
         """True iff ``node`` already knows ``token``."""
-        return token in self._knowledge[node]
+        return self.knowledge_state.knows(node, token)
 
     def missing_tokens(self, node: NodeId) -> List[Token]:
         """The tokens ``node`` has not yet learned, in sorted order."""
-        known = self._knowledge[node]
-        return sorted(token for token in self.problem.tokens if token not in known)
+        return self.knowledge_state.missing_tokens(node)
 
     def is_node_complete(self, node: NodeId) -> bool:
         """True iff ``node`` knows all ``k`` tokens (Definition 3.1)."""
-        return self._missing_count[node] == 0
+        return self.knowledge_state.is_node_complete(node)
 
     def all_complete(self) -> bool:
         """True iff every node knows every token (dissemination solved)."""
-        return self._incomplete_nodes == 0
+        return self.knowledge_state.all_complete()
 
     def learn(self, node: NodeId, token: Token) -> bool:
         """Record that ``node`` received ``token``; True iff it is new to the node."""
-        known = self._knowledge[node]
-        if token in known:
-            return False
-        known.add(token)
-        self._missing_count[node] -= 1
-        if self._missing_count[node] == 0:
-            self._incomplete_nodes -= 1
-        self._pending_learnings.append((node, token))
-        self.on_learn(node, token)
-        return True
+        learned = self.knowledge_state.learn(node, token)
+        if learned:
+            self.on_learn(node, token)
+        return learned
 
     def on_learn(self, node: NodeId, token: Token) -> None:
         """Subclass hook invoked whenever a node learns a new token."""
 
     def drain_token_learnings(self) -> List[Tuple[NodeId, Token]]:
         """Return (and clear) the token learnings buffered since the last drain."""
-        learnings, self._pending_learnings = self._pending_learnings, []
-        return learnings
+        return self.knowledge_state.drain_learnings()
 
     # -- engine hooks ------------------------------------------------------
+
+    def fast_program_factory(self) -> Optional[Callable[[object], object]]:
+        """A native bit-level round program for this algorithm, or ``None``.
+
+        Algorithms with a fast path return a callable ``kernel ->
+        FastRoundProgram`` (see :mod:`repro.core.rounds`); the bitset backend
+        runs it instead of the generic exchange program.  Implementations
+        must guard on their exact type — a subclass may override behaviour
+        the program does not model, and then must fall back to the generic
+        path (return ``None``), which drives the subclass's real methods.
+        """
+        return None
 
     def is_quiescent(self) -> bool:
         """True if the algorithm will not send any further messages.

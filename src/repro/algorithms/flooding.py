@@ -23,13 +23,18 @@ adaptive adversary; it is used as a comparison point in the benchmarks.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.algorithms.base import LocalBroadcastAlgorithm
-from repro.core.messages import Payload, TokenMessage
+from repro.core.messages import MessageKind, Payload, TokenMessage
+from repro.core.observation import SentRecord
+from repro.core.rounds import FastRoundProgram
+from repro.core.state import bit_indices
 from repro.core.tokens import Token
 from repro.utils.ids import NodeId
 from repro.utils.validation import require_positive_int
+
+_KIND_TOKEN = MessageKind.TOKEN.value
 
 
 class FloodingAlgorithm(LocalBroadcastAlgorithm):
@@ -90,6 +95,80 @@ class FloodingAlgorithm(LocalBroadcastAlgorithm):
     def is_quiescent(self) -> bool:
         return False
 
+    def fast_program_factory(self) -> Optional[Callable]:
+        if type(self) is not FloodingAlgorithm:
+            return None
+        return lambda kernel: _FloodingFastProgram(kernel, self)
+
+
+class _FloodingFastProgram(FastRoundProgram):
+    """Phase-based flooding on bitmask state: one global token per phase.
+
+    Round ``r`` floods token ``(r - 1) // phase_length`` (in sorted token
+    order); every node whose knowledge bit is set commits to broadcasting
+    it, and after the adversary fixes the graph every neighbour of a holder
+    learns the token.  The holder set is one node bitmask, so a round is a
+    popcount, a union of adjacency masks and a handful of bit updates.
+    """
+
+    def setup(self) -> None:
+        self.phase_length = self.algorithm.phase_length_for(self.n)
+        self._current_phase = -1
+        self._holders_mask = 0
+
+    def commit(self, round_index: int) -> Tuple[int, int]:
+        phase = (round_index - 1) // self.phase_length
+        if phase >= self.k:
+            return phase, 0
+        if phase != self._current_phase:
+            self._current_phase = phase
+            self._holders_mask = self.state.holders_mask(phase)
+        return phase, self._holders_mask
+
+    def commit_payloads(self, commitment) -> Dict[NodeId, Optional[Payload]]:
+        phase, holders = commitment
+        if phase >= self.k:
+            return {node: None for node in self.nodes}
+        token = self.tokens[phase]
+        return {
+            node: TokenMessage(token) if (holders >> index) & 1 else None
+            for index, node in enumerate(self.nodes)
+        }
+
+    def deliver(self, round_index: int, commitment) -> None:
+        phase, holders = commitment
+        observe = self.kernel.observe
+        if phase >= self.k or not holders:
+            if observe:
+                self.store_sent_records([])
+            return
+        broadcasters = bit_indices(holders)
+        self.accounting.count_bulk(_KIND_TOKEN, len(broadcasters))
+        per_node = self.per_node
+        adj = self.adj
+        reach = 0
+        for index in broadcasters:
+            per_node[index] += 1
+            reach |= adj[index]
+        if observe:
+            nodes = self.nodes
+            token = self.tokens[phase]
+            self.store_sent_records(
+                [
+                    SentRecord(sender=nodes[index], receiver=None, payload=TokenMessage(token))
+                    for index in broadcasters
+                ]
+            )
+        learners = reach & ~holders
+        if learners:
+            learn_index = self.state.learn_index
+            mask = learners
+            while mask:
+                low = mask & -mask
+                learn_index(low.bit_length() - 1, phase)
+                mask ^= low
+            self._holders_mask = holders | learners
+
 
 class OneShotFloodingAlgorithm(LocalBroadcastAlgorithm):
     """Optimistic flooding: every node broadcasts every token it knows exactly once.
@@ -125,3 +204,86 @@ class OneShotFloodingAlgorithm(LocalBroadcastAlgorithm):
 
     def is_quiescent(self) -> bool:
         return all(not queue for queue in self._queues.values())
+
+    def fast_program_factory(self) -> Optional[Callable]:
+        if type(self) is not OneShotFloodingAlgorithm:
+            return None
+        return lambda kernel: _OneShotFloodingFastProgram(kernel, self)
+
+
+class _OneShotFloodingFastProgram(FastRoundProgram):
+    """One-shot flooding on bitmask state: per-node FIFO queues of bit indices.
+
+    Each round every node with a non-empty queue commits its head token;
+    after delivery, every first-time learner enqueues the token it learned
+    (mirroring :meth:`OneShotFloodingAlgorithm.on_learn`), and the program is
+    quiescent once all queues drain.
+    """
+
+    def setup(self) -> None:
+        initial = self.kernel.problem.initial_knowledge
+        token_index = self.token_index
+        self.queues: List[Deque[int]] = [
+            deque(sorted(token_index[token] for token in initial[node]))
+            for node in self.nodes
+        ]
+
+    def commit(self, round_index: int) -> Tuple[int, List[int]]:
+        token_of = [-1] * self.n
+        senders = 0
+        for index, queue in enumerate(self.queues):
+            if queue:
+                token_of[index] = queue.popleft()
+                senders |= 1 << index
+        return senders, token_of
+
+    def commit_payloads(self, commitment) -> Dict[NodeId, Optional[Payload]]:
+        senders, token_of = commitment
+        tokens = self.tokens
+        return {
+            node: TokenMessage(tokens[token_of[index]]) if (senders >> index) & 1 else None
+            for index, node in enumerate(self.nodes)
+        }
+
+    def deliver(self, round_index: int, commitment) -> None:
+        senders, token_of = commitment
+        observe = self.kernel.observe
+        if not senders:
+            if observe:
+                self.store_sent_records([])
+            return
+        broadcasters = bit_indices(senders)
+        self.accounting.count_bulk(_KIND_TOKEN, len(broadcasters))
+        per_node = self.per_node
+        for index in broadcasters:
+            per_node[index] += 1
+        if observe:
+            nodes = self.nodes
+            tokens = self.tokens
+            self.store_sent_records(
+                [
+                    SentRecord(
+                        sender=nodes[index],
+                        receiver=None,
+                        payload=TokenMessage(tokens[token_of[index]]),
+                    )
+                    for index in broadcasters
+                ]
+            )
+        adj = self.adj
+        queues = self.queues
+        learn_index = self.state.learn_index
+        # Delivery order mirrors the exchange program: receivers ascending,
+        # and within a receiver the senders ascending.
+        for receiver in range(self.n):
+            incoming = adj[receiver] & senders
+            while incoming:
+                low = incoming & -incoming
+                sender = low.bit_length() - 1
+                incoming ^= low
+                token_bit = token_of[sender]
+                if learn_index(receiver, token_bit):
+                    queues[receiver].append(token_bit)
+
+    def is_quiescent(self) -> bool:
+        return all(not queue for queue in self.queues)

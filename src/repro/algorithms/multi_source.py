@@ -33,19 +33,32 @@ assumption without affecting any message count.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.algorithms.base import UnicastAlgorithm
 from repro.core.messages import (
     CompletenessMessage,
+    MessageKind,
     Payload,
     ReceivedMessage,
     RequestMessage,
     TokenMessage,
 )
+from repro.core.observation import SentRecord
+from repro.core.rounds import FastRoundProgram
+from repro.core.state import edge_id
 from repro.core.tokens import Token, tokens_by_source
 from repro.utils.ids import NodeId
 from repro.utils.validation import ConfigurationError
+
+_KIND_TOKEN = MessageKind.TOKEN.value
+_KIND_COMPLETENESS = MessageKind.COMPLETENESS.value
+_KIND_REQUEST = MessageKind.REQUEST.value
+
+#: Delivery tags used in the flat (sender, tag, value) message tuples.
+_TAG_COMPLETENESS = 0
+_TAG_TOKEN = 1
+_TAG_REQUEST = 2
 
 
 class MultiSourceUnicastAlgorithm(UnicastAlgorithm):
@@ -279,3 +292,233 @@ class MultiSourceUnicastAlgorithm(UnicastAlgorithm):
                 node: tuple(sorted(self._complete_wrt[node])) for node in self.nodes
             },
         }
+
+    def fast_program_factory(self) -> Optional[Callable]:
+        # The fast program derives the catalog from the problem's initial
+        # placement; explicitly configured catalogs (and subclasses such as
+        # the oblivious algorithm) take the generic exchange path.
+        if type(self) is not MultiSourceUnicastAlgorithm:
+            return None
+        if self._configured_catalog is not None:
+            return None
+        return lambda kernel: _MultiSourceFastProgram(kernel, self)
+
+
+class _MultiSourceFastProgram(FastRoundProgram):
+    """Multi-Source-Unicast (Section 3.2.1) on bitmask state.
+
+    Mirrors :class:`MultiSourceUnicastAlgorithm` with the default catalog:
+    per-source completeness masks (``I_v`` as a source-index bitmask,
+    ``R_v(x)`` / ``S_v(x)`` as node bitmasks per source), the three per-round
+    tasks in the paper's order, and the same request bookkeeping as the
+    single-source fast program.
+    """
+
+    track_edge_history = True
+
+    def setup(self) -> None:
+        problem = self.kernel.problem
+        token_index = self.token_index
+        catalog = tokens_by_source(problem.tokens)
+        self.sources: List[NodeId] = sorted(catalog)
+        s = self.s = len(self.sources)
+        self.catalog_bits: List[Tuple[int, ...]] = [
+            tuple(sorted(token_index[token] for token in catalog[source]))
+            for source in self.sources
+        ]
+        self.catalog_mask: List[int] = [
+            sum(1 << bit for bit in bits) for bits in self.catalog_bits
+        ]
+        n = self.n
+        know = self.state.know
+        self.complete_wrt: List[int] = [0] * n  # bit x = complete w.r.t. sources[x]
+        for v in range(n):
+            mask = 0
+            know_v = know[v]
+            for x in range(s):
+                catalog_mask = self.catalog_mask[x]
+                if know_v & catalog_mask == catalog_mask:
+                    mask |= 1 << x
+            self.complete_wrt[v] = mask
+        self.informed: List[List[int]] = [[0] * s for _ in range(n)]
+        self.known_complete: List[List[int]] = [[0] * s for _ in range(n)]
+        self.answers: List[Dict[int, int]] = [{} for _ in range(n)]
+        self.req_prev: List[Optional[Dict[int, int]]] = [None] * n
+
+    def observation_extra(self) -> Dict[str, object]:
+        sources = self.sources
+        nodes = self.nodes
+        return {
+            "catalog_sources": tuple(sources),
+            "complete_wrt": {
+                nodes[v]: tuple(
+                    sources[x] for x in range(self.s) if (self.complete_wrt[v] >> x) & 1
+                )
+                for v in range(self.n)
+            },
+        }
+
+    def _update_completeness(self, node_index: int) -> None:
+        """Mirror of ``on_learn``: refresh ``I_v`` after a new token."""
+        mask = self.complete_wrt[node_index]
+        know_v = self.state.know[node_index]
+        for x in range(self.s):
+            if (mask >> x) & 1:
+                continue
+            catalog_mask = self.catalog_mask[x]
+            if know_v & catalog_mask == catalog_mask:
+                mask |= 1 << x
+        self.complete_wrt[node_index] = mask
+
+    def deliver(self, round_index: int, commitment) -> None:
+        n = self.n
+        s = self.s
+        adj = self.adj
+        state = self.state
+        know = state.know
+        full = self.full_mask
+        complete_wrt = self.complete_wrt
+        informed = self.informed
+        known_complete = self.known_complete
+        answers = self.answers
+        req_prev = self.req_prev
+        req_cur: List[Optional[Dict[int, int]]] = [None] * n
+        edge_token_round = self.edge_token_round
+        per_node = self.per_node
+        deliveries: List[Optional[List[Tuple[int, int, int]]]] = [None] * n
+        observe = self.kernel.observe
+        records: Optional[List[SentRecord]] = [] if observe else None
+        nodes = self.nodes
+        tokens = self.tokens
+
+        token_count = 0
+        completeness_count = 0
+        request_count = 0
+
+        for v in range(n):
+            neighbors = adj[v]
+            outbox: Dict[int, List[Tuple[int, int]]] = {}
+
+            # Task 1: completeness announcements (minimum unannounced source
+            # per edge, in increasing source order).
+            cw = complete_wrt[v]
+            if cw and neighbors:
+                informed_v = informed[v]
+                to_visit = neighbors
+                while to_visit:
+                    low = to_visit & -to_visit
+                    u = low.bit_length() - 1
+                    to_visit ^= low
+                    remaining = cw
+                    while remaining:
+                        low_x = remaining & -remaining
+                        x = low_x.bit_length() - 1
+                        remaining ^= low_x
+                        if (informed_v[x] >> u) & 1:
+                            continue
+                        informed_v[x] |= 1 << u
+                        completeness_count += 1
+                        per_node[v] += 1
+                        outbox.setdefault(u, []).append((_TAG_COMPLETENESS, x))
+                        break
+
+            # Task 2: answer the requests received in the previous round.
+            pending_answers = answers[v]
+            if pending_answers:
+                to_visit = neighbors
+                while to_visit:
+                    low = to_visit & -to_visit
+                    u = low.bit_length() - 1
+                    to_visit ^= low
+                    answer = pending_answers.get(u)
+                    if answer is not None:
+                        token_count += 1
+                        per_node[v] += 1
+                        outbox.setdefault(u, []).append((_TAG_TOKEN, answer))
+            answers[v] = {}
+
+            # Task 3: request tokens of the highest-priority incomplete source.
+            active = -1
+            known_complete_v = known_complete[v]
+            for x in range(s):
+                if (cw >> x) & 1:
+                    continue
+                if known_complete_v[x]:
+                    active = x
+                    break
+            if active >= 0:
+                pending_mask = self.pending_request_mask(req_prev[v], neighbors)
+                know_v = know[v]
+                missing = [
+                    bit
+                    for bit in self.catalog_bits[active]
+                    if not (know_v >> bit) & 1 and not (pending_mask >> bit) & 1
+                ]
+                if missing:
+                    complete_neighbors = neighbors & known_complete_v[active]
+                    sent: Optional[Dict[int, int]] = None
+                    for position, u in enumerate(
+                        self.prioritized_edges(v, complete_neighbors, round_index)
+                    ):
+                        if position >= len(missing):
+                            break
+                        bit = missing[position]
+                        request_count += 1
+                        per_node[v] += 1
+                        outbox.setdefault(u, []).append((_TAG_REQUEST, bit))
+                        if sent is None:
+                            sent = req_cur[v] = {}
+                        sent[u] = bit
+
+            # Flush in ascending-receiver order (the kernel's delivery order).
+            for u in sorted(outbox):
+                box = deliveries[u]
+                if box is None:
+                    box = deliveries[u] = []
+                pairs = outbox[u]
+                box.extend((v, tag, value) for tag, value in pairs)
+                if records is not None:
+                    sender = nodes[v]
+                    receiver = nodes[u]
+                    for tag, value in pairs:
+                        if tag == _TAG_COMPLETENESS:
+                            payload: Payload = CompletenessMessage(
+                                source=self.sources[value]
+                            )
+                        elif tag == _TAG_TOKEN:
+                            payload = TokenMessage(tokens[value])
+                        else:
+                            token = tokens[value]
+                            payload = RequestMessage(
+                                source=token.source, index=token.index
+                            )
+                        records.append(
+                            SentRecord(sender=sender, receiver=receiver, payload=payload)
+                        )
+
+        learn_index = state.learn_index
+        for u in range(n):
+            box = deliveries[u]
+            if not box:
+                continue
+            for sender, tag, value in box:
+                if tag == _TAG_COMPLETENESS:
+                    known_complete[u][value] |= 1 << sender
+                elif tag == _TAG_TOKEN:
+                    if learn_index(u, value):
+                        eid = edge_id(u, sender, n)
+                        edge_token_round[eid] = round_index
+                        if know[u] != full:
+                            self._update_completeness(u)
+                        else:
+                            complete_wrt[u] = (1 << s) - 1
+                else:  # _TAG_REQUEST
+                    answers[u][sender] = value
+
+        self.req_prev = req_cur
+        accounting = self.accounting
+        accounting.count_bulk(_KIND_TOKEN, token_count)
+        accounting.count_bulk(_KIND_COMPLETENESS, completeness_count)
+        accounting.count_bulk(_KIND_REQUEST, request_count)
+        if records is not None:
+            self.store_sent_records(records)

@@ -17,12 +17,16 @@ message bound above always holds.)
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Mapping, Set
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
 from repro.algorithms.base import UnicastAlgorithm
-from repro.core.messages import Payload, TokenMessage
+from repro.core.messages import MessageKind, Payload, TokenMessage
+from repro.core.observation import SentRecord
+from repro.core.rounds import FastRoundProgram
 from repro.core.tokens import Token
 from repro.utils.ids import NodeId
+
+_KIND_TOKEN = MessageKind.TOKEN.value
 
 
 class NaiveUnicastAlgorithm(UnicastAlgorithm):
@@ -70,4 +74,96 @@ class NaiveUnicastAlgorithm(UnicastAlgorithm):
             for receiver, tokens in self._sent[sender].items()
             if len(tokens) >= len(self.known_tokens(sender))
         )
+        return pushed >= total_pairs
+
+    def fast_program_factory(self) -> Optional[Callable]:
+        if type(self) is not NaiveUnicastAlgorithm:
+            return None
+        return lambda kernel: _NaiveUnicastFastProgram(kernel, self)
+
+
+class _NaiveUnicastFastProgram(FastRoundProgram):
+    """Naive unicast on bitmask state: per-pair sent-token bitmasks.
+
+    Mirrors :class:`NaiveUnicastAlgorithm` exactly, including the
+    quiescence rule's bookkeeping quirk: a pair entry exists as soon as a
+    sender *considers* a neighbour, even when it has nothing left to send.
+    """
+
+    def setup(self) -> None:
+        # sent[v][u] = bitmask of tokens v has pushed to u.  An entry is
+        # created on first consideration (mirroring the reference
+        # ``setdefault``), which the quiescence rule depends on.
+        self.sent: List[Dict[int, int]] = [{} for _ in range(self.n)]
+
+    def deliver(self, round_index: int, commitment) -> None:
+        n = self.n
+        adj = self.adj
+        state = self.state
+        know = state.know
+        per_node = self.per_node
+        sent = self.sent
+        deliveries: List[Optional[List[Tuple[int, int]]]] = [None] * n
+        observe = self.kernel.observe
+        records: Optional[List[SentRecord]] = [] if observe else None
+        nodes = self.nodes
+        tokens = self.tokens
+
+        token_count = 0
+        for v in range(n):
+            neighbors = adj[v]
+            if not neighbors:
+                continue
+            sent_v = sent[v]
+            know_v = know[v]
+            to_visit = neighbors
+            while to_visit:
+                low = to_visit & -to_visit
+                u = low.bit_length() - 1
+                to_visit ^= low
+                already = sent_v.get(u)
+                if already is None:
+                    already = sent_v[u] = 0
+                sendable = know_v & ~already
+                if not sendable:
+                    continue
+                token_low = sendable & -sendable
+                token_bit_index = token_low.bit_length() - 1
+                sent_v[u] = already | token_low
+                token_count += 1
+                per_node[v] += 1
+                box = deliveries[u]
+                if box is None:
+                    box = deliveries[u] = []
+                box.append((v, token_bit_index))
+                if records is not None:
+                    records.append(
+                        SentRecord(
+                            sender=nodes[v],
+                            receiver=nodes[u],
+                            payload=TokenMessage(tokens[token_bit_index]),
+                        )
+                    )
+
+        learn_index = state.learn_index
+        for u in range(n):
+            box = deliveries[u]
+            if not box:
+                continue
+            for _, token_bit_index in box:
+                learn_index(u, token_bit_index)
+
+        self.accounting.count_bulk(_KIND_TOKEN, token_count)
+        if records is not None:
+            self.store_sent_records(records)
+
+    def is_quiescent(self) -> bool:
+        total_pairs = self.n * (self.n - 1)
+        know_count = self.state.know_count
+        pushed = 0
+        for v, sent_v in enumerate(self.sent):
+            count = know_count[v]
+            for mask in sent_v.values():
+                if mask.bit_count() >= count:
+                    pushed += 1
         return pushed >= total_pairs

@@ -23,19 +23,32 @@ dynamic graphs the algorithm terminates within ``O(nk)`` rounds
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
 from repro.algorithms.base import UnicastAlgorithm
 from repro.core.messages import (
     CompletenessMessage,
+    MessageKind,
     Payload,
     ReceivedMessage,
     RequestMessage,
     TokenMessage,
 )
+from repro.core.observation import SentRecord
+from repro.core.rounds import FastRoundProgram
+from repro.core.state import edge_id
 from repro.core.tokens import Token
 from repro.utils.ids import NodeId
 from repro.utils.validation import ConfigurationError
+
+_KIND_TOKEN = MessageKind.TOKEN.value
+_KIND_COMPLETENESS = MessageKind.COMPLETENESS.value
+_KIND_REQUEST = MessageKind.REQUEST.value
+
+#: Delivery tags used in the flat (sender, tag, value) message tuples.
+_TAG_COMPLETENESS = 0
+_TAG_TOKEN = 1
+_TAG_REQUEST = 2
 
 
 class SingleSourceUnicastAlgorithm(UnicastAlgorithm):
@@ -199,3 +212,182 @@ class SingleSourceUnicastAlgorithm(UnicastAlgorithm):
             "complete_nodes": tuple(self.complete_nodes()),
             "source": self._source,
         }
+
+    def fast_program_factory(self) -> Optional[Callable]:
+        if type(self) is not SingleSourceUnicastAlgorithm:
+            return None
+        return lambda kernel: _SingleSourceFastProgram(kernel, self)
+
+
+class _SingleSourceFastProgram(FastRoundProgram):
+    """Single-Source-Unicast (Algorithm 1) on bitmask state.
+
+    Mirrors :class:`SingleSourceUnicastAlgorithm` exactly: completeness
+    announcements to newly seen neighbours, one-round request/answer
+    exchanges, and the new > idle > contributive edge priority for assigning
+    token requests, with the per-edge history kept as ``edge id -> round``
+    dicts supplied by :class:`~repro.core.rounds.FastRoundProgram`.
+    """
+
+    track_edge_history = True
+
+    def setup(self) -> None:
+        problem = self.kernel.problem
+        sources = problem.sources
+        if len(sources) != 1:
+            raise ConfigurationError(
+                "SingleSourceUnicastAlgorithm requires a single-source problem; "
+                f"got {len(sources)} sources (use MultiSourceUnicastAlgorithm instead)"
+            )
+        self.source = sources[0]
+        if problem.initial_knowledge[self.source] != frozenset(problem.tokens):
+            raise ConfigurationError("the source node must initially hold all k tokens")
+        n = self.n
+        self.informed: List[int] = [0] * n
+        self.known_complete: List[int] = [0] * n
+        self.answers: List[Dict[int, int]] = [{} for _ in range(n)]
+        self.req_prev: List[Optional[Dict[int, int]]] = [None] * n
+
+    def observation_extra(self) -> Dict[str, object]:
+        know_count = self.state.know_count
+        k = self.k
+        nodes = self.nodes
+        return {
+            "complete_nodes": tuple(
+                nodes[index] for index in range(self.n) if know_count[index] == k
+            ),
+            "source": self.source,
+        }
+
+    def deliver(self, round_index: int, commitment) -> None:
+        n = self.n
+        k = self.k
+        adj = self.adj
+        state = self.state
+        know = state.know
+        know_count = state.know_count
+        full_mask = self.full_mask
+        informed = self.informed
+        known_complete = self.known_complete
+        answers = self.answers
+        req_prev = self.req_prev
+        req_cur: List[Optional[Dict[int, int]]] = [None] * n
+        edge_token_round = self.edge_token_round
+        per_node = self.per_node
+        deliveries: List[Optional[List[Tuple[int, int, int]]]] = [None] * n
+        observe = self.kernel.observe
+        records: Optional[List[SentRecord]] = [] if observe else None
+        nodes = self.nodes
+        tokens = self.tokens
+
+        token_count = 0
+        completeness_count = 0
+        request_count = 0
+
+        for v in range(n):
+            neighbors = adj[v]
+            sent_pairs: Optional[List[Tuple[int, int, int]]] = [] if observe else None
+            if know_count[v] == k:
+                # Complete node: announce completeness once per neighbour,
+                # then answer last round's requests.
+                pending_answers = answers[v]
+                informed_mask = informed[v]
+                to_visit = neighbors
+                while to_visit:
+                    low = to_visit & -to_visit
+                    u = low.bit_length() - 1
+                    to_visit ^= low
+                    if not (informed_mask >> u) & 1:
+                        informed_mask |= 1 << u
+                        completeness_count += 1
+                        per_node[v] += 1
+                        box = deliveries[u]
+                        if box is None:
+                            box = deliveries[u] = []
+                        box.append((v, _TAG_COMPLETENESS, 0))
+                        if sent_pairs is not None:
+                            sent_pairs.append((u, _TAG_COMPLETENESS, 0))
+                    else:
+                        answer = pending_answers.get(u)
+                        if answer is not None:
+                            token_count += 1
+                            per_node[v] += 1
+                            box = deliveries[u]
+                            if box is None:
+                                box = deliveries[u] = []
+                            box.append((v, _TAG_TOKEN, answer))
+                            if sent_pairs is not None:
+                                sent_pairs.append((u, _TAG_TOKEN, answer))
+                informed[v] = informed_mask
+                if pending_answers:
+                    answers[v] = {}
+            else:
+                # Incomplete node: skip tokens already guaranteed to arrive
+                # (requested last round over a surviving edge), then assign
+                # one distinct missing token per known-complete neighbour in
+                # new > idle > contributive edge order.
+                pending_mask = self.pending_request_mask(req_prev[v], neighbors)
+                complete_neighbors = neighbors & known_complete[v]
+                if not complete_neighbors:
+                    continue
+                sent: Optional[Dict[int, int]] = None
+                missing = ~know[v] & full_mask
+                for u in self.prioritized_edges(v, complete_neighbors, round_index):
+                    token_bit_index = -1
+                    while missing:
+                        low = missing & -missing
+                        candidate = low.bit_length() - 1
+                        missing ^= low
+                        if not (pending_mask >> candidate) & 1:
+                            token_bit_index = candidate
+                            break
+                    if token_bit_index < 0:
+                        break
+                    request_count += 1
+                    per_node[v] += 1
+                    box = deliveries[u]
+                    if box is None:
+                        box = deliveries[u] = []
+                    box.append((v, _TAG_REQUEST, token_bit_index))
+                    if sent_pairs is not None:
+                        sent_pairs.append((u, _TAG_REQUEST, token_bit_index))
+                    if sent is None:
+                        sent = req_cur[v] = {}
+                    sent[u] = token_bit_index
+            if records is not None and sent_pairs:
+                sender = nodes[v]
+                # The exchange program records sends receiver-ascending.
+                for u, tag, value in sorted(sent_pairs):
+                    if tag == _TAG_COMPLETENESS:
+                        payload: Payload = CompletenessMessage(source=self.source)
+                    elif tag == _TAG_TOKEN:
+                        payload = TokenMessage(tokens[value])
+                    else:
+                        token = tokens[value]
+                        payload = RequestMessage(source=token.source, index=token.index)
+                    records.append(
+                        SentRecord(sender=sender, receiver=nodes[u], payload=payload)
+                    )
+
+        learn_index = state.learn_index
+        for u in range(n):
+            box = deliveries[u]
+            if not box:
+                continue
+            for sender, tag, value in box:
+                if tag == _TAG_COMPLETENESS:
+                    known_complete[u] |= 1 << sender
+                elif tag == _TAG_TOKEN:
+                    if learn_index(u, value):
+                        eid = edge_id(u, sender, n)
+                        edge_token_round[eid] = round_index
+                else:  # _TAG_REQUEST
+                    answers[u][sender] = value
+
+        self.req_prev = req_cur
+        accounting = self.accounting
+        accounting.count_bulk(_KIND_TOKEN, token_count)
+        accounting.count_bulk(_KIND_COMPLETENESS, completeness_count)
+        accounting.count_bulk(_KIND_REQUEST, request_count)
+        if records is not None:
+            self.store_sent_records(records)

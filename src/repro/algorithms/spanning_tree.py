@@ -26,12 +26,29 @@ present) but gives no guarantees — it is a baseline for the static case only.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Mapping, Optional, Set
+from collections import deque
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
 from repro.algorithms.base import UnicastAlgorithm
-from repro.core.messages import ControlMessage, Payload, ReceivedMessage, TokenMessage
+from repro.core.messages import (
+    ControlMessage,
+    MessageKind,
+    Payload,
+    ReceivedMessage,
+    TokenMessage,
+)
+from repro.core.observation import SentRecord
+from repro.core.rounds import FastRoundProgram
 from repro.core.tokens import Token
 from repro.utils.ids import NodeId
+
+_KIND_TOKEN = MessageKind.TOKEN.value
+_KIND_CONTROL = MessageKind.CONTROL.value
+
+#: Delivery tags used in the flat (sender, tag, value) message tuples.
+_TAG_TOKEN = 0
+_TAG_JOIN = 1
+_TAG_PARENT = 2
 
 
 class SpanningTreeAlgorithm(UnicastAlgorithm):
@@ -181,3 +198,182 @@ class SpanningTreeAlgorithm(UnicastAlgorithm):
     def tree_children(self, node: NodeId) -> List[NodeId]:
         """The children of ``node`` in the constructed tree."""
         return list(self._children[node])
+
+    def fast_program_factory(self) -> Optional[Callable]:
+        if type(self) is not SpanningTreeAlgorithm:
+            return None
+        return lambda kernel: _SpanningTreeFastProgram(kernel, self)
+
+
+class _SpanningTreeFastProgram(FastRoundProgram):
+    """Spanning-tree construction plus token pipelining on bitmask state.
+
+    Mirrors :class:`SpanningTreeAlgorithm`: join-beacon flooding, parent
+    acknowledgements, one-token-per-round convergecast toward the root and
+    pipelined distribution to children, with tokens carried as sorted-order
+    bit indices.
+    """
+
+    def setup(self) -> None:
+        configured = self.algorithm.configured_root
+        if configured is not None and configured in self.index_of:
+            self.root = self.index_of[configured]
+        else:
+            self.root = 0  # nodes are sorted, so index 0 is the lowest ID
+        n = self.n
+        token_index = self.token_index
+        initial = self.kernel.problem.initial_knowledge
+        self.parent: List[int] = [-1] * n
+        self.parent[self.root] = self.root
+        self.children: List[List[int]] = [[] for _ in range(n)]
+        self.children_seen: List[Set[int]] = [set() for _ in range(n)]
+        self.flood_pending: List[bool] = [False] * n
+        self.flood_pending[self.root] = True
+        self.pending_ack: List[int] = [-1] * n
+        self.up_queue: List[deque] = [
+            deque(
+                sorted(token_index[token] for token in initial[node])
+                if index != self.root
+                else ()
+            )
+            for index, node in enumerate(self.nodes)
+        ]
+        self.distribute: List[List[int]] = [[] for _ in range(n)]
+        self.distribute_seen: List[int] = [0] * n
+        self.down_progress: List[Dict[int, int]] = [{} for _ in range(n)]
+        for token_bit_index in sorted(
+            token_index[token] for token in initial[self.nodes[self.root]]
+        ):
+            self._add_to_distribution(self.root, token_bit_index)
+
+    def _add_to_distribution(self, node_index: int, token_bit_index: int) -> None:
+        bit = 1 << token_bit_index
+        if self.distribute_seen[node_index] & bit:
+            return
+        self.distribute_seen[node_index] |= bit
+        self.distribute[node_index].append(token_bit_index)
+
+    def _payload_for(self, tag: int, value: int) -> Payload:
+        if tag == _TAG_TOKEN:
+            return TokenMessage(self.tokens[value])
+        if tag == _TAG_JOIN:
+            return ControlMessage(tag="join", data=self.nodes[self.root])
+        return ControlMessage(tag="parent")
+
+    def deliver(self, round_index: int, commitment) -> None:
+        n = self.n
+        adj = self.adj
+        parent = self.parent
+        root = self.root
+        per_node = self.per_node
+        deliveries: List[Optional[List[Tuple[int, int, int]]]] = [None] * n
+        observe = self.kernel.observe
+        records: Optional[List[SentRecord]] = [] if observe else None
+        nodes = self.nodes
+
+        token_count = 0
+        control_count = 0
+
+        for v in range(n):
+            neighbors = adj[v]
+            sends: Dict[int, List[Tuple[int, int, int]]] = {}
+
+            # 1. Tree construction: flood the join beacon once, acknowledge
+            #    the adopted parent.
+            if self.flood_pending[v]:
+                to_visit = neighbors
+                while to_visit:
+                    low = to_visit & -to_visit
+                    u = low.bit_length() - 1
+                    to_visit ^= low
+                    control_count += 1
+                    per_node[v] += 1
+                    sends.setdefault(u, []).append((v, _TAG_JOIN, 0))
+                self.flood_pending[v] = False
+            ack_target = self.pending_ack[v]
+            if ack_target >= 0 and (neighbors >> ack_target) & 1:
+                control_count += 1
+                per_node[v] += 1
+                sends.setdefault(ack_target, []).append((v, _TAG_PARENT, 0))
+                self.pending_ack[v] = -1
+
+            # 2. Convergecast one token per round toward the parent.
+            parent_of_v = parent[v]
+            if (
+                v != root
+                and parent_of_v >= 0
+                and (neighbors >> parent_of_v) & 1
+                and self.up_queue[v]
+            ):
+                token_bit_index = self.up_queue[v].popleft()
+                token_count += 1
+                per_node[v] += 1
+                sends.setdefault(parent_of_v, []).append(
+                    (v, _TAG_TOKEN, token_bit_index)
+                )
+
+            # 3. Pipeline the distribution list down to each child.
+            distribute = self.distribute[v]
+            progress_map = self.down_progress[v]
+            for child in self.children[v]:
+                if not (neighbors >> child) & 1:
+                    continue
+                progress = progress_map.get(child, 0)
+                if progress < len(distribute):
+                    token_count += 1
+                    per_node[v] += 1
+                    sends.setdefault(child, []).append(
+                        (v, _TAG_TOKEN, distribute[progress])
+                    )
+                    progress_map[child] = progress + 1
+
+            # Flush in ascending-receiver order (the kernel's delivery order);
+            # since senders are visited ascending, each receiver's box ends up
+            # in the exchange-program inbox order.
+            for u in sorted(sends):
+                box = deliveries[u]
+                if box is None:
+                    box = deliveries[u] = []
+                box.extend(sends[u])
+                if records is not None:
+                    sender = nodes[v]
+                    receiver = nodes[u]
+                    for _, tag, value in sends[u]:
+                        records.append(
+                            SentRecord(
+                                sender=sender,
+                                receiver=receiver,
+                                payload=self._payload_for(tag, value),
+                            )
+                        )
+
+        learn_index = self.state.learn_index
+        for u in range(n):
+            box = deliveries[u]
+            if not box:
+                continue
+            for sender, tag, value in box:
+                if tag == _TAG_TOKEN:
+                    learn_index(u, value)
+                    if sender == parent[u]:
+                        # Downward traffic: forward to all children.
+                        self._add_to_distribution(u, value)
+                    elif u == root:
+                        self._add_to_distribution(u, value)
+                    else:
+                        self.up_queue[u].append(value)
+                elif tag == _TAG_JOIN:
+                    if parent[u] == -1:
+                        parent[u] = sender
+                        self.pending_ack[u] = sender
+                        self.flood_pending[u] = True
+                else:  # _TAG_PARENT
+                    if sender not in self.children_seen[u]:
+                        self.children_seen[u].add(sender)
+                        self.children[u].append(sender)
+
+        accounting = self.accounting
+        accounting.count_bulk(_KIND_TOKEN, token_count)
+        accounting.count_bulk(_KIND_CONTROL, control_count)
+        if records is not None:
+            self.store_sent_records(records)

@@ -1,14 +1,19 @@
 """Pluggable execution backends.
 
 A backend is one way of executing a materialized scenario; all backends must
-produce results structurally identical to the reference engine.  Importing
-this package registers the built-in backends:
+produce results structurally identical to the reference engine.  Both
+built-in backends assemble the same staged round kernel
+(:mod:`repro.core.rounds`) and differ only in the knowledge representation
+and program family they plug in.  Importing this package registers:
 
-* ``reference`` — the pure-Python :class:`~repro.core.engine.Simulator`
-  (supports everything; defines the semantics);
-* ``bitset`` — an integer-bitmask fast path for the deterministic
-  token-forwarding family (flooding, single-source, spanning-tree) under
-  oblivious adversaries.
+* ``reference`` — the kernel over the dict-of-sets
+  :class:`~repro.core.state.MappingKnowledgeState`, driving each
+  algorithm's real ``select``/``receive`` methods (supports everything;
+  defines the semantics);
+* ``bitset`` — the kernel over integer-bitmask state: native bit-level fast
+  programs where algorithms provide them, the generic exchange path
+  everywhere else; supports every registered algorithm under oblivious and
+  adaptive adversaries.
 
 Select a backend per scenario (``ScenarioSpec(backend="bitset", ...)``,
 ``python -m repro run --backend bitset``) and check equivalence with the

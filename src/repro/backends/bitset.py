@@ -1,855 +1,95 @@
-"""The bitset backend: an integer-bitmask fast path for deterministic runs.
+"""The bitset backend: the staged round kernel on integer-bitmask state.
 
-The reference :class:`~repro.core.engine.Simulator` rebuilds Python sets,
-frozensets and per-message dataclasses every round.  For the deterministic
-token-forwarding family — phase-based flooding, Single-Source-Unicast and
-the spanning-tree baseline — none of that is needed: per-node token
-knowledge fits in one Python integer (bit ``i`` = the ``i``-th token in
-sorted order), a round graph fits in one adjacency bitmask per node, and
-messages reduce to tuples of small ints.  :class:`BitsetBackend` re-executes
-those algorithms on that representation while reproducing the reference
-results *exactly*: the same rounds, the same message statistics (total, by
-kind, per round, per node), the same token-learning events in the same
-order, and the same ``TC(E)``.
+The backend assembles the same :class:`~repro.core.rounds.RoundKernel` the
+reference engine uses — identical round structure, graph handling,
+accounting and event ordering — but plugs in the
+:class:`~repro.core.state.BitsetKnowledgeState` and enables the algorithms'
+native fast programs: per-node token knowledge is one Python integer (bit
+``i`` = the ``i``-th token in sorted order), a round graph is one adjacency
+bitmask per node, and messages reduce to tuples of small ints.
 
-Scope (checked by :meth:`BitsetBackend.supports`):
+Execution modes, discovered per algorithm (see :func:`fast_path_names`):
 
-* algorithms with a registered fast implementation (``flooding``,
-  ``single-source``, ``spanning-tree``);
-* *oblivious* adversaries only — adaptive adversaries consume
-  :class:`~repro.core.observation.RoundObservation` objects built from live
-  algorithm state, which the bitset representation deliberately does not
-  maintain.
+* **native** — the algorithm ships a bit-level
+  :class:`~repro.core.rounds.FastRoundProgram` next to its reference
+  implementation (flooding, one-shot-flooding, naive-unicast,
+  single-source, spanning-tree, multi-source); the kernel runs it instead
+  of the generic exchange program;
+* **generic** — every other algorithm (including subclasses that override
+  behaviour a fast program does not model) runs its real ``select`` /
+  ``receive`` methods through the exchange program, bound to the bitset
+  state.
 
-Everything else falls to the reference backend;
-``python -m repro verify-backend`` runs both on a seeded grid and diffs the
-results field by field.
+Both adversary classes are supported: adaptive adversaries receive
+:class:`~repro.core.observation.RoundObservation` objects built lazily from
+the bitset state by the kernel's adversary stage.  Either way the results
+are *exactly* the reference results — the same rounds, the same message
+statistics (total, by kind, per round, per node), the same token-learning
+events in the same order, and the same ``TC(E)``;
+``python -m repro verify-backend`` runs both backends on a seeded grid
+covering every registered algorithm under oblivious *and* adaptive
+adversaries and diffs the results field by field.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple, Type
+from typing import List, Optional
 
-from repro.algorithms.flooding import FloodingAlgorithm
-from repro.algorithms.single_source import SingleSourceUnicastAlgorithm
-from repro.algorithms.spanning_tree import SpanningTreeAlgorithm
 from repro.backends.base import EngineBackend, register_backend
-from repro.core.engine import default_round_limit
-from repro.core.events import EventLog
-from repro.core.metrics import MessageStatistics
 from repro.core.result import ExecutionResult
-from repro.dynamics.graph_sequence import DynamicGraphTrace, GraphSchedule
-from repro.utils.ids import Edge, NodeId
-from repro.utils.rng import SeedLike, ensure_rng, spawn_rng
-from repro.utils.validation import (
-    AdversaryViolationError,
-    ConfigurationError,
-    require_positive_int,
-)
-
-#: Message-kind keys, matching :class:`repro.core.messages.MessageKind` values.
-_KIND_TOKEN = "token"
-_KIND_COMPLETENESS = "completeness"
-_KIND_REQUEST = "request"
-_KIND_CONTROL = "control"
-
-#: Delivery tags used in the flat (sender, tag, value) message tuples.
-_TAG_COMPLETENESS = 0
-_TAG_TOKEN = 1
-_TAG_REQUEST = 2
-_TAG_JOIN = 3
-_TAG_PARENT = 4
+from repro.core.rounds import RoundKernel
+from repro.core.state import BitsetKnowledgeState
+from repro.utils.rng import SeedLike
 
 
-def _bit_indices(mask: int) -> List[int]:
-    """The set bit positions of ``mask`` in ascending order."""
-    indices = []
-    while mask:
-        low = mask & -mask
-        indices.append(low.bit_length() - 1)
-        mask ^= low
-    return indices
+def has_native_fast_path(algorithm) -> bool:
+    """True iff ``algorithm`` ships a native bit-level round program."""
+    factory = getattr(algorithm, "fast_program_factory", None)
+    return factory is not None and factory() is not None
 
 
-class _BitsetTrace(DynamicGraphTrace):
-    """A dynamic-graph trace recorded as integer edge ids.
+def fast_path_names() -> List[str]:
+    """Registry names of the algorithms with a native fast program.
 
-    The fast path normalizes each round's edges to ``a * n + b`` ids once;
-    storing those (instead of frozensets of tuples) keeps the per-round cost
-    at a handful of int operations.  Edge tuples are materialized lazily —
-    and cached — only when a consumer actually asks for a round graph.
+    Capability discovery instead of a hardcoded allowlist: every registered
+    algorithm is instantiated with its registry defaults and probed through
+    :meth:`~repro.algorithms.base.TokenForwardingAlgorithm.fast_program_factory`.
     """
-
-    def __init__(
-        self,
-        nodes,
-        id_to_edge: Callable[[int], Edge],
-        *,
-        keep_history: bool = True,
-    ):
-        super().__init__(nodes, keep_history=keep_history)
-        self._id_to_edge = id_to_edge
-        self._id_rounds: List[FrozenSet[int]] = []
-        self._materialized: Dict[int, FrozenSet[Edge]] = {}
-        self._current_ids: FrozenSet[int] = frozenset()
-        self._current_inserted_ids: FrozenSet[int] = frozenset()
-        self._current_removed_ids: FrozenSet[int] = frozenset()
-
-    # -- recording (called by the fast run loop) ---------------------------
-
-    def record_ids(
-        self, ids: FrozenSet[int], inserted: FrozenSet[int], removed: FrozenSet[int]
-    ) -> None:
-        self._num_rounds += 1
-        self._total_insertions += len(inserted)
-        self._total_removals += len(removed)
-        self._current_ids = ids
-        self._current_inserted_ids = inserted
-        self._current_removed_ids = removed
-        if self._keep_history:
-            self._id_rounds.append(ids)
-
-    # -- materialization ---------------------------------------------------
-
-    def _edges_from_ids(self, ids: FrozenSet[int]) -> FrozenSet[Edge]:
-        convert = self._id_to_edge
-        return frozenset(convert(eid) for eid in ids)
-
-    def _round_ids(self, round_index: int) -> FrozenSet[int]:
-        if round_index == 0:
-            return frozenset()
-        if not self._keep_history:
-            return self._current_ids
-        return self._id_rounds[round_index - 1]
-
-    def edges_in_round(self, round_index: int) -> FrozenSet[Edge]:
-        if round_index == 0:
-            return frozenset()
-        self._check_round(round_index)
-        cached = self._materialized.get(round_index)
-        if cached is None:
-            cached = self._edges_from_ids(self._round_ids(round_index))
-            if self._keep_history:
-                self._materialized[round_index] = cached
-        return cached
-
-    def inserted_edges(self, round_index: int) -> FrozenSet[Edge]:
-        if round_index == 0:
-            return frozenset()
-        self._check_round(round_index)
-        if not self._keep_history or round_index == self._num_rounds:
-            return self._edges_from_ids(self._current_inserted_ids)
-        return self._edges_from_ids(
-            self._round_ids(round_index) - self._round_ids(round_index - 1)
-        )
-
-    def removed_edges(self, round_index: int) -> FrozenSet[Edge]:
-        if round_index == 0:
-            return frozenset()
-        self._check_round(round_index)
-        if not self._keep_history or round_index == self._num_rounds:
-            return self._edges_from_ids(self._current_removed_ids)
-        return self._edges_from_ids(
-            self._round_ids(round_index - 1) - self._round_ids(round_index)
-        )
-
-    def topological_changes(self, up_to_round: Optional[int] = None) -> int:
-        if up_to_round is None:
-            return self._total_insertions
-        if up_to_round < 0:
-            raise ConfigurationError("up_to_round must be non-negative")
-        up_to_round = min(up_to_round, self.num_rounds)
-        if up_to_round == self.num_rounds:
-            return self._total_insertions
-        if up_to_round == 0:
-            return 0
-        self._require_history("a topological-changes prefix")
-        total = 0
-        previous: FrozenSet[int] = frozenset()
-        for index in range(up_to_round):
-            current = self._id_rounds[index]
-            total += len(current - previous)
-            previous = current
-        return total
-
-    def total_edge_removals(self, up_to_round: Optional[int] = None) -> int:
-        if up_to_round is None:
-            return self._total_removals
-        up_to_round = min(max(up_to_round, 0), self.num_rounds)
-        if up_to_round == self.num_rounds:
-            return self._total_removals
-        if up_to_round == 0:
-            return 0
-        self._require_history("an edge-removals prefix")
-        total = 0
-        previous: FrozenSet[int] = frozenset()
-        for index in range(up_to_round):
-            current = self._id_rounds[index]
-            total += len(previous - current)
-            previous = current
-        return total
-
-    def edge_lifetime(self, edge: Edge) -> int:
-        self._require_history("edge_lifetime")
-        return sum(
-            1
-            for index in range(1, self.num_rounds + 1)
-            if edge in self.edges_in_round(index)
-        )
-
-    def as_schedule(self) -> GraphSchedule:
-        self._require_history("as_schedule")
-        return GraphSchedule(
-            self.nodes,
-            [self.edges_in_round(index) for index in range(1, self.num_rounds + 1)],
-        )
-
-
-class _FastExecution:
-    """Shared round loop of the bitset fast path.
-
-    Subclasses implement one algorithm's semantics over the shared state:
-    ``self.adj`` (per-node adjacency bitmasks over node *indices*),
-    ``self.know`` (per-node token bitmasks over sorted-token indices), the
-    learning bookkeeping and the message counters.  The loop structure —
-    adversary query, validation, connectivity check, trace recording,
-    completion test — mirrors :meth:`repro.core.engine.Simulator.run`.
-    """
-
-    #: Set by subclasses that consult per-edge insertion history.
-    track_edge_history = False
-
-    def __init__(
-        self,
-        problem,
-        algorithm,
-        adversary,
-        *,
-        max_rounds: Optional[int],
-        seed: SeedLike,
-        require_connected: bool,
-        keep_trace: bool,
-    ) -> None:
-        self.problem = problem
-        self.algorithm = algorithm
-        self.adversary = adversary
-        if max_rounds is None:
-            max_rounds = default_round_limit(problem)
-        self.max_rounds = require_positive_int(max_rounds, "max_rounds")
-        self.require_connected = require_connected
-        self.keep_trace = keep_trace
-
-        self.nodes: Tuple[NodeId, ...] = problem.nodes
-        self.n = len(self.nodes)
-        self.index_of: Dict[NodeId, int] = {
-            node: index for index, node in enumerate(self.nodes)
-        }
-        self.tokens = tuple(sorted(problem.tokens))
-        self.k = len(self.tokens)
-        self.token_index: Dict[object, int] = {
-            token: index for index, token in enumerate(self.tokens)
-        }
-        self.full_mask = (1 << self.k) - 1
-
-        # Per-node knowledge bitmasks from the initial distribution.
-        know: List[int] = []
-        know_count: List[int] = []
-        token_index = self.token_index
-        for node in self.nodes:
-            mask = 0
-            for token in problem.initial_knowledge[node]:
-                mask |= 1 << token_index[token]
-            know.append(mask)
-            know_count.append(len(problem.initial_knowledge[node]))
-        self.know = know
-        self.know_count = know_count
-        self.incomplete = sum(1 for count in know_count if count < self.k)
-
-        self.adj: List[int] = [0] * self.n
-        self.events = EventLog()
-        self.per_node_counts: List[int] = [0] * self.n
-        self.per_round: List[int] = []
-        self.kind_counts: Dict[str, int] = {}
-        self.total_messages = 0
-
-        # Per-edge history (single-source edge classification).
-        self.edge_inserted: Dict[int, int] = {}
-        self.edge_token_round: Dict[int, int] = {}
-
-        self._previous_ids: FrozenSet[int] = frozenset()
-        self._last_raw_edges: Optional[object] = None
-        self._last_ids: Optional[FrozenSet[int]] = None
-
-        # Mirror the Simulator's RNG derivation order exactly: the algorithm
-        # stream is spawned first (the deterministic family never draws from
-        # it), then the adversary stream, so the adversary sees the same
-        # randomness under either backend.
-        base_rng = ensure_rng(seed)
-        self.algorithm_rng = spawn_rng(base_rng, "algorithm")
-        self.adversary_rng = spawn_rng(base_rng, "adversary")
-
-        n = self.n
-        nodes = self.nodes
-        self.trace = _BitsetTrace(
-            nodes,
-            lambda eid: (nodes[eid // n], nodes[eid % n]),
-            keep_history=keep_trace,
-        )
-
-        self.setup()
-
-    # -- subclass hooks ----------------------------------------------------
-
-    def setup(self) -> None:
-        """Algorithm-specific state initialization (after the shared state)."""
-
-    def play_round(self, round_index: int) -> int:
-        """Play one round; returns the number of messages it used."""
-        raise NotImplementedError
-
-    # -- shared machinery --------------------------------------------------
-
-    def _edge_ids_for_round(self, round_index: int) -> FrozenSet[int]:
-        raw = self.adversary.edges_for_round(round_index, None)
-        # Schedule-replaying adversaries return the same frozenset object for
-        # repeated rounds; skip re-normalizing it.
-        if raw is self._last_raw_edges and self._last_ids is not None:
-            return self._last_ids
-        index_of = self.index_of
-        n = self.n
-        ids: Set[int] = set()
-        add = ids.add
-        for u, v in raw:
-            iu = index_of.get(u)
-            iv = index_of.get(v)
-            if iu is None or iv is None:
-                raise ConfigurationError(
-                    f"edge ({u}, {v}) has an endpoint outside the node set"
-                )
-            if iu == iv:
-                raise ConfigurationError(f"self-loop edges are not allowed: ({u}, {v})")
-            add(iu * n + iv if iu < iv else iv * n + iu)
-        frozen = frozenset(ids)
-        if isinstance(raw, frozenset):
-            self._last_raw_edges = raw
-            self._last_ids = frozen
-        return frozen
-
-    def _is_connected(self, ids: FrozenSet[int]) -> bool:
-        n = self.n
-        parent = list(range(n))
-        components = n
-        for eid in ids:
-            a, b = divmod(eid, n)
-            while parent[a] != a:
-                parent[a] = parent[parent[a]]
-                a = parent[a]
-            while parent[b] != b:
-                parent[b] = parent[parent[b]]
-                b = parent[b]
-            if a != b:
-                parent[b] = a
-                components -= 1
-                if components == 1:
-                    return True
-        return components == 1
-
-    def _advance_graph(self, round_index: int) -> None:
-        current = self._edge_ids_for_round(round_index)
-        previous = self._previous_ids
-        inserted = frozenset(current - previous)
-        removed = frozenset(previous - current)
-        self.trace.record_ids(current, inserted, removed)
-        if self.require_connected and self.n > 1 and not self._is_connected(current):
-            raise AdversaryViolationError(
-                f"adversary produced a disconnected graph in round {round_index}"
-            )
-        adj = self.adj
-        n = self.n
-        for eid in inserted:
-            a, b = divmod(eid, n)
-            adj[a] |= 1 << b
-            adj[b] |= 1 << a
-        for eid in removed:
-            a, b = divmod(eid, n)
-            adj[a] ^= 1 << b
-            adj[b] ^= 1 << a
-        if self.track_edge_history:
-            edge_inserted = self.edge_inserted
-            edge_token_round = self.edge_token_round
-            for eid in inserted:
-                edge_inserted[eid] = round_index
-                # A reinserted edge starts a fresh history (see
-                # UnicastAlgorithm.on_topology).
-                edge_token_round.pop(eid, None)
-        self._previous_ids = current
-
-    def count(self, kind: str, amount: int) -> None:
-        """Add ``amount`` messages of ``kind`` to the by-kind totals."""
-        if amount:
-            self.kind_counts[kind] = self.kind_counts.get(kind, 0) + amount
-
-    def learn(self, round_index: int, node_index: int, token_bit_index: int) -> bool:
-        """Record node ``node_index`` learning token ``token_bit_index``."""
-        bit = 1 << token_bit_index
-        if self.know[node_index] & bit:
-            return False
-        self.know[node_index] |= bit
-        self.know_count[node_index] += 1
-        if self.know_count[node_index] == self.k:
-            self.incomplete -= 1
-        self.events.record(
-            round_index, self.nodes[node_index], self.tokens[token_bit_index]
-        )
-        return True
-
-    def run(self) -> ExecutionResult:
-        self.adversary.reset(self.problem, self.adversary_rng)
-        completed = self.incomplete == 0
-        rounds_played = 0
-        while not completed and rounds_played < self.max_rounds:
-            round_index = rounds_played + 1
-            self._advance_graph(round_index)
-            round_messages = self.play_round(round_index)
-            self.per_round.append(round_messages)
-            self.total_messages += round_messages
-            rounds_played = round_index
-            completed = self.incomplete == 0
-
-        per_node = {
-            self.nodes[index]: count
-            for index, count in enumerate(self.per_node_counts)
-            if count
-        }
-        statistics = MessageStatistics(
-            communication_model=self.algorithm.communication_model,
-            total_messages=self.total_messages,
-            messages_by_kind=dict(self.kind_counts),
-            per_round_messages=list(self.per_round),
-            per_node_messages=per_node,
-        )
-        return ExecutionResult(
-            algorithm_name=self.algorithm.name,
-            communication_model=self.algorithm.communication_model,
-            problem=self.problem,
-            completed=completed,
-            rounds=rounds_played,
-            messages=statistics,
-            trace=self.trace,
-            events=self.events,
-            adversary_name=getattr(
-                self.adversary, "name", type(self.adversary).__name__
-            ),
-        )
-
-
-class _FloodingExecution(_FastExecution):
-    """Phase-based flooding: one global token per phase, holders broadcast.
-
-    Round ``r`` floods token ``(r - 1) // phase_length`` (in sorted token
-    order); every node whose knowledge bit is set broadcasts once, and every
-    neighbour of a holder learns the token.  The holder set is one node
-    bitmask, so a round is a popcount, a union of adjacency masks and a
-    handful of bit updates.
-    """
-
-    def setup(self) -> None:
-        self.phase_length = self.algorithm.phase_length_for(self.n)
-        self._current_phase = -1
-        self._holders_mask = 0
-
-    def play_round(self, round_index: int) -> int:
-        phase = (round_index - 1) // self.phase_length
-        if phase >= self.k:
-            return 0
-        token_bit = 1 << phase
-        if phase != self._current_phase:
-            self._current_phase = phase
-            holders = 0
-            for index, mask in enumerate(self.know):
-                if mask & token_bit:
-                    holders |= 1 << index
-            self._holders_mask = holders
-        holders = self._holders_mask
-        if not holders:
-            return 0
-        broadcasters = _bit_indices(holders)
-        messages = len(broadcasters)
-        self.count(_KIND_TOKEN, messages)
-        per_node = self.per_node_counts
-        adj = self.adj
-        reach = 0
-        for index in broadcasters:
-            per_node[index] += 1
-            reach |= adj[index]
-        learners = reach & ~holders
-        if learners:
-            know = self.know
-            know_count = self.know_count
-            events = self.events
-            nodes = self.nodes
-            token = self.tokens[phase]
-            k = self.k
-            mask = learners
-            while mask:
-                low = mask & -mask
-                index = low.bit_length() - 1
-                mask ^= low
-                know[index] |= token_bit
-                know_count[index] += 1
-                if know_count[index] == k:
-                    self.incomplete -= 1
-                events.record(round_index, nodes[index], token)
-            self._holders_mask = holders | learners
-        return messages
-
-
-class _SingleSourceExecution(_FastExecution):
-    """Single-Source-Unicast (Algorithm 1) on bitmask state.
-
-    Mirrors :class:`~repro.algorithms.single_source.SingleSourceUnicastAlgorithm`
-    exactly: completeness announcements to newly seen neighbours, one-round
-    request/answer exchanges, and the new > idle > contributive edge
-    priority for assigning token requests, with the per-edge history kept as
-    ``edge id -> round`` dicts.
-    """
-
-    track_edge_history = True
-
-    def setup(self) -> None:
-        sources = self.problem.sources
-        if len(sources) != 1:
-            raise ConfigurationError(
-                "SingleSourceUnicastAlgorithm requires a single-source problem; "
-                f"got {len(sources)} sources (use MultiSourceUnicastAlgorithm instead)"
-            )
-        source = sources[0]
-        if self.problem.initial_knowledge[source] != frozenset(self.problem.tokens):
-            raise ConfigurationError("the source node must initially hold all k tokens")
-        n = self.n
-        self.informed: List[int] = [0] * n
-        self.known_complete: List[int] = [0] * n
-        self.answers: List[Dict[int, int]] = [{} for _ in range(n)]
-        self.req_prev: List[Optional[Dict[int, int]]] = [None] * n
-        self.req_cur: List[Optional[Dict[int, int]]] = [None] * n
-
-    def play_round(self, round_index: int) -> int:
-        n = self.n
-        k = self.k
-        adj = self.adj
-        know = self.know
-        know_count = self.know_count
-        full_mask = self.full_mask
-        informed = self.informed
-        known_complete = self.known_complete
-        answers = self.answers
-        req_prev = self.req_prev
-        req_cur: List[Optional[Dict[int, int]]] = [None] * n
-        edge_inserted = self.edge_inserted
-        edge_token_round = self.edge_token_round
-        per_node = self.per_node_counts
-        deliveries: List[Optional[List[Tuple[int, int, int]]]] = [None] * n
-
-        token_count = 0
-        completeness_count = 0
-        request_count = 0
-
-        for v in range(n):
-            neighbors = adj[v]
-            if know_count[v] == k:
-                # Complete node: announce completeness once per neighbour,
-                # then answer last round's requests.
-                pending_answers = answers[v]
-                informed_mask = informed[v]
-                to_visit = neighbors
-                while to_visit:
-                    low = to_visit & -to_visit
-                    u = low.bit_length() - 1
-                    to_visit ^= low
-                    if not (informed_mask >> u) & 1:
-                        informed_mask |= 1 << u
-                        completeness_count += 1
-                        per_node[v] += 1
-                        box = deliveries[u]
-                        if box is None:
-                            box = deliveries[u] = []
-                        box.append((v, _TAG_COMPLETENESS, 0))
-                    else:
-                        answer = pending_answers.get(u)
-                        if answer is not None:
-                            token_count += 1
-                            per_node[v] += 1
-                            box = deliveries[u]
-                            if box is None:
-                                box = deliveries[u] = []
-                            box.append((v, _TAG_TOKEN, answer))
-                informed[v] = informed_mask
-                if pending_answers:
-                    answers[v] = {}
-            else:
-                # Incomplete node: skip tokens already guaranteed to arrive
-                # (requested last round over a surviving edge), then assign
-                # one distinct missing token per known-complete neighbour in
-                # new > idle > contributive edge order.
-                previous_requests = req_prev[v]
-                pending_mask = 0
-                if previous_requests:
-                    for u, token_bit_index in previous_requests.items():
-                        if (neighbors >> u) & 1:
-                            pending_mask |= 1 << token_bit_index
-                complete_neighbors = neighbors & known_complete[v]
-                if not complete_neighbors:
-                    continue
-                new_edges: List[int] = []
-                idle_edges: List[int] = []
-                contributive_edges: List[int] = []
-                to_visit = complete_neighbors
-                while to_visit:
-                    low = to_visit & -to_visit
-                    u = low.bit_length() - 1
-                    to_visit ^= low
-                    eid = v * n + u if v < u else u * n + v
-                    inserted_round = edge_inserted.get(eid, 0)
-                    if inserted_round >= round_index - 1:
-                        new_edges.append(u)
-                    else:
-                        token_round = edge_token_round.get(eid)
-                        if token_round is not None and token_round >= inserted_round:
-                            contributive_edges.append(u)
-                        else:
-                            idle_edges.append(u)
-                sent: Optional[Dict[int, int]] = None
-                missing = ~know[v] & full_mask
-                for u in new_edges + idle_edges + contributive_edges:
-                    token_bit_index = -1
-                    while missing:
-                        low = missing & -missing
-                        candidate = low.bit_length() - 1
-                        missing ^= low
-                        if not (pending_mask >> candidate) & 1:
-                            token_bit_index = candidate
-                            break
-                    if token_bit_index < 0:
-                        break
-                    request_count += 1
-                    per_node[v] += 1
-                    box = deliveries[u]
-                    if box is None:
-                        box = deliveries[u] = []
-                    box.append((v, _TAG_REQUEST, token_bit_index))
-                    if sent is None:
-                        sent = req_cur[v] = {}
-                    sent[u] = token_bit_index
-
-        for u in range(n):
-            box = deliveries[u]
-            if not box:
-                continue
-            for sender, tag, value in box:
-                if tag == _TAG_COMPLETENESS:
-                    known_complete[u] |= 1 << sender
-                elif tag == _TAG_TOKEN:
-                    if self.learn(round_index, u, value):
-                        eid = u * n + sender if u < sender else sender * n + u
-                        edge_token_round[eid] = round_index
-                else:  # _TAG_REQUEST
-                    answers[u][sender] = value
-
-        self.req_prev = req_cur
-        self.count(_KIND_TOKEN, token_count)
-        self.count(_KIND_COMPLETENESS, completeness_count)
-        self.count(_KIND_REQUEST, request_count)
-        return token_count + completeness_count + request_count
-
-
-class _SpanningTreeExecution(_FastExecution):
-    """Spanning-tree construction plus token pipelining on bitmask state.
-
-    Mirrors :class:`~repro.algorithms.spanning_tree.SpanningTreeAlgorithm`:
-    join-beacon flooding, parent acknowledgements, one-token-per-round
-    convergecast toward the root and pipelined distribution to children,
-    with tokens carried as sorted-order bit indices.
-    """
-
-    def setup(self) -> None:
-        configured = self.algorithm.configured_root
-        if configured is not None and configured in self.index_of:
-            self.root = self.index_of[configured]
-        else:
-            self.root = 0  # nodes are sorted, so index 0 is the lowest ID
-        n = self.n
-        token_index = self.token_index
-        self.parent: List[int] = [-1] * n
-        self.parent[self.root] = self.root
-        self.children: List[List[int]] = [[] for _ in range(n)]
-        self.children_seen: List[Set[int]] = [set() for _ in range(n)]
-        self.flood_pending: List[bool] = [False] * n
-        self.flood_pending[self.root] = True
-        self.pending_ack: List[int] = [-1] * n
-        initial = self.problem.initial_knowledge
-        self.up_queue: List[deque] = [
-            deque(
-                sorted(token_index[token] for token in initial[node])
-                if index != self.root
-                else ()
-            )
-            for index, node in enumerate(self.nodes)
-        ]
-        self.distribute: List[List[int]] = [[] for _ in range(n)]
-        self.distribute_seen: List[int] = [0] * n
-        self.down_progress: List[Dict[int, int]] = [{} for _ in range(n)]
-        for token_bit_index in sorted(
-            token_index[token] for token in initial[self.nodes[self.root]]
-        ):
-            self._add_to_distribution(self.root, token_bit_index)
-
-    def _add_to_distribution(self, node_index: int, token_bit_index: int) -> None:
-        bit = 1 << token_bit_index
-        if self.distribute_seen[node_index] & bit:
-            return
-        self.distribute_seen[node_index] |= bit
-        self.distribute[node_index].append(token_bit_index)
-
-    def play_round(self, round_index: int) -> int:
-        n = self.n
-        adj = self.adj
-        parent = self.parent
-        root = self.root
-        per_node = self.per_node_counts
-        deliveries: List[Optional[List[Tuple[int, int, int]]]] = [None] * n
-
-        token_count = 0
-        control_count = 0
-
-        for v in range(n):
-            neighbors = adj[v]
-            sends: Dict[int, List[Tuple[int, int, int]]] = {}
-
-            # 1. Tree construction: flood the join beacon once, acknowledge
-            #    the adopted parent.
-            if self.flood_pending[v]:
-                to_visit = neighbors
-                while to_visit:
-                    low = to_visit & -to_visit
-                    u = low.bit_length() - 1
-                    to_visit ^= low
-                    control_count += 1
-                    per_node[v] += 1
-                    sends.setdefault(u, []).append((v, _TAG_JOIN, 0))
-                self.flood_pending[v] = False
-            ack_target = self.pending_ack[v]
-            if ack_target >= 0 and (neighbors >> ack_target) & 1:
-                control_count += 1
-                per_node[v] += 1
-                sends.setdefault(ack_target, []).append((v, _TAG_PARENT, 0))
-                self.pending_ack[v] = -1
-
-            # 2. Convergecast one token per round toward the parent.
-            parent_of_v = parent[v]
-            if (
-                v != root
-                and parent_of_v >= 0
-                and (neighbors >> parent_of_v) & 1
-                and self.up_queue[v]
-            ):
-                token_bit_index = self.up_queue[v].popleft()
-                token_count += 1
-                per_node[v] += 1
-                sends.setdefault(parent_of_v, []).append(
-                    (v, _TAG_TOKEN, token_bit_index)
-                )
-
-            # 3. Pipeline the distribution list down to each child.
-            distribute = self.distribute[v]
-            progress_map = self.down_progress[v]
-            for child in self.children[v]:
-                if not (neighbors >> child) & 1:
-                    continue
-                progress = progress_map.get(child, 0)
-                if progress < len(distribute):
-                    token_count += 1
-                    per_node[v] += 1
-                    sends.setdefault(child, []).append(
-                        (v, _TAG_TOKEN, distribute[progress])
-                    )
-                    progress_map[child] = progress + 1
-
-            # Flush in ascending-receiver order (the engine's delivery order);
-            # since senders are visited ascending, each receiver's box ends up
-            # in the reference inbox order.
-            for u in sorted(sends):
-                box = deliveries[u]
-                if box is None:
-                    box = deliveries[u] = []
-                box.extend(sends[u])
-
-        for u in range(n):
-            box = deliveries[u]
-            if not box:
-                continue
-            for sender, tag, value in box:
-                if tag == _TAG_TOKEN:
-                    self.learn(round_index, u, value)
-                    if sender == parent[u]:
-                        # Downward traffic: forward to all children.
-                        self._add_to_distribution(u, value)
-                    elif u == root:
-                        self._add_to_distribution(u, value)
-                    else:
-                        self.up_queue[u].append(value)
-                elif tag == _TAG_JOIN:
-                    if parent[u] == -1:
-                        parent[u] = sender
-                        self.pending_ack[u] = sender
-                        self.flood_pending[u] = True
-                else:  # _TAG_PARENT
-                    if sender not in self.children_seen[u]:
-                        self.children_seen[u].add(sender)
-                        self.children[u].append(sender)
-
-        self.count(_KIND_TOKEN, token_count)
-        self.count(_KIND_CONTROL, control_count)
-        return token_count + control_count
-
-
-#: Algorithm type -> fast execution implementation.  Exact types only: a
-#: subclass may override behaviour the fast path does not model.
-_FAST_IMPLEMENTATIONS: Dict[Type, Type[_FastExecution]] = {
-    FloodingAlgorithm: _FloodingExecution,
-    SingleSourceUnicastAlgorithm: _SingleSourceExecution,
-    SpanningTreeAlgorithm: _SpanningTreeExecution,
-}
+    from repro.scenarios.registry import ALGORITHM_REGISTRY
+
+    names = []
+    for name in ALGORITHM_REGISTRY.names():
+        try:
+            algorithm = ALGORITHM_REGISTRY.create(name)
+        except Exception:  # pragma: no cover - misconfigured third-party entry
+            continue
+        if has_native_fast_path(algorithm):
+            names.append(name)
+    return names
 
 
 @register_backend(
     "bitset",
     description=(
-        "Integer-bitmask fast path for flooding, single-source and "
-        "spanning-tree under oblivious adversaries."
+        "Integer-bitmask round kernel: native fast programs where algorithms "
+        "provide them, the generic exchange path everywhere else; supports "
+        "oblivious and adaptive adversaries."
     ),
 )
 class BitsetBackend(EngineBackend):
-    """Bit-parallel execution of the deterministic token-forwarding family."""
+    """Bit-parallel execution through the shared staged round kernel."""
 
     name = "bitset"
 
     def supports(self, problem, algorithm, adversary) -> Optional[str]:
-        if type(algorithm) not in _FAST_IMPLEMENTATIONS:
-            supported = ", ".join(
-                sorted(impl.name for impl in _FAST_IMPLEMENTATIONS)
-            )
-            return (
-                f"no bitset fast path for algorithm "
-                f"{getattr(algorithm, 'name', type(algorithm).__name__)!r} "
-                f"(fast paths: {supported})"
-            )
-        if not getattr(adversary, "oblivious", False):
-            return (
-                f"adversary {getattr(adversary, 'name', type(adversary).__name__)!r} "
-                "is adaptive; the bitset backend does not build RoundObservations"
-            )
+        # The kernel runs every algorithm/adversary combination the
+        # reference engine accepts: natively fast where a program exists,
+        # via the generic exchange path otherwise.
         return None
+
+    def execution_mode(self, algorithm) -> str:
+        """How this backend would run ``algorithm``: ``native`` or ``generic``."""
+        return "native" if has_native_fast_path(algorithm) else "generic"
 
     def run(
         self,
@@ -863,14 +103,15 @@ class BitsetBackend(EngineBackend):
         keep_trace: bool = True,
     ) -> ExecutionResult:
         self.check_supports(problem, algorithm, adversary)
-        implementation = _FAST_IMPLEMENTATIONS[type(algorithm)]
-        execution = implementation(
+        kernel = RoundKernel(
             problem,
             algorithm,
             adversary,
+            state_factory=BitsetKnowledgeState,
+            allow_fast_programs=True,
             max_rounds=max_rounds,
             seed=seed,
             require_connected=require_connected,
             keep_trace=keep_trace,
         )
-        return execution.run()
+        return kernel.run()

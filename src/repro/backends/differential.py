@@ -10,9 +10,10 @@ node), ``TC(E)``, edge removals, the token-learning event log in order, and
 (when both backends keep their traces) every per-round edge set.
 
 :func:`default_differential_specs` provides the seeded grid behind
-``python -m repro verify-backend``: every algorithm with a bitset fast path
-crossed with oblivious adversaries over a small (n, k, seed) grid, including
-heavy-churn and incomplete-run cases.
+``python -m repro verify-backend``: every registered algorithm crossed with
+oblivious *and* adaptive adversaries over a small (n, k, seed) grid,
+including heavy-churn, multi-source, unicast-under-adaptive and
+incomplete-run cases.
 """
 
 from __future__ import annotations
@@ -265,16 +266,18 @@ def _spec(
     seed: int,
     *,
     problem: str = "single-source",
+    problem_params: Optional[Dict[str, Any]] = None,
     adversary_params: Optional[Dict[str, Any]] = None,
     algorithm_params: Optional[Dict[str, Any]] = None,
     max_rounds: Optional[int] = None,
 ) -> ScenarioSpec:
-    problem_params: Dict[str, Any] = {"num_nodes": num_nodes}
+    params: Dict[str, Any] = {"num_nodes": num_nodes}
     if problem != "n-gossip":
-        problem_params["num_tokens"] = num_tokens
+        params["num_tokens"] = num_tokens
+    params.update(problem_params or {})
     return ScenarioSpec(
         problem=problem,
-        problem_params=problem_params,
+        problem_params=params,
         algorithm=algorithm,
         algorithm_params=dict(algorithm_params or {}),
         adversary=adversary,
@@ -288,12 +291,22 @@ def _spec(
 def default_differential_specs() -> List[ScenarioSpec]:
     """The seeded grid behind ``python -m repro verify-backend``.
 
-    Covers every bitset fast path (flooding, single-source, spanning-tree)
-    against a spread of oblivious adversaries — steady churn, a static
-    random graph, Θ(n)-changes-per-round star recentering and path
-    reshuffling — over small (n, k) grids with multiple seeds, plus a
-    round-capped spec whose executions do *not* complete (both backends
-    must agree on incomplete results too).
+    Covers every registered algorithm under both adversary classes:
+
+    * every bitset fast program (flooding, one-shot-flooding, single-source,
+      spanning-tree, naive-unicast, multi-source) against oblivious
+      adversaries — steady churn, a static random graph,
+      Θ(n)-changes-per-round star recentering and path reshuffling;
+    * the same fast programs against **adaptive** adversaries (request
+      cutting, star recentering on the least-informed node, targeted
+      rewiring, and the Section-2 lower-bound adversary), which exercises
+      the kernel's lazy RoundObservation adapter on bitset state — in
+      particular unicast-model cases where the graph is fixed before nodes
+      commit to their messages;
+    * the generic kernel path (the two-phase ``oblivious`` algorithm, which
+      has no native program) on both backends;
+    * a round-capped spec whose executions do *not* complete (both backends
+      must agree on incomplete results too).
     """
     specs: List[ScenarioSpec] = []
 
@@ -403,4 +416,119 @@ def default_differential_specs() -> List[ScenarioSpec]:
                 max_rounds=120,
             )
         )
+
+    # The remaining registered algorithms under oblivious adversaries:
+    # one-shot flooding, naive unicast, multi-source, and the two-phase
+    # oblivious algorithm (generic kernel path — no native fast program).
+    for seed in (0, 1):
+        specs.append(
+            _spec(
+                "one-shot-flooding",
+                "churn",
+                10,
+                8,
+                seed,
+                adversary_params={"changes_per_round": 2},
+            )
+        )
+        specs.append(
+            _spec(
+                "naive-unicast",
+                "churn",
+                10,
+                8,
+                seed,
+                adversary_params={"changes_per_round": 3},
+            )
+        )
+        specs.append(
+            _spec(
+                "multi-source",
+                "churn",
+                10,
+                9,
+                seed,
+                problem="multi-source",
+                problem_params={"num_sources": 3},
+                adversary_params={"changes_per_round": 2},
+            )
+        )
+    specs.append(
+        _spec(
+            "multi-source",
+            "path-shuffle",
+            9,
+            9,
+            0,
+            problem="n-gossip",
+            adversary_params={"num_nodes": 9},
+        )
+    )
+    specs.append(
+        _spec(
+            "oblivious",
+            "churn",
+            12,
+            12,
+            0,
+            problem="multi-source",
+            problem_params={"num_sources": 6},
+            adversary_params={"changes_per_round": 1},
+        )
+    )
+
+    # Adaptive adversaries: the kernel builds RoundObservations lazily from
+    # the bitset state, so every fast program must agree with the reference
+    # under adaptivity too.  Includes the local-broadcast lower-bound
+    # adversary of Section 2 and the unicast request-cutting adversary that
+    # the proof of Theorem 3.1 charges to TC(E).
+    for seed in (0, 1):
+        specs.append(_spec("flooding", "star-recenter", 8, 6, seed))
+        specs.append(
+            _spec(
+                "single-source",
+                "request-cutting",
+                10,
+                8,
+                seed,
+                adversary_params={"cut_fraction": 0.7},
+            )
+        )
+    specs.append(_spec("flooding", "lower-bound", 8, 5, 0))
+    specs.append(_spec("one-shot-flooding", "star-recenter", 9, 6, 0))
+    specs.append(_spec("single-source", "adaptive-rewiring", 10, 8, 1))
+    specs.append(_spec("naive-unicast", "star-recenter", 9, 7, 0))
+    specs.append(_spec("naive-unicast", "request-cutting", 9, 6, 1))
+    specs.append(
+        _spec(
+            "multi-source",
+            "request-cutting",
+            10,
+            9,
+            0,
+            problem="multi-source",
+            problem_params={"num_sources": 3},
+        )
+    )
+    specs.append(
+        _spec(
+            "multi-source",
+            "adaptive-rewiring",
+            10,
+            8,
+            1,
+            problem="multi-source",
+            problem_params={"num_sources": 4},
+        )
+    )
+    specs.append(
+        _spec(
+            "spanning-tree",
+            "adaptive-rewiring",
+            10,
+            6,
+            0,
+            max_rounds=150,
+        )
+    )
     return specs

@@ -1,0 +1,224 @@
+"""Backend wall-clock benchmark: the grid behind ``python -m repro bench``.
+
+Unlike the E1-E10 harnesses (which regenerate the paper's *message* series),
+this benchmark measures the one thing the paper's cost model ignores:
+wall-clock.  Every grid point runs the same seeded scenario under every
+timed backend, asserts the results are field-identical (rounds, messages,
+token learnings, ``TC(E)``), and records the speedup of the fast path over
+the reference engine.
+
+Living inside the package (rather than only in ``benchmarks/``) makes the
+perf trajectory reproducible from the installed entry point::
+
+    repro bench --quick --output BENCH.json
+    repro bench --quick --min-speedup 5      # CI perf-regression gate
+
+``--min-speedup`` guards the bitset fast path: it fails (exit 1) unless the
+flooding entry with the largest ``n`` in the executed grid is at least that
+many times faster than the reference engine — the canary that the staged
+round kernel has not silently lost its fast path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.backends import get_backend
+from repro.backends.differential import diff_results
+from repro.scenarios import (
+    ScenarioSpec,
+    materialize,
+    record_from_result,
+    repetition_seed,
+)
+
+#: Environment variable naming a results store the reference records are
+#: merged into (matches ``benchmarks.helpers.BENCH_STORE_ENV``).
+BENCH_STORE_ENV = "REPRO_BENCH_STORE"
+
+#: The backends every grid point is timed under; the first is ground truth.
+BACKENDS: Tuple[str, ...] = ("reference", "bitset")
+
+
+def _flooding_spec(num_nodes: int, rounds_per_token: int = 8) -> ScenarioSpec:
+    """Flooding with k = n over a static random graph.
+
+    The paper-default phase length of n rounds makes the grid quadratic in
+    wall-clock without changing the per-round work being measured; 8 rounds
+    per phase completes every phase on these dense graphs and keeps the
+    reference runs CI-sized.
+    """
+    return ScenarioSpec(
+        problem="single-source",
+        problem_params={"num_nodes": num_nodes, "num_tokens": num_nodes},
+        algorithm="flooding",
+        algorithm_params={"rounds_per_token": rounds_per_token},
+        adversary="static-random",
+        adversary_params={"num_nodes": num_nodes, "edge_probability": 0.25},
+        name=f"bench-flooding-n{num_nodes}-k{num_nodes}",
+    )
+
+
+def _single_source_spec(num_nodes: int, num_tokens: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        problem="single-source",
+        problem_params={"num_nodes": num_nodes, "num_tokens": num_tokens},
+        algorithm="single-source",
+        adversary="churn",
+        adversary_params={"changes_per_round": 2},
+        name=f"bench-single-source-n{num_nodes}-k{num_tokens}",
+    )
+
+
+def _spanning_tree_spec(num_nodes: int, num_tokens: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        problem="single-source",
+        problem_params={"num_nodes": num_nodes, "num_tokens": num_tokens},
+        algorithm="spanning-tree",
+        adversary="static-random",
+        adversary_params={"num_nodes": num_nodes, "edge_probability": 0.25},
+        name=f"bench-spanning-tree-n{num_nodes}-k{num_tokens}",
+    )
+
+
+def benchmark_grid(quick: bool) -> List[ScenarioSpec]:
+    """The benchmark grid; ``quick`` is the CI-sized subset.
+
+    Both grids include flooding at n=128 — the scenario the perf-regression
+    gate (``--min-speedup``) is pinned to.
+    """
+    if quick:
+        return [
+            _flooding_spec(128),
+            _single_source_spec(24, 32),
+            _spanning_tree_spec(24, 24),
+        ]
+    return [
+        _flooding_spec(64),
+        _flooding_spec(128),
+        _single_source_spec(64, 96),
+        _spanning_tree_spec(64, 64),
+    ]
+
+
+def bench_store():
+    """The :class:`~repro.results.RunStore` named by ``REPRO_BENCH_STORE``."""
+    path = os.environ.get(BENCH_STORE_ENV)
+    if not path:
+        return None
+    from repro.results import RunStore
+
+    return RunStore(path)
+
+
+def run_entry(spec: ScenarioSpec, store=None, *, repeat: int = 1) -> Dict[str, Any]:
+    """Time one scenario under every backend and diff against the reference.
+
+    Both backends run with ``keep_trace=False`` (the memory-shedding mode)
+    so the comparison measures execution, not trace storage.  With
+    ``repeat > 1`` the best of ``repeat`` timings is kept per backend, which
+    damps scheduler and allocator noise on small grid points.
+    """
+    seed = repetition_seed(spec, 0)
+    timings: Dict[str, float] = {}
+    results = {}
+    for backend_name in BACKENDS:
+        backend = get_backend(backend_name)
+        best = float("inf")
+        for _ in range(max(1, repeat)):
+            scenario = materialize(spec)
+            start = time.perf_counter()
+            result = backend.run(
+                scenario.problem,
+                scenario.algorithm,
+                scenario.adversary,
+                seed=seed,
+                max_rounds=spec.max_rounds,
+                keep_trace=False,
+            )
+            best = min(best, time.perf_counter() - start)
+        timings[backend_name] = best
+        results[backend_name] = result
+    reference = results[BACKENDS[0]]
+    differences: List[str] = []
+    for backend_name in BACKENDS[1:]:
+        differences.extend(
+            difference.field
+            for difference in diff_results(
+                reference, results[backend_name], compare_graphs=False
+            )
+        )
+    if store is not None:
+        store.add([record_from_result(spec, 0, seed, reference)])
+    reference_seconds = timings[BACKENDS[0]]
+    return {
+        "scenario": spec.label,
+        "algorithm": spec.algorithm,
+        "adversary": spec.adversary,
+        "n": spec.problem_params["num_nodes"],
+        "k": spec.problem_params.get(
+            "num_tokens", spec.problem_params["num_nodes"]
+        ),
+        "completed": reference.completed,
+        "rounds": reference.rounds,
+        "total_messages": reference.total_messages,
+        "seconds": {name: round(value, 4) for name, value in timings.items()},
+        "speedup": {
+            name: round(reference_seconds / timings[name], 2)
+            for name in BACKENDS[1:]
+        },
+        "equal": not differences,
+        "differences": differences,
+    }
+
+
+def speedup_gate(
+    entries: Sequence[Dict[str, Any]], min_speedup: float
+) -> Tuple[bool, str]:
+    """Check the flooding-at-largest-n bitset speedup against a floor.
+
+    Returns ``(passed, message)``; no flooding entry in the grid also fails,
+    so a silently shrunken grid cannot green-light the gate.
+    """
+    flooding = [entry for entry in entries if entry["algorithm"] == "flooding"]
+    if not flooding:
+        return False, "speedup gate: no flooding entry in the executed grid"
+    entry = max(flooding, key=lambda e: e["n"])
+    observed = entry["speedup"].get("bitset", 0.0)
+    message = (
+        f"speedup gate: bitset {observed}x vs reference on {entry['scenario']} "
+        f"(required >= {min_speedup}x)"
+    )
+    return observed >= min_speedup, message
+
+
+def run_benchmark(
+    *,
+    quick: bool = False,
+    repeat: int = 1,
+    store=None,
+    progress=None,
+) -> Dict[str, Any]:
+    """Run the grid and return the trajectory payload."""
+    entries = []
+    for spec in benchmark_grid(quick):
+        entry = run_entry(spec, store=store, repeat=repeat)
+        entries.append(entry)
+        if progress is not None:
+            speedups = ", ".join(
+                f"{name} {entry['speedup'][name]}x" for name in BACKENDS[1:]
+            )
+            status = "ok" if entry["equal"] else f"MISMATCH: {entry['differences']}"
+            progress(
+                f"{entry['scenario']}: n={entry['n']} k={entry['k']} "
+                f"rounds={entry['rounds']} reference={entry['seconds']['reference']}s "
+                f"({speedups}) [{status}]"
+            )
+    return {
+        "benchmark": "backends",
+        "grid": "quick" if quick else "full",
+        "backends": list(BACKENDS),
+        "entries": entries,
+    }

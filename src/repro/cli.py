@@ -14,9 +14,13 @@ problems show up automatically:
   measured scaling against the paper's bounds;
 * ``report`` — render the full paper-vs-measured markdown report;
 * ``verify-backend`` — differentially validate an execution backend against
-  the reference engine on a seeded scenario grid;
+  the reference engine on a seeded scenario grid covering every registered
+  algorithm under oblivious and adaptive adversaries;
+* ``bench`` — time the backends on the benchmark grid, write the perf
+  trajectory, and optionally enforce a minimum fast-path speedup;
 * ``list`` — enumerate the registered algorithms, adversaries, problems and
-  execution backends with their tunable parameters;
+  execution backends with their tunable parameters (algorithms with a
+  native bitset fast program are marked);
 * ``table1`` — regenerate Table 1 (analytic bounds) for a given n;
 * ``bounds`` — evaluate every theorem bound at a given (n, k, s).
 
@@ -250,6 +254,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the registry contents as JSON"
     )
 
+    bench = subparsers.add_parser(
+        "bench",
+        help="time the backends on the benchmark grid and write the trajectory",
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="run the CI-sized grid only"
+    )
+    bench.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="timings per backend and grid point; the best is kept (default 1)",
+    )
+    bench.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the trajectory JSON to a file",
+    )
+    bench.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="fail (exit 1) unless the bitset backend is at least FACTOR times "
+        "faster than reference on the grid's largest flooding scenario — the "
+        "CI guard against silently losing the fast path",
+    )
+
     table1 = subparsers.add_parser("table1", help="regenerate Table 1 for a given n")
     table1.add_argument("-n", "--nodes", type=int, default=4096)
 
@@ -297,8 +330,8 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         choices=BACKEND_REGISTRY.names(),
         default=DEFAULT_BACKEND,
         help="execution backend (validated backends give identical results; "
-        "'bitset' is the fast path for flooding/single-source/spanning-tree "
-        "under oblivious adversaries)",
+        "'bitset' runs every algorithm and adversary class, with native "
+        "fast programs where algorithms provide them — see 'repro list')",
     )
     parser.add_argument(
         "--random-placement",
@@ -746,17 +779,23 @@ def command_verify_backend(args: argparse.Namespace) -> int:
 
 
 def command_list(args: argparse.Namespace) -> int:
+    from repro.backends.bitset import fast_path_names
+
     registries: List[Registry] = [
         ALGORITHM_REGISTRY,
         ADVERSARY_REGISTRY,
         PROBLEM_REGISTRY,
         BACKEND_REGISTRY,
     ]
+    # Capability discovery, not a hardcoded allowlist: the algorithms are
+    # probed for native bit-level round programs.
+    fast_paths = fast_path_names()
     if args.json:
         payload = {
             _REGISTRY_PLURALS[registry.kind]: [entry.describe() for entry in registry.entries()]
             for registry in registries
         }
+        payload["bitset_fast_paths"] = fast_paths
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     for registry in registries:
@@ -768,8 +807,38 @@ def command_list(args: argparse.Namespace) -> int:
             )
             suffix = f"  ({parameters})" if parameters else ""
             description = f" — {entry.description}" if entry.description else ""
-            print(f"  {entry.name}{description}{suffix}")
+            marker = " [bitset fast path]" if (
+                registry is ALGORITHM_REGISTRY and entry.name in fast_paths
+            ) else ""
+            print(f"  {entry.name}{description}{suffix}{marker}")
         print()
+    return 0
+
+
+def command_bench(args: argparse.Namespace) -> int:
+    from repro.benchmark import bench_store, run_benchmark, speedup_gate
+
+    if args.repeat < 1:
+        raise ConfigurationError(f"--repeat must be at least 1, got {args.repeat}")
+    payload = run_benchmark(
+        quick=args.quick,
+        repeat=args.repeat,
+        store=bench_store(),
+        progress=print,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if not all(entry["equal"] for entry in payload["entries"]):
+        print("backend results diverged; see the differences fields", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None:
+        passed, message = speedup_gate(payload["entries"], args.min_speedup)
+        print(message)
+        if not passed:
+            return 1
     return 0
 
 
@@ -803,6 +872,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": command_report,
         "verify-backend": command_verify_backend,
         "list": command_list,
+        "bench": command_bench,
         "table1": command_table1,
         "bounds": command_bounds,
     }

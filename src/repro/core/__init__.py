@@ -8,10 +8,12 @@ paper, for both communication modes:
 * **unicast** — each node may send different messages to different neighbours;
   every message to a neighbour counts separately.
 
-The engine (:class:`~repro.core.engine.Simulator`) drives an algorithm against
-an adversary over a dynamic graph, records the graph trace, accounts for all
-messages and token-learning events, and returns an
-:class:`~repro.core.result.ExecutionResult`.
+The staged round kernel (:mod:`repro.core.rounds`) drives an algorithm
+against an adversary over a dynamic graph — commit, adversary, delivery and
+accounting stages over a pluggable :mod:`knowledge state <repro.core.state>`
+— records the graph trace, accounts for all messages and token-learning
+events, and returns an :class:`~repro.core.result.ExecutionResult`.
+:class:`~repro.core.engine.Simulator` is the reference façade over it.
 """
 
 from repro.core.tokens import Token, make_tokens, tokens_by_source
@@ -34,6 +36,12 @@ from repro.core.events import TokenLearning, EventLog
 from repro.core.metrics import MessageAccountant, MessageStatistics
 from repro.core.observation import RoundObservation
 from repro.core.result import ExecutionResult
+from repro.core.state import (
+    BitsetKnowledgeState,
+    KnowledgeState,
+    MappingKnowledgeState,
+)
+from repro.core.rounds import RoundKernel
 from repro.core.engine import Simulator
 
 __all__ = [
@@ -57,5 +65,9 @@ __all__ = [
     "MessageStatistics",
     "RoundObservation",
     "ExecutionResult",
+    "KnowledgeState",
+    "MappingKnowledgeState",
+    "BitsetKnowledgeState",
+    "RoundKernel",
     "Simulator",
 ]

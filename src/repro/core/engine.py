@@ -1,4 +1,4 @@
-"""The synchronous round engine.
+"""The synchronous round engine: a façade over the staged round kernel.
 
 :class:`Simulator` drives a token-forwarding algorithm against an adversary
 on a dynamic network, following the model of Section 1.3:
@@ -13,43 +13,33 @@ on a dynamic network, following the model of Section 1.3:
   are then informed of their neighbours and may send a different message to
   each neighbour; every message counts separately.
 
-The engine records the dynamic-graph trace (for ``TC(E)``), all messages and
-all token-learning events, and stops as soon as every node knows every token
-(or a round limit is reached).
+The round structure itself — commit, adversary, delivery, accounting — lives
+in :mod:`repro.core.rounds`; the Simulator assembles a
+:class:`~repro.core.rounds.RoundKernel` over the reference
+:class:`~repro.core.state.MappingKnowledgeState` and the algorithm-driven
+exchange programs, which is the semantics every other backend is validated
+against.  The engine records the dynamic-graph trace (for ``TC(E)``), all
+messages and all token-learning events, and stops as soon as every node
+knows every token (or a round limit is reached).
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+from typing import Optional
 
 from repro.algorithms.base import (
     LocalBroadcastAlgorithm,
     TokenForwardingAlgorithm,
     UnicastAlgorithm,
 )
-from repro.core.comm import CommunicationModel
-from repro.core.events import EventLog
-from repro.core.messages import Payload, ReceivedMessage
-from repro.core.metrics import MessageAccountant
-from repro.core.observation import RoundObservation, SentRecord
 from repro.core.problem import DisseminationProblem
 from repro.core.result import ExecutionResult
-from repro.dynamics.connectivity import is_connected
-from repro.dynamics.graph_sequence import DynamicGraphTrace
-from repro.utils.ids import NodeId
-from repro.utils.rng import SeedLike, ensure_rng, spawn_rng
-from repro.utils.validation import (
-    AdversaryViolationError,
-    ConfigurationError,
-    ProtocolViolationError,
-    require_positive_int,
-)
+from repro.core.rounds import RoundKernel, default_round_limit
+from repro.core.state import MappingKnowledgeState
+from repro.utils.rng import SeedLike
+from repro.utils.validation import ConfigurationError, require_positive_int
 
-
-def default_round_limit(problem: DisseminationProblem) -> int:
-    """A generous default round limit: well above the O(nk) bounds of the paper."""
-    n, k = problem.num_nodes, problem.num_tokens
-    return 10 * n * k + 10 * n + 100
+__all__ = ["Simulator", "default_round_limit", "run_execution"]
 
 
 class Simulator:
@@ -85,184 +75,36 @@ class Simulator:
         require_connected: bool = True,
         keep_trace: bool = True,
     ) -> None:
-        self._problem = problem
-        self._algorithm = algorithm
-        self._adversary = adversary
-        if max_rounds is None:
-            max_rounds = default_round_limit(problem)
-        self._max_rounds = require_positive_int(max_rounds, "max_rounds")
-        self._require_connected = require_connected
-        self._keep_trace = keep_trace
-        # Per-round invariants, hoisted out of the round loop: the node set
-        # never changes during an execution, so neither membership checks nor
-        # the inbox skeleton need to rebuild it every round.
-        self._nodes: Tuple[NodeId, ...] = problem.nodes
-        self._node_set = frozenset(problem.nodes)
-        base_rng = ensure_rng(seed)
-        self._algorithm_rng = spawn_rng(base_rng, "algorithm")
-        self._adversary_rng = spawn_rng(base_rng, "adversary")
         if not isinstance(algorithm, (LocalBroadcastAlgorithm, UnicastAlgorithm)):
             raise ConfigurationError(
                 "algorithm must derive from LocalBroadcastAlgorithm or UnicastAlgorithm"
             )
+        if max_rounds is not None:
+            require_positive_int(max_rounds, "max_rounds")
+        self._problem = problem
+        self._algorithm = algorithm
+        self._adversary = adversary
+        self._max_rounds = max_rounds
+        self._seed = seed
+        self._require_connected = require_connected
+        self._keep_trace = keep_trace
 
     # -- public API --------------------------------------------------------
 
     def run(self) -> ExecutionResult:
         """Run the execution to completion (or the round limit) and return the result."""
-        problem = self._problem
-        algorithm = self._algorithm
-        adversary = self._adversary
-
-        algorithm.setup(problem, self._algorithm_rng)
-        adversary.reset(problem, self._adversary_rng)
-
-        trace = DynamicGraphTrace(problem.nodes, keep_history=self._keep_trace)
-        accountant = MessageAccountant(algorithm.communication_model)
-        events = EventLog()
-        previous_messages: Tuple[SentRecord, ...] = ()
-
-        completed = algorithm.all_complete()
-        rounds_played = 0
-        while not completed and rounds_played < self._max_rounds:
-            round_index = rounds_played + 1
-            accountant.begin_round()
-            if algorithm.communication_model.is_broadcast:
-                previous_messages = self._play_broadcast_round(
-                    round_index, trace, accountant, previous_messages
-                )
-            else:
-                previous_messages = self._play_unicast_round(
-                    round_index, trace, accountant, previous_messages
-                )
-            accountant.end_round()
-            for node, token in algorithm.drain_token_learnings():
-                events.record(round_index, node, token)
-            rounds_played = round_index
-            completed = algorithm.all_complete()
-            if not completed and algorithm.is_quiescent():
-                # The algorithm will never send another message: no further
-                # progress is possible, so stop instead of idling to the
-                # round limit (the result is reported as not completed).
-                break
-
-        return ExecutionResult(
-            algorithm_name=algorithm.name,
-            communication_model=algorithm.communication_model,
-            problem=problem,
-            completed=completed,
-            rounds=rounds_played,
-            messages=accountant.snapshot(),
-            trace=trace,
-            events=events,
-            adversary_name=getattr(adversary, "name", type(adversary).__name__),
+        kernel = RoundKernel(
+            self._problem,
+            self._algorithm,
+            self._adversary,
+            state_factory=MappingKnowledgeState,
+            allow_fast_programs=False,
+            max_rounds=self._max_rounds,
+            seed=self._seed,
+            require_connected=self._require_connected,
+            keep_trace=self._keep_trace,
         )
-
-    # -- round implementations ----------------------------------------------
-
-    def _observation(
-        self,
-        round_index: int,
-        broadcast_payloads: Mapping[NodeId, Optional[Payload]],
-        previous_messages: Tuple[SentRecord, ...],
-    ) -> Optional[RoundObservation]:
-        if getattr(self._adversary, "oblivious", False):
-            return None
-        algorithm = self._algorithm
-        knowledge = {node: algorithm.known_tokens(node) for node in self._problem.nodes}
-        return RoundObservation(
-            round_index=round_index,
-            knowledge=knowledge,
-            broadcast_payloads=dict(broadcast_payloads),
-            previous_messages=previous_messages,
-            algorithm_name=algorithm.name,
-            extra=algorithm.observation_extra(),
-        )
-
-    def _round_graph(
-        self, round_index: int, observation: Optional[RoundObservation], trace: DynamicGraphTrace
-    ) -> Dict[NodeId, FrozenSet[NodeId]]:
-        edges = self._adversary.edges_for_round(round_index, observation)
-        recorded = trace.record_round(edges)
-        if self._require_connected and len(self._problem.nodes) > 1:
-            if not is_connected(self._problem.nodes, recorded):
-                raise AdversaryViolationError(
-                    f"adversary produced a disconnected graph in round {round_index}"
-                )
-        return trace.neighbors(round_index)
-
-    def _play_broadcast_round(
-        self,
-        round_index: int,
-        trace: DynamicGraphTrace,
-        accountant: MessageAccountant,
-        previous_messages: Tuple[SentRecord, ...],
-    ) -> Tuple[SentRecord, ...]:
-        algorithm: LocalBroadcastAlgorithm = self._algorithm  # type: ignore[assignment]
-        node_set = self._node_set
-
-        broadcasts = algorithm.select_broadcasts(round_index)
-        for node in broadcasts:
-            if node not in node_set:
-                raise ProtocolViolationError(f"broadcast scheduled for unknown node {node}")
-
-        observation = self._observation(round_index, broadcasts, previous_messages)
-        neighbors = self._round_graph(round_index, observation, trace)
-
-        inbox: Dict[NodeId, List[ReceivedMessage]] = {node: [] for node in self._nodes}
-        sent_records: List[SentRecord] = []
-        for node in sorted(broadcasts):
-            payload = broadcasts[node]
-            if payload is None:
-                continue
-            accountant.count_broadcast(node, payload)
-            sent_records.append(SentRecord(sender=node, receiver=None, payload=payload))
-            for neighbor in neighbors[node]:
-                inbox[neighbor].append(ReceivedMessage(sender=node, payload=payload))
-
-        algorithm.receive_broadcasts(round_index, inbox, neighbors)
-        return tuple(sent_records)
-
-    def _play_unicast_round(
-        self,
-        round_index: int,
-        trace: DynamicGraphTrace,
-        accountant: MessageAccountant,
-        previous_messages: Tuple[SentRecord, ...],
-    ) -> Tuple[SentRecord, ...]:
-        algorithm: UnicastAlgorithm = self._algorithm  # type: ignore[assignment]
-        node_set = self._node_set
-
-        observation = self._observation(round_index, {}, previous_messages)
-        neighbors = self._round_graph(round_index, observation, trace)
-        algorithm.on_topology(
-            round_index,
-            neighbors,
-            trace.inserted_edges(round_index),
-            trace.removed_edges(round_index),
-        )
-
-        sends = algorithm.select_messages(round_index, neighbors)
-        inbox: Dict[NodeId, List[ReceivedMessage]] = {node: [] for node in self._nodes}
-        sent_records: List[SentRecord] = []
-        for sender in sorted(sends):
-            if sender not in node_set:
-                raise ProtocolViolationError(f"messages scheduled for unknown sender {sender}")
-            for receiver in sorted(sends[sender]):
-                if receiver not in neighbors[sender]:
-                    raise ProtocolViolationError(
-                        f"node {sender} tried to send to non-neighbour {receiver} "
-                        f"in round {round_index}"
-                    )
-                for payload in sends[sender][receiver]:
-                    accountant.count_unicast(sender, receiver, payload)
-                    sent_records.append(
-                        SentRecord(sender=sender, receiver=receiver, payload=payload)
-                    )
-                    inbox[receiver].append(ReceivedMessage(sender=sender, payload=payload))
-
-        algorithm.receive_messages(round_index, inbox)
-        return tuple(sent_records)
+        return kernel.run()
 
 
 def run_execution(

@@ -15,7 +15,7 @@ from repro.core.tokens import Token
 from repro.utils.ids import NodeId
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class TokenLearning:
     """The event ``⟨node, token, round⟩``: ``node`` learns ``token`` in round ``round``."""
 

@@ -37,7 +37,7 @@ class MessageKind(enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TokenMessage:
     """A message carrying a single token (type 1)."""
 
@@ -48,7 +48,7 @@ class TokenMessage:
         return MessageKind.TOKEN
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CompletenessMessage:
     """A completeness announcement (type 2).
 
@@ -63,7 +63,7 @@ class CompletenessMessage:
         return MessageKind.COMPLETENESS
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestMessage:
     """A token request (type 3) for the token ``⟨source, index⟩``."""
 
@@ -80,7 +80,7 @@ class RequestMessage:
         return Token(source=self.source, index=self.index)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ControlMessage:
     """A generic control/beacon message (used by baseline algorithms,
     e.g. spanning-tree construction probes)."""
@@ -96,7 +96,7 @@ class ControlMessage:
 Payload = Union[TokenMessage, CompletenessMessage, RequestMessage, ControlMessage]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReceivedMessage:
     """A payload together with its sender, as delivered to the receiving node."""
 

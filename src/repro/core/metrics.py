@@ -63,7 +63,14 @@ class MessageStatistics:
 
 
 class MessageAccountant:
-    """Mutable message counter used by the engine while an execution runs."""
+    """Mutable message counter with explicit model validation.
+
+    Public building block for user code and tests that count messages
+    outside an execution.  The round kernel itself counts through the
+    index-based :class:`~repro.core.rounds.AccountingStage` (which fast
+    programs increment in bulk); both produce the same
+    :class:`MessageStatistics` shape.
+    """
 
     def __init__(self, communication_model: CommunicationModel):
         self._model = communication_model

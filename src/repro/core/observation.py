@@ -27,7 +27,7 @@ from repro.core.tokens import Token
 from repro.utils.ids import NodeId
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SentRecord:
     """A message sent in a previous round: (sender, receiver, payload).
 
@@ -39,7 +39,7 @@ class SentRecord:
     payload: Payload
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RoundObservation:
     """Everything a strongly adaptive adversary may inspect for the current round.
 

@@ -1,0 +1,782 @@
+"""The staged round kernel: one execution core under every backend.
+
+The paper's model (Section 1.3) defines a single round structure, and this
+module is now the only place that implements it.  Each round passes through
+four explicit stages, driven by :class:`RoundKernel`:
+
+1. :class:`CommitStage` — in the **local broadcast** model, nodes commit to
+   their broadcast payloads *before* the adversary fixes the round graph
+   (the strongly adaptive adversary of Section 2 sees those payloads); in
+   the **unicast** model nothing is committed here — nodes choose messages
+   only after learning their neighbourhood.
+2. :class:`AdversaryStage` — the adversary fixes the round graph ``E_r``.
+   Adaptive adversaries receive a :class:`~repro.core.observation.RoundObservation`
+   built lazily from the live execution state; oblivious adversaries receive
+   ``None`` (obliviousness is enforced structurally, here).  The stage
+   normalizes edges to integer ids, records the trace, validates per-round
+   connectivity and maintains per-node adjacency bitmasks.
+3. :class:`DeliveryStage` — messages are selected (unicast) and delivered,
+   and every message is counted.
+4. :class:`AccountingStage` — per-kind / per-round / per-node message
+   counters and the token-learning event log (Definition 1.4).
+
+What actually *runs* inside the stages is a :class:`RoundProgram`.  Two
+program families exist:
+
+* the **exchange programs** (:class:`BroadcastExchangeProgram`,
+  :class:`UnicastExchangeProgram`) drive a real algorithm object through its
+  ``select``/``receive`` interface — the reference semantics; they work with
+  any :class:`~repro.core.state.KnowledgeState`;
+* **fast programs** (:class:`FastRoundProgram` subclasses, defined next to
+  each algorithm in :mod:`repro.algorithms`) re-express one algorithm's
+  per-round knowledge delta directly on the bit-level state — the fast path
+  used by the bitset backend.
+
+Because both families run under the same kernel, the round structure, graph
+handling, accounting and event ordering are shared by construction; the
+differential harness (:mod:`repro.backends.differential`) then only has to
+guard the per-algorithm delta logic.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set, Tuple, Type
+
+if TYPE_CHECKING:  # imported lazily at runtime: algorithm modules carry
+    # their fast programs and import this module, so a module-level import
+    # here would be circular.
+    from repro.algorithms.base import TokenForwardingAlgorithm
+
+from repro.core.comm import CommunicationModel
+from repro.core.events import EventLog
+from repro.core.messages import Payload, ReceivedMessage
+from repro.core.metrics import MessageStatistics
+from repro.core.observation import RoundObservation, SentRecord
+from repro.core.problem import DisseminationProblem
+from repro.core.result import ExecutionResult
+from repro.core.state import (
+    BitsetKnowledgeState,
+    KnowledgeState,
+    MappingKnowledgeState,
+    edge_id,
+)
+from repro.core.tokens import Token
+from repro.dynamics.graph_sequence import EdgeIdTrace
+from repro.utils.ids import NodeId
+from repro.utils.rng import SeedLike, ensure_rng, spawn_rng
+from repro.utils.validation import (
+    AdversaryViolationError,
+    ConfigurationError,
+    ProtocolViolationError,
+    require_positive_int,
+)
+
+
+def default_round_limit(problem: DisseminationProblem) -> int:
+    """A generous default round limit: well above the O(nk) bounds of the paper."""
+    n, k = problem.num_nodes, problem.num_tokens
+    return 10 * n * k + 10 * n + 100
+
+
+# ---------------------------------------------------------------------------
+# Stages
+# ---------------------------------------------------------------------------
+
+
+class AccountingStage:
+    """Message counters and the token-learning event log of one execution.
+
+    Counters are index-based (dense node indices) so fast programs can
+    increment :attr:`per_node_counts` directly in their inner loops; the
+    exchange programs go through :meth:`count`.  The stage also owns the
+    :class:`~repro.core.events.EventLog`: after every round it drains the
+    program's buffered token learnings, which fixes the event order to
+    "delivery order within the round" for every program family.
+    """
+
+    def __init__(self, model: CommunicationModel, nodes: Tuple[NodeId, ...]) -> None:
+        self.model = model
+        self.nodes = nodes
+        self.events = EventLog()
+        self.total = 0
+        self.kind_counts: Dict[str, int] = {}
+        self.per_round: List[int] = []
+        self.per_node_counts: List[int] = [0] * len(nodes)
+        self._round_count = 0
+        self._round_open = False
+
+    def begin_round(self) -> None:
+        if self._round_open:
+            raise ConfigurationError("begin_round called while a round is already open")
+        self._round_open = True
+        self._round_count = 0
+
+    def count(self, sender_index: int, kind_value: str) -> None:
+        """Count one message of ``kind_value`` sent by node ``sender_index``."""
+        self.total += 1
+        self._round_count += 1
+        self.kind_counts[kind_value] = self.kind_counts.get(kind_value, 0) + 1
+        self.per_node_counts[sender_index] += 1
+
+    def count_bulk(self, kind_value: str, amount: int) -> None:
+        """Count ``amount`` messages of one kind (per-node counts are the
+        caller's responsibility via :attr:`per_node_counts`)."""
+        if amount:
+            self.total += amount
+            self._round_count += amount
+            self.kind_counts[kind_value] = (
+                self.kind_counts.get(kind_value, 0) + amount
+            )
+
+    def close_round(self, round_index: int, program: "RoundProgram") -> int:
+        """End the round: record its message count, drain learning events."""
+        if not self._round_open:
+            raise ConfigurationError("close_round called without begin_round")
+        self._round_open = False
+        self.per_round.append(self._round_count)
+        events = self.events
+        for node, token in program.drain_learnings():
+            events.record(round_index, node, token)
+        return self._round_count
+
+    def statistics(self) -> MessageStatistics:
+        """Freeze the counters into an immutable statistics snapshot."""
+        nodes = self.nodes
+        per_node = {
+            nodes[index]: count
+            for index, count in enumerate(self.per_node_counts)
+            if count
+        }
+        return MessageStatistics(
+            communication_model=self.model,
+            total_messages=self.total,
+            messages_by_kind=dict(self.kind_counts),
+            per_round_messages=list(self.per_round),
+            per_node_messages=per_node,
+        )
+
+
+class CommitStage:
+    """Stage 1: payload commitment *before* the round graph exists.
+
+    Only the local broadcast model commits here (Section 1.3: nodes choose
+    their broadcast without neighbourhood information).  In the unicast
+    model the commitment is ``None`` — message selection happens inside the
+    delivery stage, after the adversary fixed the graph.
+    """
+
+    def run(self, program: "RoundProgram", round_index: int) -> Optional[object]:
+        if program.model.is_broadcast:
+            return program.commit(round_index)
+        return None
+
+
+class AdversaryStage:
+    """Stage 2: the adversary fixes ``E_r``; graph state is updated.
+
+    Owns the :class:`~repro.dynamics.graph_sequence.EdgeIdTrace` and the
+    per-node adjacency bitmasks shared by every program.  Oblivious
+    adversaries never receive an observation — the stage builds one (from
+    the program, lazily) only for adaptive adversaries.
+    """
+
+    def __init__(
+        self,
+        nodes: Tuple[NodeId, ...],
+        index_of: Dict[NodeId, int],
+        adversary,
+        *,
+        require_connected: bool,
+        keep_trace: bool,
+    ) -> None:
+        self.nodes = nodes
+        self.n = len(nodes)
+        self.index_of = index_of
+        self.adversary = adversary
+        self.require_connected = require_connected
+        self.observe = not getattr(adversary, "oblivious", False)
+        n = self.n
+        self.trace = EdgeIdTrace(
+            nodes,
+            lambda eid: (nodes[eid // n], nodes[eid % n]),
+            keep_history=keep_trace,
+        )
+        self.adj: List[int] = [0] * n
+        self.inserted_ids: FrozenSet[int] = frozenset()
+        self.removed_ids: FrozenSet[int] = frozenset()
+        self._previous_ids: FrozenSet[int] = frozenset()
+        self._last_raw_edges: Optional[object] = None
+        self._last_ids: Optional[FrozenSet[int]] = None
+
+    def _edge_ids_for_round(
+        self, round_index: int, observation: Optional[RoundObservation]
+    ) -> FrozenSet[int]:
+        raw = self.adversary.edges_for_round(round_index, observation)
+        # Schedule-replaying adversaries return the same frozenset object for
+        # repeated rounds; skip re-normalizing it.
+        if raw is self._last_raw_edges and self._last_ids is not None:
+            return self._last_ids
+        index_of = self.index_of
+        n = self.n
+        ids: Set[int] = set()
+        add = ids.add
+        for u, v in raw:
+            iu = index_of.get(u)
+            iv = index_of.get(v)
+            if iu is None or iv is None:
+                raise ConfigurationError(
+                    f"edge ({u}, {v}) has an endpoint outside the node set"
+                )
+            if iu == iv:
+                raise ConfigurationError(f"self-loop edges are not allowed: ({u}, {v})")
+            add(edge_id(iu, iv, n))
+        frozen = frozenset(ids)
+        if isinstance(raw, frozenset):
+            self._last_raw_edges = raw
+            self._last_ids = frozen
+        return frozen
+
+    def _is_connected(self, ids: FrozenSet[int]) -> bool:
+        n = self.n
+        parent = list(range(n))
+        components = n
+        for eid in ids:
+            a, b = divmod(eid, n)
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            while parent[b] != b:
+                parent[b] = parent[parent[b]]
+                b = parent[b]
+            if a != b:
+                parent[b] = a
+                components -= 1
+                if components == 1:
+                    return True
+        return components == 1
+
+    def advance(
+        self,
+        round_index: int,
+        program: "RoundProgram",
+        commitment: Optional[object],
+    ) -> None:
+        """Fix and validate the round graph, update trace and adjacency."""
+        observation = (
+            program.observation(round_index, commitment) if self.observe else None
+        )
+        current = self._edge_ids_for_round(round_index, observation)
+        previous = self._previous_ids
+        inserted = frozenset(current - previous)
+        removed = frozenset(previous - current)
+        self.trace.record_ids(current, inserted, removed)
+        if self.require_connected and self.n > 1 and not self._is_connected(current):
+            raise AdversaryViolationError(
+                f"adversary produced a disconnected graph in round {round_index}"
+            )
+        adj = self.adj
+        n = self.n
+        for eid in inserted:
+            a, b = divmod(eid, n)
+            adj[a] |= 1 << b
+            adj[b] |= 1 << a
+        for eid in removed:
+            a, b = divmod(eid, n)
+            adj[a] ^= 1 << b
+            adj[b] ^= 1 << a
+        self.inserted_ids = inserted
+        self.removed_ids = removed
+        self._previous_ids = current
+
+    def neighbors_view(self) -> Dict[NodeId, FrozenSet[NodeId]]:
+        """The current adjacency as the object-level mapping algorithms use."""
+        nodes = self.nodes
+        view: Dict[NodeId, FrozenSet[NodeId]] = {}
+        for index, mask in enumerate(self.adj):
+            neighbors = []
+            while mask:
+                low = mask & -mask
+                neighbors.append(nodes[low.bit_length() - 1])
+                mask ^= low
+            view[nodes[index]] = frozenset(neighbors)
+        return view
+
+
+class DeliveryStage:
+    """Stage 3: message selection (unicast), delivery and counting.
+
+    Programs that declare ``track_edge_history`` get their per-edge
+    insertion history refreshed here, before delivery, so the new / idle /
+    contributive classification of Section 3.1.1 sees this round's graph.
+    """
+
+    def run(
+        self,
+        program: "RoundProgram",
+        round_index: int,
+        commitment: Optional[object],
+    ) -> None:
+        if getattr(program, "track_edge_history", False):
+            program.update_edge_history(round_index)
+        program.deliver(round_index, commitment)
+
+
+# ---------------------------------------------------------------------------
+# Programs
+# ---------------------------------------------------------------------------
+
+
+class RoundProgram:
+    """What runs inside the kernel's stages for one execution.
+
+    A program encapsulates one algorithm's per-round behaviour against a
+    :class:`~repro.core.state.KnowledgeState`.  The kernel guarantees the
+    call order ``commit`` (broadcast model only) → ``observation`` (adaptive
+    adversaries only) → ``deliver`` → ``drain_learnings`` once per round.
+    """
+
+    #: Communication model; fixes the commit-before-graph vs graph-before-
+    #: send stage ordering.
+    model: CommunicationModel
+
+    def setup(self) -> None:
+        """One-time initialization before the first round."""
+
+    def commit(self, round_index: int) -> object:
+        """Commit broadcast payloads (local broadcast model only)."""
+        raise NotImplementedError
+
+    def observation(
+        self, round_index: int, commitment: Optional[object]
+    ) -> RoundObservation:
+        """The observation a strongly adaptive adversary receives this round."""
+        raise NotImplementedError
+
+    def deliver(self, round_index: int, commitment: Optional[object]) -> None:
+        """Select (unicast), deliver and count this round's messages."""
+        raise NotImplementedError
+
+    def completed(self) -> bool:
+        """True iff the dissemination problem is solved."""
+        raise NotImplementedError
+
+    def is_quiescent(self) -> bool:
+        """True iff the program will never send another message."""
+        return False
+
+    def drain_learnings(self) -> List[Tuple[NodeId, Token]]:
+        """Token learnings of the round just played, in delivery order."""
+        raise NotImplementedError
+
+
+class _ExchangeProgram(RoundProgram):
+    """Shared plumbing of the two algorithm-driven (reference) programs."""
+
+    def __init__(self, kernel: "RoundKernel") -> None:
+        self.kernel = kernel
+        self.algorithm: "TokenForwardingAlgorithm" = kernel.algorithm
+        self.model = self.algorithm.communication_model
+        self._previous_messages: Tuple[SentRecord, ...] = ()
+
+    def setup(self) -> None:
+        kernel = self.kernel
+        self.algorithm.setup(kernel.problem, kernel.algorithm_rng, state=kernel.state)
+
+    def observation(
+        self, round_index: int, commitment: Optional[object]
+    ) -> RoundObservation:
+        algorithm = self.algorithm
+        problem = self.kernel.problem
+        knowledge = {node: algorithm.known_tokens(node) for node in problem.nodes}
+        return RoundObservation(
+            round_index=round_index,
+            knowledge=knowledge,
+            broadcast_payloads=dict(commitment) if commitment is not None else {},
+            previous_messages=self._previous_messages,
+            algorithm_name=algorithm.name,
+            extra=algorithm.observation_extra(),
+        )
+
+    def completed(self) -> bool:
+        return self.kernel.state.all_complete()
+
+    def is_quiescent(self) -> bool:
+        return self.algorithm.is_quiescent()
+
+    def drain_learnings(self) -> List[Tuple[NodeId, Token]]:
+        return self.algorithm.drain_token_learnings()
+
+
+class BroadcastExchangeProgram(_ExchangeProgram):
+    """Reference semantics of the local broadcast model, any algorithm."""
+
+    def commit(self, round_index: int) -> Dict[NodeId, Optional[Payload]]:
+        algorithm = self.algorithm
+        broadcasts = algorithm.select_broadcasts(round_index)
+        node_set = self.kernel.node_set
+        for node in broadcasts:
+            if node not in node_set:
+                raise ProtocolViolationError(
+                    f"broadcast scheduled for unknown node {node}"
+                )
+        return broadcasts
+
+    def deliver(self, round_index: int, commitment: Optional[object]) -> None:
+        broadcasts: Dict[NodeId, Optional[Payload]] = commitment  # type: ignore[assignment]
+        kernel = self.kernel
+        algorithm = self.algorithm
+        neighbors = kernel.graph.neighbors_view()
+        accounting = kernel.accounting
+        index_of = kernel.index_of
+        inbox: Dict[NodeId, List[ReceivedMessage]] = {
+            node: [] for node in kernel.nodes
+        }
+        records: Optional[List[SentRecord]] = [] if kernel.observe else None
+        for node in sorted(broadcasts):
+            payload = broadcasts[node]
+            if payload is None:
+                continue
+            accounting.count(index_of[node], payload.kind.value)
+            if records is not None:
+                records.append(SentRecord(sender=node, receiver=None, payload=payload))
+            for neighbor in neighbors[node]:
+                inbox[neighbor].append(ReceivedMessage(sender=node, payload=payload))
+        algorithm.receive_broadcasts(round_index, inbox, neighbors)
+        if records is not None:
+            self._previous_messages = tuple(records)
+
+
+class UnicastExchangeProgram(_ExchangeProgram):
+    """Reference semantics of the unicast model, any algorithm."""
+
+    def deliver(self, round_index: int, commitment: Optional[object]) -> None:
+        kernel = self.kernel
+        algorithm = self.algorithm
+        graph = kernel.graph
+        neighbors = graph.neighbors_view()
+        algorithm.on_topology(
+            round_index,
+            neighbors,
+            graph.trace.inserted_edges(round_index),
+            graph.trace.removed_edges(round_index),
+        )
+
+        sends = algorithm.select_messages(round_index, neighbors)
+        accounting = kernel.accounting
+        index_of = kernel.index_of
+        node_set = kernel.node_set
+        inbox: Dict[NodeId, List[ReceivedMessage]] = {
+            node: [] for node in kernel.nodes
+        }
+        records: Optional[List[SentRecord]] = [] if kernel.observe else None
+        for sender in sorted(sends):
+            if sender not in node_set:
+                raise ProtocolViolationError(
+                    f"messages scheduled for unknown sender {sender}"
+                )
+            for receiver in sorted(sends[sender]):
+                if receiver not in neighbors[sender]:
+                    raise ProtocolViolationError(
+                        f"node {sender} tried to send to non-neighbour {receiver} "
+                        f"in round {round_index}"
+                    )
+                for payload in sends[sender][receiver]:
+                    accounting.count(index_of[sender], payload.kind.value)
+                    if records is not None:
+                        records.append(
+                            SentRecord(sender=sender, receiver=receiver, payload=payload)
+                        )
+                    inbox[receiver].append(
+                        ReceivedMessage(sender=sender, payload=payload)
+                    )
+        algorithm.receive_messages(round_index, inbox)
+        if records is not None:
+            self._previous_messages = tuple(records)
+
+
+class FastRoundProgram(RoundProgram):
+    """Base class for the bit-level fast programs shipped with algorithms.
+
+    Subclasses express one algorithm's per-round knowledge delta directly on
+    the index layer of the :class:`~repro.core.state.KnowledgeState` (token
+    bitmasks, adjacency bitmasks, flat ``(sender, tag, value)`` message
+    tuples) while the kernel supplies the shared round structure.  They must
+    reproduce the exchange programs' results *exactly*: same message counts
+    by kind/round/node, same token-learning event order, same rounds.
+
+    Under an adaptive adversary the base class contributes the lazy
+    :class:`~repro.core.observation.RoundObservation` adapter: knowledge
+    frozensets are materialized from the bit state on demand, and subclasses
+    record payload-level :class:`SentRecord` tuples (only when
+    ``kernel.observe`` is set) via :meth:`store_sent_records`.
+    """
+
+    #: Set by subclasses that consult per-edge insertion history
+    #: (the new / idle / contributive classification of Section 3.1.1).
+    track_edge_history = False
+
+    def __init__(self, kernel: "RoundKernel", algorithm) -> None:
+        self.kernel = kernel
+        self.algorithm = algorithm
+        self.model = algorithm.communication_model
+        state = kernel.state
+        if not isinstance(state, BitsetKnowledgeState):
+            raise ConfigurationError(
+                f"{type(self).__name__} runs on BitsetKnowledgeState, "
+                f"not {type(state).__name__}; use the exchange programs "
+                "(allow_fast_programs=False) with other representations"
+            )
+        self.state = state
+        self.nodes = state.nodes
+        self.n = state.n
+        self.index_of = state.index_of
+        self.tokens = state.tokens
+        self.k = state.k
+        self.token_index = state.token_index
+        self.full_mask = state.full_mask
+        self.adj = kernel.graph.adj
+        self.accounting = kernel.accounting
+        self.per_node = kernel.accounting.per_node_counts
+        # Per-edge history (id -> round), maintained when track_edge_history.
+        self.edge_inserted: Dict[int, int] = {}
+        self.edge_token_round: Dict[int, int] = {}
+        self._sent_records: Tuple[SentRecord, ...] = ()
+
+    # -- kernel interface ---------------------------------------------------
+
+    def completed(self) -> bool:
+        return self.state.incomplete_count() == 0
+
+    def drain_learnings(self) -> List[Tuple[NodeId, Token]]:
+        return self.state.drain_learnings()
+
+    def observation(
+        self, round_index: int, commitment: Optional[object]
+    ) -> RoundObservation:
+        state = self.state
+        knowledge = {node: state.known_tokens(node) for node in state.nodes}
+        return RoundObservation(
+            round_index=round_index,
+            knowledge=knowledge,
+            broadcast_payloads=self.commit_payloads(commitment),
+            previous_messages=self._sent_records,
+            algorithm_name=self.algorithm.name,
+            extra=self.observation_extra(),
+        )
+
+    # -- subclass hooks -----------------------------------------------------
+
+    def commit_payloads(
+        self, commitment: Optional[object]
+    ) -> Dict[NodeId, Optional[Payload]]:
+        """Materialize the committed payloads for the observation (broadcast
+        model programs override; the unicast default is the empty mapping)."""
+        return {}
+
+    def observation_extra(self) -> Dict[str, object]:
+        """Mirror of the algorithm's ``observation_extra`` on the fast state."""
+        return {}
+
+    # -- shared helpers -----------------------------------------------------
+
+    def update_edge_history(self, round_index: int) -> None:
+        """Track per-edge insertion rounds; the delivery stage calls this
+        before ``deliver`` for programs declaring ``track_edge_history``."""
+        edge_inserted = self.edge_inserted
+        edge_token_round = self.edge_token_round
+        for eid in self.kernel.graph.inserted_ids:
+            edge_inserted[eid] = round_index
+            # A reinserted edge starts a fresh history (see
+            # UnicastAlgorithm.on_topology).
+            edge_token_round.pop(eid, None)
+
+    def prioritized_edges(
+        self, node_index: int, candidates_mask: int, round_index: int
+    ) -> List[int]:
+        """Candidate neighbours in the Section-3.1.1 request priority order.
+
+        ``candidates_mask`` is a node bitmask (typically the known-complete
+        neighbours of ``node_index``); the result lists their indices in
+        **new** (inserted this round or the previous one), then **idle**,
+        then **contributive** order — ascending within each class, exactly
+        like the reference
+        :meth:`~repro.algorithms.base.UnicastAlgorithm.is_new_edge` family.
+        Requires ``track_edge_history``.
+        """
+        n = self.n
+        v = node_index
+        edge_inserted = self.edge_inserted
+        edge_token_round = self.edge_token_round
+        new_edges: List[int] = []
+        idle_edges: List[int] = []
+        contributive_edges: List[int] = []
+        to_visit = candidates_mask
+        while to_visit:
+            low = to_visit & -to_visit
+            u = low.bit_length() - 1
+            to_visit ^= low
+            eid = edge_id(v, u, n)
+            inserted_round = edge_inserted.get(eid, 0)
+            if inserted_round >= round_index - 1:
+                new_edges.append(u)
+            else:
+                token_round = edge_token_round.get(eid)
+                if token_round is not None and token_round >= inserted_round:
+                    contributive_edges.append(u)
+                else:
+                    idle_edges.append(u)
+        return new_edges + idle_edges + contributive_edges
+
+    def pending_request_mask(
+        self, requests: Optional[Dict[int, int]], neighbors_mask: int
+    ) -> int:
+        """Token bits requested last round over edges that still exist.
+
+        Those tokens are guaranteed to arrive this round (complete nodes
+        respond immediately), so the node does not re-request them.
+        """
+        pending_mask = 0
+        if requests:
+            for u, token_bit_index in requests.items():
+                if (neighbors_mask >> u) & 1:
+                    pending_mask |= 1 << token_bit_index
+        return pending_mask
+
+    def store_sent_records(self, records: List[SentRecord]) -> None:
+        """Remember this round's sends for the next round's observation."""
+        self._sent_records = tuple(records)
+
+
+# ---------------------------------------------------------------------------
+# Kernel
+# ---------------------------------------------------------------------------
+
+
+class RoundKernel:
+    """Drives one execution through the staged round loop.
+
+    Args:
+        problem: the dissemination instance.
+        algorithm: a :class:`LocalBroadcastAlgorithm` or
+            :class:`UnicastAlgorithm`.
+        adversary: any object following the adversary protocol of
+            :mod:`repro.adversaries`.
+        state_factory: the :class:`~repro.core.state.KnowledgeState`
+            implementation this execution runs on.
+        allow_fast_programs: when True, an algorithm exposing a native fast
+            program (``fast_program_factory``) runs it instead of the generic
+            exchange program.  The reference backend keeps this off so the
+            exchange path continues to define the semantics.
+        max_rounds: round limit; defaults to :func:`default_round_limit`.
+        seed: base seed; the algorithm and the adversary receive independent
+            generators derived from it (algorithm stream first, exactly as
+            the historical engine did).
+        require_connected: enforce per-round connectivity (the paper's model
+            requirement).  Disable only for diagnostic experiments.
+        keep_trace: when False, the trace drops per-round edge ids as it
+            goes; ``TC(E)``, removals and current-round queries survive.
+    """
+
+    def __init__(
+        self,
+        problem: DisseminationProblem,
+        algorithm: "TokenForwardingAlgorithm",
+        adversary,
+        *,
+        state_factory: Type[KnowledgeState] = MappingKnowledgeState,
+        allow_fast_programs: bool = False,
+        max_rounds: Optional[int] = None,
+        seed: SeedLike = None,
+        require_connected: bool = True,
+        keep_trace: bool = True,
+    ) -> None:
+        from repro.algorithms.base import LocalBroadcastAlgorithm, UnicastAlgorithm
+
+        if not isinstance(algorithm, (LocalBroadcastAlgorithm, UnicastAlgorithm)):
+            raise ConfigurationError(
+                "algorithm must derive from LocalBroadcastAlgorithm or UnicastAlgorithm"
+            )
+        self.problem = problem
+        self.algorithm = algorithm
+        self.adversary = adversary
+        if max_rounds is None:
+            max_rounds = default_round_limit(problem)
+        self.max_rounds = require_positive_int(max_rounds, "max_rounds")
+
+        # Mirror the historical RNG derivation order exactly: the algorithm
+        # stream is spawned first, then the adversary stream, so executions
+        # see the same randomness regardless of state or program choice.
+        base_rng = ensure_rng(seed)
+        self.algorithm_rng = spawn_rng(base_rng, "algorithm")
+        self.adversary_rng = spawn_rng(base_rng, "adversary")
+
+        self.state = state_factory(problem)
+        self.nodes: Tuple[NodeId, ...] = self.state.nodes
+        self.node_set = frozenset(self.nodes)
+        self.index_of = self.state.index_of
+
+        self.accounting = AccountingStage(algorithm.communication_model, self.nodes)
+        self.graph = AdversaryStage(
+            self.nodes,
+            self.index_of,
+            adversary,
+            require_connected=require_connected,
+            keep_trace=keep_trace,
+        )
+        self.commit_stage = CommitStage()
+        self.delivery_stage = DeliveryStage()
+        #: True iff the adversary is adaptive — programs must then maintain
+        #: the previous-round SentRecords for the observation.
+        self.observe = self.graph.observe
+        self.program = self._build_program(allow_fast_programs)
+
+    def _build_program(self, allow_fast_programs: bool) -> RoundProgram:
+        if allow_fast_programs:
+            factory = self.algorithm.fast_program_factory()
+            if factory is not None:
+                return factory(self)
+        if self.algorithm.communication_model.is_broadcast:
+            return BroadcastExchangeProgram(self)
+        return UnicastExchangeProgram(self)
+
+    def run(self) -> ExecutionResult:
+        """Run the execution to completion (or the round limit)."""
+        program = self.program
+        program.setup()
+        self.adversary.reset(self.problem, self.adversary_rng)
+
+        accounting = self.accounting
+        commit_stage = self.commit_stage
+        graph_stage = self.graph
+        delivery_stage = self.delivery_stage
+
+        completed = program.completed()
+        rounds_played = 0
+        while not completed and rounds_played < self.max_rounds:
+            round_index = rounds_played + 1
+            accounting.begin_round()
+            commitment = commit_stage.run(program, round_index)
+            graph_stage.advance(round_index, program, commitment)
+            delivery_stage.run(program, round_index, commitment)
+            accounting.close_round(round_index, program)
+            rounds_played = round_index
+            completed = program.completed()
+            if not completed and program.is_quiescent():
+                # The program will never send another message: no further
+                # progress is possible, so stop instead of idling to the
+                # round limit (the result is reported as not completed).
+                break
+
+        return ExecutionResult(
+            algorithm_name=self.algorithm.name,
+            communication_model=self.algorithm.communication_model,
+            problem=self.problem,
+            completed=completed,
+            rounds=rounds_played,
+            messages=accounting.statistics(),
+            trace=graph_stage.trace,
+            events=accounting.events,
+            adversary_name=getattr(
+                self.adversary, "name", type(self.adversary).__name__
+            ),
+        )

@@ -1,0 +1,294 @@
+"""Pluggable per-node token-knowledge representations.
+
+The paper's model tracks one piece of per-node state: the set of tokens each
+node knows (``K_v(t)``, Section 1.3).  :class:`KnowledgeState` abstracts that
+state behind one interface with two observable layers:
+
+* an **object layer** used by the algorithm classes (``knows``, ``learn``,
+  ``known_tokens`` over :class:`~repro.core.tokens.Token` values), and
+* an **index layer** used by the bit-level kernel programs (``know_mask``,
+  ``learn_index`` over dense node/token indices; tokens are indexed in
+  sorted order, so bit ``i`` always means the ``i``-th smallest token).
+
+Two implementations ship:
+
+* :class:`MappingKnowledgeState` — the reference dict-of-sets representation
+  (exactly what :class:`~repro.algorithms.base.TokenForwardingAlgorithm`
+  historically stored inline);
+* :class:`BitsetKnowledgeState` — one Python integer per node (promoted out
+  of the old ``backends/bitset.py``), where ``knows`` is a bit test and a
+  whole neighbourhood learns a token with a handful of mask operations.
+
+Both maintain the same derived quantities (per-node missing counts, the
+number of incomplete nodes, the buffered token-learning events the kernel
+drains into the :class:`~repro.core.events.EventLog`), so an algorithm — or
+a kernel program — behaves identically on either: the representation is an
+execution detail, never semantics.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.core.problem import DisseminationProblem
+from repro.core.tokens import Token
+from repro.utils.ids import NodeId
+
+
+def bit_indices(mask: int) -> List[int]:
+    """The set bit positions of ``mask`` in ascending order."""
+    indices = []
+    while mask:
+        low = mask & -mask
+        indices.append(low.bit_length() - 1)
+        mask ^= low
+    return indices
+
+
+def edge_id(a: int, b: int, n: int) -> int:
+    """The canonical integer id of the undirected edge ``{a, b}``.
+
+    ``a`` and ``b`` are dense node *indices*; the id is ``min * n + max``,
+    the encoding shared by the kernel's adversary stage, the fast programs'
+    per-edge history and the trace's ``id_to_edge`` inverse.
+    """
+    return a * n + b if a < b else b * n + a
+
+
+class KnowledgeState(abc.ABC):
+    """Token knowledge of every node, behind a representation-neutral API.
+
+    The constructor fixes the dense index maps shared by every
+    representation: nodes in sorted order, tokens in sorted order.  All
+    index-layer operations refer to these positions.
+    """
+
+    __slots__ = (
+        "problem",
+        "nodes",
+        "n",
+        "index_of",
+        "tokens",
+        "k",
+        "token_index",
+        "full_mask",
+        "_pending",
+    )
+
+    def __init__(self, problem: DisseminationProblem) -> None:
+        self.problem = problem
+        self.nodes: Tuple[NodeId, ...] = problem.nodes
+        self.n = len(self.nodes)
+        self.index_of: Dict[NodeId, int] = {
+            node: index for index, node in enumerate(self.nodes)
+        }
+        self.tokens: Tuple[Token, ...] = tuple(sorted(problem.tokens))
+        self.k = len(self.tokens)
+        self.token_index: Dict[Token, int] = {
+            token: index for index, token in enumerate(self.tokens)
+        }
+        self.full_mask = (1 << self.k) - 1
+        #: Token learnings buffered since the last drain, in learn order.
+        self._pending: List[Tuple[NodeId, Token]] = []
+
+    # -- object layer (algorithm-facing) -----------------------------------
+
+    @abc.abstractmethod
+    def knows(self, node: NodeId, token: Token) -> bool:
+        """True iff ``node`` already knows ``token``."""
+
+    @abc.abstractmethod
+    def known_tokens(self, node: NodeId) -> FrozenSet[Token]:
+        """The tokens currently known by ``node`` (``K_v(t)``)."""
+
+    @abc.abstractmethod
+    def missing_tokens(self, node: NodeId) -> List[Token]:
+        """The tokens ``node`` has not yet learned, in sorted order."""
+
+    @abc.abstractmethod
+    def is_node_complete(self, node: NodeId) -> bool:
+        """True iff ``node`` knows all ``k`` tokens (Definition 3.1)."""
+
+    @abc.abstractmethod
+    def all_complete(self) -> bool:
+        """True iff every node knows every token (dissemination solved)."""
+
+    def learn(self, node: NodeId, token: Token) -> bool:
+        """Record that ``node`` received ``token``; True iff it is new."""
+        return self.learn_index(self.index_of[node], self.token_index[token])
+
+    def drain_learnings(self) -> List[Tuple[NodeId, Token]]:
+        """Return (and clear) the learnings buffered since the last drain."""
+        learnings, self._pending = self._pending, []
+        return learnings
+
+    # -- index layer (kernel-program-facing) --------------------------------
+
+    @abc.abstractmethod
+    def learn_index(self, node_index: int, token_bit_index: int) -> bool:
+        """Index-layer :meth:`learn`; must buffer the learning when new."""
+
+    @abc.abstractmethod
+    def know_mask(self, node_index: int) -> int:
+        """The knowledge of one node as a token bitmask."""
+
+    @abc.abstractmethod
+    def known_count(self, node_index: int) -> int:
+        """``|K_v|`` for the node at ``node_index``."""
+
+    @abc.abstractmethod
+    def incomplete_count(self) -> int:
+        """Number of nodes still missing at least one token."""
+
+    def holders_mask(self, token_bit_index: int) -> int:
+        """The nodes knowing one token, as a node bitmask."""
+        mask = 0
+        for index in range(self.n):
+            if self.knows(self.nodes[index], self.tokens[token_bit_index]):
+                mask |= 1 << index
+        return mask
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(n={self.n}, k={self.k}, "
+            f"incomplete={self.incomplete_count()})"
+        )
+
+
+class MappingKnowledgeState(KnowledgeState):
+    """The reference representation: one set of tokens per node."""
+
+    __slots__ = ("_knowledge", "_missing_count", "_incomplete")
+
+    def __init__(self, problem: DisseminationProblem) -> None:
+        super().__init__(problem)
+        self._knowledge: Dict[NodeId, Set[Token]] = {
+            node: set(problem.initial_knowledge[node]) for node in self.nodes
+        }
+        self._missing_count: Dict[NodeId, int] = {
+            node: self.k - len(self._knowledge[node]) for node in self.nodes
+        }
+        self._incomplete = sum(
+            1 for count in self._missing_count.values() if count > 0
+        )
+
+    def knows(self, node: NodeId, token: Token) -> bool:
+        return token in self._knowledge[node]
+
+    def known_tokens(self, node: NodeId) -> FrozenSet[Token]:
+        return frozenset(self._knowledge[node])
+
+    def missing_tokens(self, node: NodeId) -> List[Token]:
+        known = self._knowledge[node]
+        return sorted(token for token in self.problem.tokens if token not in known)
+
+    def is_node_complete(self, node: NodeId) -> bool:
+        return self._missing_count[node] == 0
+
+    def all_complete(self) -> bool:
+        return self._incomplete == 0
+
+    def learn(self, node: NodeId, token: Token) -> bool:
+        known = self._knowledge[node]
+        if token in known:
+            return False
+        known.add(token)
+        self._missing_count[node] -= 1
+        if self._missing_count[node] == 0:
+            self._incomplete -= 1
+        self._pending.append((node, token))
+        return True
+
+    def learn_index(self, node_index: int, token_bit_index: int) -> bool:
+        return self.learn(self.nodes[node_index], self.tokens[token_bit_index])
+
+    def know_mask(self, node_index: int) -> int:
+        token_index = self.token_index
+        mask = 0
+        for token in self._knowledge[self.nodes[node_index]]:
+            mask |= 1 << token_index[token]
+        return mask
+
+    def known_count(self, node_index: int) -> int:
+        return len(self._knowledge[self.nodes[node_index]])
+
+    def incomplete_count(self) -> int:
+        return self._incomplete
+
+
+class BitsetKnowledgeState(KnowledgeState):
+    """One integer bitmask per node; bit ``i`` is the ``i``-th sorted token.
+
+    The mask lists (:attr:`know`, :attr:`know_count`) are public on purpose:
+    bit-level kernel programs read them directly in their inner loops.  All
+    writes must go through :meth:`learn_index` so the completeness counter
+    and the pending-learnings buffer stay consistent.
+    """
+
+    __slots__ = ("know", "know_count", "_incomplete")
+
+    def __init__(self, problem: DisseminationProblem) -> None:
+        super().__init__(problem)
+        token_index = self.token_index
+        know: List[int] = []
+        know_count: List[int] = []
+        for node in self.nodes:
+            mask = 0
+            for token in problem.initial_knowledge[node]:
+                mask |= 1 << token_index[token]
+            know.append(mask)
+            know_count.append(len(problem.initial_knowledge[node]))
+        self.know = know
+        self.know_count = know_count
+        self._incomplete = sum(1 for count in know_count if count < self.k)
+
+    def knows(self, node: NodeId, token: Token) -> bool:
+        return bool(
+            (self.know[self.index_of[node]] >> self.token_index[token]) & 1
+        )
+
+    def known_tokens(self, node: NodeId) -> FrozenSet[Token]:
+        tokens = self.tokens
+        return frozenset(
+            tokens[index] for index in bit_indices(self.know[self.index_of[node]])
+        )
+
+    def missing_tokens(self, node: NodeId) -> List[Token]:
+        tokens = self.tokens
+        missing = ~self.know[self.index_of[node]] & self.full_mask
+        return [tokens[index] for index in bit_indices(missing)]
+
+    def is_node_complete(self, node: NodeId) -> bool:
+        return self.know_count[self.index_of[node]] == self.k
+
+    def all_complete(self) -> bool:
+        return self._incomplete == 0
+
+    def learn_index(self, node_index: int, token_bit_index: int) -> bool:
+        bit = 1 << token_bit_index
+        if self.know[node_index] & bit:
+            return False
+        self.know[node_index] |= bit
+        self.know_count[node_index] += 1
+        if self.know_count[node_index] == self.k:
+            self._incomplete -= 1
+        self._pending.append((self.nodes[node_index], self.tokens[token_bit_index]))
+        return True
+
+    def know_mask(self, node_index: int) -> int:
+        return self.know[node_index]
+
+    def known_count(self, node_index: int) -> int:
+        return self.know_count[node_index]
+
+    def incomplete_count(self) -> int:
+        return self._incomplete
+
+    def holders_mask(self, token_bit_index: int) -> int:
+        bit = 1 << token_bit_index
+        mask = 0
+        for index, value in enumerate(self.know):
+            if value & bit:
+                mask |= 1 << index
+        return mask

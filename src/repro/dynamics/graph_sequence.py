@@ -16,7 +16,17 @@ by oblivious adversaries and by workload generators.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import networkx as nx
 
@@ -194,6 +204,144 @@ class DynamicGraphTrace:
         return (
             f"DynamicGraphTrace(n={self.num_nodes}, rounds={self.num_rounds}, "
             f"TC={self._total_insertions})"
+        )
+
+
+class EdgeIdTrace(DynamicGraphTrace):
+    """A dynamic-graph trace recorded as integer edge ids.
+
+    The round kernel normalizes each round's edges to ``a * n + b`` ids once
+    (``a < b`` node *indices*); storing those — instead of frozensets of node
+    tuples — keeps the per-round recording cost at a handful of int
+    operations.  Edge tuples are materialized lazily, and cached, only when
+    a consumer actually asks for a round graph, so results carrying this
+    trace satisfy the full :class:`DynamicGraphTrace` query API.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[NodeId],
+        id_to_edge: Callable[[int], Edge],
+        *,
+        keep_history: bool = True,
+    ):
+        super().__init__(nodes, keep_history=keep_history)
+        self._id_to_edge = id_to_edge
+        self._id_rounds: List[FrozenSet[int]] = []
+        self._materialized: Dict[int, FrozenSet[Edge]] = {}
+        self._current_ids: FrozenSet[int] = frozenset()
+        self._current_inserted_ids: FrozenSet[int] = frozenset()
+        self._current_removed_ids: FrozenSet[int] = frozenset()
+
+    # -- recording (called by the round kernel) ----------------------------
+
+    def record_ids(
+        self, ids: FrozenSet[int], inserted: FrozenSet[int], removed: FrozenSet[int]
+    ) -> None:
+        """Record the next round's edge ids plus the precomputed delta."""
+        self._num_rounds += 1
+        self._total_insertions += len(inserted)
+        self._total_removals += len(removed)
+        self._current_ids = ids
+        self._current_inserted_ids = inserted
+        self._current_removed_ids = removed
+        if self._keep_history:
+            self._id_rounds.append(ids)
+
+    # -- materialization ---------------------------------------------------
+
+    def _edges_from_ids(self, ids: FrozenSet[int]) -> FrozenSet[Edge]:
+        convert = self._id_to_edge
+        return frozenset(convert(eid) for eid in ids)
+
+    def _round_ids(self, round_index: int) -> FrozenSet[int]:
+        if round_index == 0:
+            return frozenset()
+        if not self._keep_history:
+            return self._current_ids
+        return self._id_rounds[round_index - 1]
+
+    def edges_in_round(self, round_index: int) -> FrozenSet[Edge]:
+        if round_index == 0:
+            return frozenset()
+        self._check_round(round_index)
+        cached = self._materialized.get(round_index)
+        if cached is None:
+            cached = self._edges_from_ids(self._round_ids(round_index))
+            if self._keep_history:
+                self._materialized[round_index] = cached
+        return cached
+
+    def inserted_edges(self, round_index: int) -> FrozenSet[Edge]:
+        if round_index == 0:
+            return frozenset()
+        self._check_round(round_index)
+        if not self._keep_history or round_index == self._num_rounds:
+            return self._edges_from_ids(self._current_inserted_ids)
+        return self._edges_from_ids(
+            self._round_ids(round_index) - self._round_ids(round_index - 1)
+        )
+
+    def removed_edges(self, round_index: int) -> FrozenSet[Edge]:
+        if round_index == 0:
+            return frozenset()
+        self._check_round(round_index)
+        if not self._keep_history or round_index == self._num_rounds:
+            return self._edges_from_ids(self._current_removed_ids)
+        return self._edges_from_ids(
+            self._round_ids(round_index - 1) - self._round_ids(round_index)
+        )
+
+    def topological_changes(self, up_to_round: Optional[int] = None) -> int:
+        if up_to_round is None:
+            return self._total_insertions
+        if up_to_round < 0:
+            raise ConfigurationError("up_to_round must be non-negative")
+        up_to_round = min(up_to_round, self.num_rounds)
+        if up_to_round == self.num_rounds:
+            return self._total_insertions
+        if up_to_round == 0:
+            return 0
+        self._require_history("a topological-changes prefix")
+        total = 0
+        previous: FrozenSet[int] = frozenset()
+        for index in range(up_to_round):
+            current = self._id_rounds[index]
+            total += len(current - previous)
+            previous = current
+        return total
+
+    def total_edge_removals(self, up_to_round: Optional[int] = None) -> int:
+        if up_to_round is None:
+            return self._total_removals
+        up_to_round = min(max(up_to_round, 0), self.num_rounds)
+        if up_to_round == self.num_rounds:
+            return self._total_removals
+        if up_to_round == 0:
+            return 0
+        self._require_history("an edge-removals prefix")
+        total = 0
+        previous: FrozenSet[int] = frozenset()
+        for index in range(up_to_round):
+            current = self._id_rounds[index]
+            total += len(previous - current)
+            previous = current
+        return total
+
+    def edge_lifetime(self, edge: Edge) -> int:
+        self._require_history("edge_lifetime")
+        canonical = normalize_edge(*edge)
+        return sum(
+            1
+            for index in range(1, self.num_rounds + 1)
+            if canonical in self.edges_in_round(index)
+        )
+
+    def as_schedule(self) -> "GraphSchedule":
+        self._require_history("as_schedule")
+        return GraphSchedule(
+            self.nodes,
+            [self.edges_in_round(index) for index in range(1, self.num_rounds + 1)],
         )
 
 

@@ -12,6 +12,10 @@ from repro.backends import (
     get_backend,
     register_backend,
 )
+from repro.backends.bitset import fast_path_names
+from repro.algorithms.multi_source import MultiSourceUnicastAlgorithm
+from repro.algorithms.oblivious_multi_source import ObliviousMultiSourceAlgorithm
+from repro.core.tokens import Token
 from repro.backends.differential import (
     DifferentialReport,
     default_differential_specs,
@@ -83,34 +87,66 @@ class TestBackendRegistry:
             BACKEND_REGISTRY._entries.pop("recording-backend", None)
 
 
-class TestBitsetSupports:
-    def test_rejects_algorithms_without_a_fast_path(self):
+class TestBitsetCapabilities:
+    """Capability discovery: native fast programs where algorithms provide
+    them, the generic kernel path everywhere else — nothing is refused."""
+
+    def test_every_scenario_is_supported(self):
         problem = single_source_problem(6, 4)
-        reason = BitsetBackend().supports(
+        backend = BitsetBackend()
+        assert backend.supports(
             problem, OneShotFloodingAlgorithm(), ControlledChurnAdversary()
-        )
-        assert reason is not None and "one-shot-flooding" in reason
-
-    def test_rejects_adaptive_adversaries(self):
-        problem = single_source_problem(6, 4)
-        reason = BitsetBackend().supports(
+        ) is None
+        assert backend.supports(
             problem, FloodingAlgorithm(), LowerBoundAdversary()
-        )
-        assert reason is not None and "adaptive" in reason
+        ) is None
+        assert backend.supports(
+            problem, SingleSourceUnicastAlgorithm(), ControlledChurnAdversary()
+        ) is None
 
-    def test_supported_combination_returns_none(self):
-        problem = single_source_problem(6, 4)
-        assert (
-            BitsetBackend().supports(
-                problem, SingleSourceUnicastAlgorithm(), ControlledChurnAdversary()
-            )
-            is None
-        )
+    def test_native_fast_paths_are_discovered_from_the_registry(self):
+        names = fast_path_names()
+        for expected in (
+            "flooding",
+            "one-shot-flooding",
+            "naive-unicast",
+            "single-source",
+            "spanning-tree",
+            "multi-source",
+        ):
+            assert expected in names
+        # The two-phase oblivious algorithm has no native program: its
+        # random-walk phase is rng-driven, so it takes the generic path.
+        assert "oblivious" not in names
 
-    def test_run_raises_cleanly_on_unsupported_scenarios(self):
-        spec = bitset_spec(algorithm="one-shot-flooding")
-        with pytest.raises(ConfigurationError, match="bitset"):
-            run_scenario(spec)
+    def test_execution_mode_reports_native_vs_generic(self):
+        backend = BitsetBackend()
+        assert backend.execution_mode(FloodingAlgorithm()) == "native"
+        assert backend.execution_mode(ObliviousMultiSourceAlgorithm()) == "generic"
+
+    def test_subclasses_fall_back_to_the_generic_path(self):
+        class TweakedFlooding(FloodingAlgorithm):
+            """Overrides could change behaviour the fast program hardcodes."""
+
+        assert TweakedFlooding().fast_program_factory() is None
+        assert BitsetBackend().execution_mode(TweakedFlooding()) == "generic"
+
+    def test_configured_catalog_disables_the_multi_source_fast_program(self):
+        algorithm = MultiSourceUnicastAlgorithm(
+            source_catalog={0: [Token(source=0, index=1)]}
+        )
+        assert algorithm.fast_program_factory() is None
+
+    def test_previously_unsupported_scenarios_now_run_and_match(self):
+        for overrides in (
+            dict(algorithm="one-shot-flooding"),
+            dict(adversary="star-recenter", adversary_params={}),
+        ):
+            spec = bitset_spec(**overrides)
+            report = validate_backends([spec])
+            assert report.passed, [
+                d.describe() for o in report.failures for d in o.differences
+            ]
 
 
 class TestBackendEquivalence:
@@ -195,11 +231,73 @@ class TestBackendEquivalence:
             )
         )
 
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_adaptive_request_cutting_matches(self, seed):
+        self.assert_equivalent(
+            bitset_spec(
+                adversary="request-cutting",
+                adversary_params={"cut_fraction": 0.7},
+                seed=seed,
+            )
+        )
+
+    def test_adaptive_star_recenter_on_flooding_matches(self):
+        self.assert_equivalent(
+            bitset_spec(
+                algorithm="flooding",
+                adversary="star-recenter",
+                adversary_params={},
+                seed=2,
+            )
+        )
+
+    def test_lower_bound_adversary_matches(self):
+        self.assert_equivalent(
+            bitset_spec(
+                algorithm="flooding",
+                adversary="lower-bound",
+                adversary_params={},
+                problem_params={"num_nodes": 8, "num_tokens": 5},
+            )
+        )
+
+    def test_multi_source_fast_program_matches(self):
+        self.assert_equivalent(
+            bitset_spec(
+                problem="multi-source",
+                problem_params={"num_nodes": 10, "num_tokens": 9, "num_sources": 3},
+                algorithm="multi-source",
+                adversary_params={"changes_per_round": 2},
+            )
+        )
+
+    def test_naive_unicast_fast_program_matches(self):
+        self.assert_equivalent(
+            bitset_spec(algorithm="naive-unicast", seed=4)
+        )
+
+    def test_generic_kernel_path_matches_for_oblivious_algorithm(self):
+        self.assert_equivalent(
+            bitset_spec(
+                problem="multi-source",
+                problem_params={"num_nodes": 12, "num_tokens": 12, "num_sources": 6},
+                algorithm="oblivious",
+                adversary_params={"changes_per_round": 1},
+            )
+        )
+
     def test_default_grid_passes(self):
         report = validate_backends(default_differential_specs())
         assert isinstance(report, DifferentialReport)
         assert report.passed
-        assert len(report.outcomes) >= 30
+        assert len(report.outcomes) >= 50
+        covered = {spec.algorithm for spec in default_differential_specs()}
+        from repro.scenarios import ALGORITHM_REGISTRY
+
+        assert covered == set(ALGORITHM_REGISTRY.names())
+        adversaries = {spec.adversary for spec in default_differential_specs()}
+        # Both adversary classes are exercised.
+        assert {"request-cutting", "star-recenter", "adaptive-rewiring", "lower-bound"} <= adversaries
 
     def test_spec_records_are_identical_across_backends(self):
         spec = bitset_spec(repetitions=2)
@@ -327,9 +425,11 @@ class TestVerifyBackendCli:
         assert payload["candidate"] == "bitset"
         assert payload["executions"] == 1
 
-    def test_unsupported_spec_is_a_configuration_error(self, tmp_path, capsys):
+    def test_unknown_algorithm_spec_is_a_configuration_error(self, tmp_path, capsys):
         path = tmp_path / "spec.json"
-        path.write_text(bitset_spec(algorithm="one-shot-flooding").to_json())
+        payload = bitset_spec().to_dict()
+        payload["algorithm"] = "no-such-algorithm"
+        path.write_text(json.dumps(payload))
         assert main(["verify-backend", "--spec", str(path)]) == 2
         assert "error:" in capsys.readouterr().err
 

@@ -170,7 +170,9 @@ class TestListCommand:
     def test_list_json_is_machine_readable(self, capsys):
         assert main(["list", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert set(payload) == {"algorithms", "adversaries", "problems", "backends"}
+        assert set(payload) == {
+            "algorithms", "adversaries", "problems", "backends", "bitset_fast_paths",
+        }
         names = {entry["name"] for entry in payload["algorithms"]}
         assert "flooding" in names
         backend_names = {entry["name"] for entry in payload["backends"]}
@@ -178,6 +180,57 @@ class TestListCommand:
         oblivious = next(e for e in payload["algorithms"] if e["name"] == "oblivious")
         defaults = {p["name"]: p.get("default") for p in oblivious["parameters"]}
         assert defaults["force_two_phase"] is True
+
+    def test_list_marks_bitset_fast_paths(self, capsys):
+        assert main(["list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        fast_paths = set(payload["bitset_fast_paths"])
+        assert {"flooding", "single-source", "spanning-tree", "multi-source"} <= fast_paths
+        assert "oblivious" not in fast_paths
+        main(["list"])
+        assert "[bitset fast path]" in capsys.readouterr().out
+
+
+class TestBenchCommand:
+    """Exit codes stay pinned: 0 pass, 1 gate/mismatch failure, 2 bad config."""
+
+    @pytest.fixture
+    def tiny_grid(self, monkeypatch):
+        import repro.benchmark as benchmark
+
+        def grid(quick):
+            return [benchmark._flooding_spec(12)]
+
+        monkeypatch.setattr(benchmark, "benchmark_grid", grid)
+
+    def test_bench_runs_and_writes_trajectory(self, tiny_grid, tmp_path, capsys):
+        output = tmp_path / "bench.json"
+        assert main(["bench", "--quick", "--output", str(output)]) == 0
+        payload = json.loads(output.read_text())
+        assert payload["backends"] == ["reference", "bitset"]
+        assert all(entry["equal"] for entry in payload["entries"])
+        assert "bench-flooding-n12-k12" in capsys.readouterr().out
+
+    def test_unreachable_speedup_gate_fails_with_exit_1(self, tiny_grid, capsys):
+        assert main(["bench", "--quick", "--min-speedup", "1000000"]) == 1
+        assert "speedup gate" in capsys.readouterr().out
+
+    def test_trivially_met_speedup_gate_passes(self, tiny_grid, capsys):
+        assert main(["bench", "--quick", "--min-speedup", "0.0001"]) == 0
+        assert "speedup gate" in capsys.readouterr().out
+
+    def test_gate_without_a_flooding_entry_fails(self, monkeypatch, capsys):
+        import repro.benchmark as benchmark
+
+        monkeypatch.setattr(
+            benchmark, "benchmark_grid", lambda quick: [benchmark._spanning_tree_spec(8, 6)]
+        )
+        assert main(["bench", "--quick", "--min-speedup", "1"]) == 1
+        assert "no flooding entry" in capsys.readouterr().out
+
+    def test_invalid_repeat_is_a_configuration_error(self, capsys):
+        assert main(["bench", "--repeat", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
 
 
 class TestSweepCommand:
