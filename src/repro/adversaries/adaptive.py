@@ -40,6 +40,7 @@ class RequestCuttingAdversary(Adversary):
     """
 
     oblivious = False
+    observed_fields = frozenset({"previous_messages"})
 
     def __init__(
         self,
@@ -105,6 +106,7 @@ class StarRecenterAdversary(Adversary):
     """
 
     oblivious = False
+    observed_fields = frozenset({"knowledge_counts"})
 
     def __init__(self, name: str = "star-recenter"):
         super().__init__()
@@ -119,8 +121,13 @@ class StarRecenterAdversary(Adversary):
         if observation is None:
             return self.rng.choice(nodes)
         # Least-informed node, ties broken by ID; avoid repeating the center so
-        # every round forces churn.
-        ranked = sorted(nodes, key=lambda node: (len(observation.knowledge[node]), node))
+        # every round forces churn.  Knowledge counts suffice for the ranking;
+        # observations built without them fall back to the full sets.
+        counts = observation.knowledge_counts
+        if counts:
+            ranked = sorted(nodes, key=lambda node: (counts[node], node))
+        else:
+            ranked = sorted(nodes, key=lambda node: (len(observation.knowledge[node]), node))
         for node in ranked:
             if node != self._center:
                 return node
@@ -147,6 +154,7 @@ class AdaptiveRewiringAdversary(Adversary):
     """
 
     oblivious = False
+    observed_fields = frozenset({"knowledge"})
 
     def __init__(
         self,

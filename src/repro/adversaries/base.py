@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import Iterable, Optional, Tuple
+from typing import FrozenSet, Iterable, Optional, Tuple
 
 from repro.core.observation import RoundObservation
 from repro.core.problem import DisseminationProblem
@@ -30,6 +30,22 @@ class Adversary(abc.ABC):
     name: str = "adversary"
     #: True for adversaries that commit to the topology before the execution.
     oblivious: bool = True
+    #: The :class:`~repro.core.observation.RoundObservation` fields this
+    #: adversary actually reads (field names such as ``"knowledge"``,
+    #: ``"knowledge_counts"``, ``"previous_messages"``,
+    #: ``"broadcast_payloads"``, ``"extra"``).  ``None`` means "everything"
+    #: — the safe default for third-party adversaries.  Declaring a narrow
+    #: set lets the kernel skip materializing the expensive fields (e.g.
+    #: per-node knowledge sets) it will never look at.  Irrelevant for
+    #: oblivious adversaries, which receive no observation at all.
+    observed_fields: Optional[FrozenSet[str]] = None
+    #: If not ``None``, a round index ``s`` such that for every round
+    #: ``r >= s`` the adversary returns a graph equal to the round-``s``
+    #: graph — i.e. the topology goes *steady* from round ``s`` on.  The
+    #: kernel uses this to skip querying (and re-validating) the edge set
+    #: once the steady round has been played.  ``None`` means "unknown"
+    #: — the safe default; the adversary is queried every round.
+    steady_after_round: Optional[int] = None
 
     def __init__(self) -> None:
         self._problem: Optional[DisseminationProblem] = None

@@ -64,6 +64,7 @@ class LowerBoundAdversary(Adversary):
     """
 
     oblivious = False
+    observed_fields = frozenset({"knowledge", "broadcast_payloads"})
 
     def __init__(self, inclusion_probability: float = 0.25, name: str = "lower-bound"):
         super().__init__()

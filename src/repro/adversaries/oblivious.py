@@ -44,6 +44,11 @@ class ScheduleAdversary(Adversary):
         """The committed schedule."""
         return self._schedule
 
+    @property
+    def steady_after_round(self) -> int:
+        """Past the schedule's length the last round graph repeats forever."""
+        return self._schedule.num_rounds
+
     def on_reset(self) -> None:
         if set(self._schedule.nodes) != set(self.problem.nodes):
             raise ConfigurationError(

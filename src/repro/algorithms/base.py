@@ -147,6 +147,19 @@ class TokenForwardingAlgorithm(abc.ABC):
         """
         return None
 
+    def batch_program_factory(self) -> Optional[Callable[[object], object]]:
+        """A vectorized many-repetition round program, or ``None``.
+
+        Algorithms whose round bodies are data-parallel across independently
+        seeded repetitions return a callable ``batch_kernel ->
+        BatchRoundProgram`` (see :mod:`repro.batch.programs`); the batch
+        backend steps all repetitions of a scenario in lockstep with it.
+        The same exact-type guard as :meth:`fast_program_factory` applies.
+        Algorithms without a batch program still run under the batch
+        backend — each repetition falls back to the bitset kernel.
+        """
+        return None
+
     def is_quiescent(self) -> bool:
         """True if the algorithm will not send any further messages.
 

@@ -26,6 +26,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.algorithms.base import LocalBroadcastAlgorithm
+from repro.batch.programs import BatchRoundProgram
 from repro.core.messages import MessageKind, Payload, TokenMessage
 from repro.core.observation import SentRecord
 from repro.core.rounds import FastRoundProgram
@@ -100,6 +101,11 @@ class FloodingAlgorithm(LocalBroadcastAlgorithm):
             return None
         return lambda kernel: _FloodingFastProgram(kernel, self)
 
+    def batch_program_factory(self) -> Optional[Callable]:
+        if type(self) is not FloodingAlgorithm:
+            return None
+        return lambda kernel: _FloodingBatchProgram(kernel, self)
+
 
 class _FloodingFastProgram(FastRoundProgram):
     """Phase-based flooding on bitmask state: one global token per phase.
@@ -137,7 +143,7 @@ class _FloodingFastProgram(FastRoundProgram):
 
     def deliver(self, round_index: int, commitment) -> None:
         phase, holders = commitment
-        observe = self.kernel.observe
+        observe = self.kernel.observe_messages
         if phase >= self.k or not holders:
             if observe:
                 self.store_sent_records([])
@@ -168,6 +174,65 @@ class _FloodingFastProgram(FastRoundProgram):
                 learn_index(low.bit_length() - 1, phase)
                 mask ^= low
             self._holders_mask = holders | learners
+
+
+class _FloodingBatchProgram(BatchRoundProgram):
+    """Phase-based flooding across all lanes: one matmul per round.
+
+    The per-lane round body is identical to :class:`_FloodingFastProgram`,
+    lifted to arrays: the phase-token holder sets of every lane form one
+    ``(lanes, n)`` bool matrix (a live view into the batch knowledge cube),
+    reachability is a batched matrix product against the dense per-lane
+    adjacency, and the new learners of every lane are committed in one
+    :meth:`~repro.core.state.BatchKnowledgeState.learn_token_bulk` call —
+    which appends events node-ascending per lane, exactly the order the
+    serial program's ascending-bit learning loop produces.
+
+    Once every active lane's holder set saturates (all ``n`` nodes hold the
+    phase token) the matmul is skipped for the rest of the phase — no lane
+    can learn anything, only the broadcast counting remains.
+    """
+
+    needs_dense_adjacency = True
+
+    def setup(self) -> None:
+        self.phase_length = self.algorithm.phase_length_for(self.n)
+        self._current_phase = -1
+        self._saturated = False
+
+    def commit(self, round_index: int) -> int:
+        phase = (round_index - 1) // self.phase_length
+        if phase != self._current_phase:
+            self._current_phase = phase
+            self._saturated = False
+        return phase
+
+    def deliver(self, round_index: int, commitment) -> None:
+        phase = commitment
+        if phase >= self.k:
+            return
+        np = self.np
+        active = self.kernel.active_lanes
+        holders = self.state.holders_column(phase)
+        senders = holders & active[:, None]
+        counts = senders.sum(axis=1)
+        self.accounting.count_lanes(_KIND_TOKEN, counts)
+        self.accounting.per_node += senders
+        if self._saturated:
+            return
+        if bool((counts[active] == self.n).all()):
+            self._saturated = True
+            return
+        reach = (
+            np.matmul(
+                self.kernel.dense_adj,
+                senders.astype(np.float32)[:, :, None],
+            )[:, :, 0]
+            > 0.5
+        )
+        learners = reach & ~holders & active[:, None]
+        if learners.any():
+            self.state.learn_token_bulk(phase, learners)
 
 
 class OneShotFloodingAlgorithm(LocalBroadcastAlgorithm):
@@ -210,6 +275,11 @@ class OneShotFloodingAlgorithm(LocalBroadcastAlgorithm):
             return None
         return lambda kernel: _OneShotFloodingFastProgram(kernel, self)
 
+    def batch_program_factory(self) -> Optional[Callable]:
+        if type(self) is not OneShotFloodingAlgorithm:
+            return None
+        return lambda kernel: _OneShotFloodingBatchProgram(kernel, self)
+
 
 class _OneShotFloodingFastProgram(FastRoundProgram):
     """One-shot flooding on bitmask state: per-node FIFO queues of bit indices.
@@ -247,7 +317,7 @@ class _OneShotFloodingFastProgram(FastRoundProgram):
 
     def deliver(self, round_index: int, commitment) -> None:
         senders, token_of = commitment
-        observe = self.kernel.observe
+        observe = self.kernel.observe_messages
         if not senders:
             if observe:
                 self.store_sent_records([])
@@ -287,3 +357,91 @@ class _OneShotFloodingFastProgram(FastRoundProgram):
 
     def is_quiescent(self) -> bool:
         return all(not queue for queue in self.queues)
+
+
+class _OneShotFloodingBatchProgram(BatchRoundProgram):
+    """One-shot flooding across lanes: per-lane FIFO queues, lockstep rounds.
+
+    The round body is inherently sequential per lane (each node pops the
+    head of its own queue, and newly learned tokens re-enter the queue), so
+    this program replays :class:`_OneShotFloodingFastProgram`'s round body
+    lane by lane on the lane's adjacency bitmasks — the win over serial
+    execution is the shared problem setup, the shared knowledge cube and
+    the vectorized bookkeeping around the loop.  Knowledge is mirrored in
+    per-lane integer bitmasks so the hot already-knows test never touches a
+    numpy scalar; the batch state is only told about successful learnings
+    (at most ``n·k`` per lane).
+    """
+
+    def setup(self) -> None:
+        initial = self.kernel.problem.initial_knowledge
+        token_index = self.kernel.token_index
+        initial_queues = [
+            sorted(token_index[token] for token in initial[node])
+            for node in self.nodes
+        ]
+        initial_masks = [
+            sum(1 << bit for bit in bits) for bits in initial_queues
+        ]
+        lanes = self.kernel.lanes
+        self.queues: List[List[Deque[int]]] = [
+            [deque(bits) for bits in initial_queues] for _ in range(lanes)
+        ]
+        self.know_masks: List[List[int]] = [
+            list(initial_masks) for _ in range(lanes)
+        ]
+
+    def commit(self, round_index: int) -> List[Optional[Tuple[int, List[int]]]]:
+        active = self.kernel.active_lanes
+        commitments: List[Optional[Tuple[int, List[int]]]] = [None] * self.kernel.lanes
+        for lane in self.np.nonzero(active)[0]:
+            token_of = [-1] * self.n
+            senders = 0
+            for index, queue in enumerate(self.queues[lane]):
+                if queue:
+                    token_of[index] = queue.popleft()
+                    senders |= 1 << index
+            commitments[lane] = (senders, token_of)
+        return commitments
+
+    def deliver(self, round_index: int, commitment) -> None:
+        n = self.n
+        state = self.state
+        stages = self.kernel.stages
+        accounting = self.accounting
+        per_node = accounting.per_node
+        for lane in self.np.nonzero(self.kernel.active_lanes)[0]:
+            lane = int(lane)
+            senders, token_of = commitment[lane]
+            if not senders:
+                continue
+            broadcasters = bit_indices(senders)
+            accounting.count_lane(lane, _KIND_TOKEN, len(broadcasters))
+            per_node_lane = per_node[lane]
+            for index in broadcasters:
+                per_node_lane[index] += 1
+            adj = stages[lane].adj
+            queues = self.queues[lane]
+            know_masks = self.know_masks[lane]
+            # Delivery order mirrors the serial fast program: receivers
+            # ascending, and within a receiver the senders ascending.
+            for receiver in range(n):
+                incoming = adj[receiver] & senders
+                while incoming:
+                    low = incoming & -incoming
+                    sender = low.bit_length() - 1
+                    incoming ^= low
+                    token_bit = token_of[sender]
+                    if not (know_masks[receiver] >> token_bit) & 1:
+                        know_masks[receiver] |= 1 << token_bit
+                        state.learn_lane_index(lane, receiver, token_bit)
+                        queues[receiver].append(token_bit)
+
+    def quiescent_lanes(self):
+        return self.np.array(
+            [
+                all(not queue for queue in lane_queues)
+                for lane_queues in self.queues
+            ],
+            dtype=self.np.bool_,
+        )

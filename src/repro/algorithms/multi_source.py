@@ -312,14 +312,33 @@ class _MultiSourceFastProgram(FastRoundProgram):
     ``R_v(x)`` / ``S_v(x)`` as node bitmasks per source), the three per-round
     tasks in the paper's order, and the same request bookkeeping as the
     single-source fast program.
+
+    ``catalog`` overrides the source catalog (the oblivious two-phase
+    program hands in the center catalog fixed at its phase transition);
+    by default it is derived from the problem's initial placement, exactly
+    like :meth:`MultiSourceUnicastAlgorithm.default_catalog`.
     """
 
     track_edge_history = True
 
+    def __init__(
+        self,
+        kernel,
+        algorithm,
+        *,
+        catalog: Optional[Mapping[NodeId, Sequence[Token]]] = None,
+    ) -> None:
+        super().__init__(kernel, algorithm)
+        self._catalog_override = catalog
+
     def setup(self) -> None:
         problem = self.kernel.problem
         token_index = self.token_index
-        catalog = tokens_by_source(problem.tokens)
+        catalog = (
+            self._catalog_override
+            if self._catalog_override is not None
+            else tokens_by_source(problem.tokens)
+        )
         self.sources: List[NodeId] = sorted(catalog)
         s = self.s = len(self.sources)
         self.catalog_bits: List[Tuple[int, ...]] = [
@@ -386,7 +405,7 @@ class _MultiSourceFastProgram(FastRoundProgram):
         edge_token_round = self.edge_token_round
         per_node = self.per_node
         deliveries: List[Optional[List[Tuple[int, int, int]]]] = [None] * n
-        observe = self.kernel.observe
+        observe = self.kernel.observe_messages
         records: Optional[List[SentRecord]] = [] if observe else None
         nodes = self.nodes
         tokens = self.tokens

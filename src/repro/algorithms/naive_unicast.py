@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
 
 from repro.algorithms.base import UnicastAlgorithm
+from repro.batch.programs import BatchRoundProgram
 from repro.core.messages import MessageKind, Payload, TokenMessage
 from repro.core.observation import SentRecord
 from repro.core.rounds import FastRoundProgram
@@ -81,6 +82,11 @@ class NaiveUnicastAlgorithm(UnicastAlgorithm):
             return None
         return lambda kernel: _NaiveUnicastFastProgram(kernel, self)
 
+    def batch_program_factory(self) -> Optional[Callable]:
+        if type(self) is not NaiveUnicastAlgorithm:
+            return None
+        return lambda kernel: _NaiveUnicastBatchProgram(kernel, self)
+
 
 class _NaiveUnicastFastProgram(FastRoundProgram):
     """Naive unicast on bitmask state: per-pair sent-token bitmasks.
@@ -104,7 +110,7 @@ class _NaiveUnicastFastProgram(FastRoundProgram):
         per_node = self.per_node
         sent = self.sent
         deliveries: List[Optional[List[Tuple[int, int]]]] = [None] * n
-        observe = self.kernel.observe
+        observe = self.kernel.observe_messages
         records: Optional[List[SentRecord]] = [] if observe else None
         nodes = self.nodes
         tokens = self.tokens
@@ -167,3 +173,95 @@ class _NaiveUnicastFastProgram(FastRoundProgram):
                 if mask.bit_count() >= count:
                     pushed += 1
         return pushed >= total_pairs
+
+
+class _NaiveUnicastBatchProgram(BatchRoundProgram):
+    """Naive unicast across lanes: per-lane sent-pair bitmasks, lockstep rounds.
+
+    Message selection depends on each lane's own send history, so the round
+    body replays :class:`_NaiveUnicastFastProgram` lane by lane on the
+    lane's adjacency bitmasks (including the quiescence rule's
+    create-on-consideration quirk).  Knowledge is mirrored in per-lane
+    integer bitmasks so the hot sendable test never touches a numpy scalar;
+    the batch state is only told about successful learnings.
+    """
+
+    def setup(self) -> None:
+        initial = self.kernel.problem.initial_knowledge
+        token_index = self.kernel.token_index
+        initial_masks = [
+            sum(1 << token_index[token] for token in initial[node])
+            for node in self.nodes
+        ]
+        lanes = self.kernel.lanes
+        # sent[lane][v][u] = bitmask of tokens v has pushed to u on this lane.
+        self.sent: List[List[Dict[int, int]]] = [
+            [{} for _ in range(self.n)] for _ in range(lanes)
+        ]
+        self.know_masks: List[List[int]] = [
+            list(initial_masks) for _ in range(lanes)
+        ]
+
+    def deliver(self, round_index: int, commitment) -> None:
+        n = self.n
+        state = self.state
+        stages = self.kernel.stages
+        accounting = self.accounting
+        per_node = accounting.per_node
+        for lane in self.np.nonzero(self.kernel.active_lanes)[0]:
+            lane = int(lane)
+            adj = stages[lane].adj
+            sent = self.sent[lane]
+            know_masks = self.know_masks[lane]
+            per_node_lane = per_node[lane]
+            deliveries: List[Optional[List[int]]] = [None] * n
+            token_count = 0
+            for v in range(n):
+                neighbors = adj[v]
+                if not neighbors:
+                    continue
+                sent_v = sent[v]
+                know_v = know_masks[v]
+                to_visit = neighbors
+                while to_visit:
+                    low = to_visit & -to_visit
+                    u = low.bit_length() - 1
+                    to_visit ^= low
+                    already = sent_v.get(u)
+                    if already is None:
+                        already = sent_v[u] = 0
+                    sendable = know_v & ~already
+                    if not sendable:
+                        continue
+                    token_low = sendable & -sendable
+                    sent_v[u] = already | token_low
+                    token_count += 1
+                    per_node_lane[v] += 1
+                    box = deliveries[u]
+                    if box is None:
+                        box = deliveries[u] = []
+                    box.append(token_low.bit_length() - 1)
+            for u in range(n):
+                box = deliveries[u]
+                if not box:
+                    continue
+                for token_bit_index in box:
+                    if not (know_masks[u] >> token_bit_index) & 1:
+                        know_masks[u] |= 1 << token_bit_index
+                        state.learn_lane_index(lane, u, token_bit_index)
+            accounting.count_lane(lane, _KIND_TOKEN, token_count)
+
+    def quiescent_lanes(self):
+        n = self.n
+        total_pairs = n * (n - 1)
+        flags = []
+        for lane in range(self.kernel.lanes):
+            know_masks = self.know_masks[lane]
+            pushed = 0
+            for v, sent_v in enumerate(self.sent[lane]):
+                count = know_masks[v].bit_count()
+                for mask in sent_v.values():
+                    if mask.bit_count() >= count:
+                        pushed += 1
+            flags.append(pushed >= total_pairs)
+        return self.np.array(flags, dtype=self.np.bool_)

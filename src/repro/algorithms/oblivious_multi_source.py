@@ -37,9 +37,12 @@ Implementation notes (documented in DESIGN.md):
 from __future__ import annotations
 
 import math
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.algorithms.multi_source import MultiSourceUnicastAlgorithm
+from repro.algorithms.multi_source import (
+    MultiSourceUnicastAlgorithm,
+    _MultiSourceFastProgram,
+)
 from repro.algorithms.random_walks import (
     RandomWalkDisseminator,
     default_degree_threshold,
@@ -48,6 +51,9 @@ from repro.algorithms.random_walks import (
     source_count_threshold,
 )
 from repro.core.messages import Payload, ReceivedMessage, TokenMessage
+from repro.core.observation import SentRecord
+from repro.core.rounds import FastRoundProgram
+from repro.core.state import edge_id
 from repro.core.tokens import Token
 from repro.utils.ids import NodeId
 from repro.utils.validation import ConfigurationError, require_positive_int
@@ -216,4 +222,116 @@ class ObliviousMultiSourceAlgorithm(MultiSourceUnicastAlgorithm):
         extra = super().observation_extra()
         extra["phase"] = self._phase
         extra["centers"] = self.centers
+        return extra
+
+    def fast_program_factory(self) -> Optional[Callable]:
+        if type(self) is not ObliviousMultiSourceAlgorithm:
+            return None
+        return lambda kernel: _ObliviousTwoPhaseFastProgram(kernel, self)
+
+
+class _ObliviousTwoPhaseFastProgram(FastRoundProgram):
+    """Algorithm 2 on bitmask state: real phase 1, fast phase 2.
+
+    Phase 1 (random walks) is inherently sequential — one token per edge
+    per round, RNG-driven — so the program drives the *real* algorithm
+    object through the exchange semantics, message for message.  The moment
+    the algorithm switches to phase 2 (all tokens at centers, or the round
+    budget expired), the program fixes the center catalog and activates an
+    inner :class:`_MultiSourceFastProgram` over the same kernel, seeded
+    with the phase-1 edge history, and delegates every later round to it.
+    Executions that skip phase 1 entirely (``s`` below the threshold) run
+    the inner program from round 1.
+    """
+
+    track_edge_history = True
+
+    def __init__(self, kernel, algorithm) -> None:
+        super().__init__(kernel, algorithm)
+        self._inner: Optional[_MultiSourceFastProgram] = None
+
+    def setup(self) -> None:
+        kernel = self.kernel
+        self._inner = None
+        self.algorithm.setup(kernel.problem, kernel.algorithm_rng, state=kernel.state)
+        if self.algorithm.phase == 2:
+            self._activate_inner()
+
+    def _activate_inner(self) -> None:
+        algorithm = self.algorithm
+        catalog = {
+            source: algorithm.catalog_of(source)
+            for source in algorithm.catalog_sources()
+        }
+        inner = _MultiSourceFastProgram(self.kernel, algorithm, catalog=catalog)
+        # Phase 1 drove the real algorithm object, so its object-level edge
+        # history (including token rounds recorded by receive_messages) is
+        # the authoritative one.  Convert it to edge ids and share a single
+        # dict between the outer program — which the delivery stage keeps
+        # updating — and the inner program, which reads and extends it.
+        index_of = self.index_of
+        n = self.n
+        self.edge_inserted = inner.edge_inserted = {
+            edge_id(index_of[u], index_of[v], n): round_index
+            for (u, v), round_index in algorithm._edge_last_inserted.items()
+        }
+        self.edge_token_round = inner.edge_token_round = {
+            edge_id(index_of[u], index_of[v], n): round_index
+            for (u, v), round_index in algorithm._edge_last_token_round.items()
+        }
+        inner.setup()
+        self._inner = inner
+
+    def deliver(self, round_index: int, commitment) -> None:
+        inner = self._inner
+        if inner is not None:
+            inner.deliver(round_index, commitment)
+            self._sent_records = inner._sent_records
+            return
+        # Phase 1: the exchange semantics, verbatim, against the live
+        # algorithm (see UnicastExchangeProgram.deliver).
+        kernel = self.kernel
+        algorithm = self.algorithm
+        graph = kernel.graph
+        neighbors = graph.neighbors_view()
+        algorithm.on_topology(
+            round_index,
+            neighbors,
+            graph.trace.inserted_edges(round_index),
+            graph.trace.removed_edges(round_index),
+        )
+        sends = algorithm.select_messages(round_index, neighbors)
+        accounting = self.accounting
+        index_of = self.index_of
+        inbox: Dict[NodeId, List[ReceivedMessage]] = {
+            node: [] for node in self.nodes
+        }
+        records: Optional[List[SentRecord]] = (
+            [] if kernel.observe_messages else None
+        )
+        for sender in sorted(sends):
+            for receiver in sorted(sends[sender]):
+                for payload in sends[sender][receiver]:
+                    accounting.count(index_of[sender], payload.kind.value)
+                    if records is not None:
+                        records.append(
+                            SentRecord(
+                                sender=sender, receiver=receiver, payload=payload
+                            )
+                        )
+                    inbox[receiver].append(
+                        ReceivedMessage(sender=sender, payload=payload)
+                    )
+        algorithm.receive_messages(round_index, inbox)
+        if records is not None:
+            self.store_sent_records(records)
+        if algorithm.phase == 2:
+            self._activate_inner()
+
+    def observation_extra(self) -> Dict[str, object]:
+        if self._inner is None:
+            return self.algorithm.observation_extra()
+        extra = self._inner.observation_extra()
+        extra["phase"] = 2
+        extra["centers"] = self.algorithm.centers
         return extra

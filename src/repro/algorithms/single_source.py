@@ -275,7 +275,7 @@ class _SingleSourceFastProgram(FastRoundProgram):
         edge_token_round = self.edge_token_round
         per_node = self.per_node
         deliveries: List[Optional[List[Tuple[int, int, int]]]] = [None] * n
-        observe = self.kernel.observe
+        observe = self.kernel.observe_messages
         records: Optional[List[SentRecord]] = [] if observe else None
         nodes = self.nodes
         tokens = self.tokens

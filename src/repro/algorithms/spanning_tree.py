@@ -267,7 +267,7 @@ class _SpanningTreeFastProgram(FastRoundProgram):
         root = self.root
         per_node = self.per_node
         deliveries: List[Optional[List[Tuple[int, int, int]]]] = [None] * n
-        observe = self.kernel.observe
+        observe = self.kernel.observe_messages
         records: Optional[List[SentRecord]] = [] if observe else None
         nodes = self.nodes
 

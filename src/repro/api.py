@@ -40,6 +40,13 @@ schema version.  Enlarging a grid or raising the seed count therefore only
 executes the delta, while the :class:`RunSet` still yields the *complete*
 record set (cached + fresh), so aggregates and reports are byte-identical
 to a cold full run.
+
+**Vectorized groups.**  On the in-process path, consecutive pending cells
+of the same spec form one group; when the scenario is vectorizable (the
+algorithm has a batch program, the adversary is oblivious) and numpy is
+installed, the whole group runs through the vectorized batch backend
+(:mod:`repro.batch`) in one pass.  Records are field-identical either way —
+an explicit ``.backend("bitset")`` opts out.
 """
 
 from __future__ import annotations
@@ -476,6 +483,51 @@ def _execute_cell(spec: ScenarioSpec, repetition: int) -> Record:
     return record_from_result(spec, repetition, repetition_seed(spec, repetition), result)
 
 
+def _vectorizable_group(spec: ScenarioSpec, cells: Sequence["PlanCell"]) -> bool:
+    """Whether a group of pending cells should run through the batch kernel.
+
+    Multi-repetition groups of vectorizable scenarios are dispatched to the
+    vectorized batch backend automatically — it produces field-identical
+    records, only faster.  An explicit ``.backend("bitset")`` (or any other
+    non-default backend) opts out; a missing numpy silently keeps the
+    serial path.
+    """
+    if len(cells) < 2 or spec.backend not in ("reference", "batch"):
+        return False
+    from repro.core.state import numpy_available
+
+    if not numpy_available():
+        return False
+    # Imported lazily: repro.backends imports the scenario layer.
+    from repro.batch.backend import can_vectorize_spec
+
+    return can_vectorize_spec(spec)
+
+
+def _execute_pending(pending: Sequence["PlanCell"]) -> Iterator[Record]:
+    """Execute pending cells in plan order, vectorizing eligible groups.
+
+    Plan order is spec-major, so consecutive grouping recovers exactly the
+    pending repetitions of each grid cell.  Groups that cannot vectorize
+    run cell by cell through the spec's own backend, unchanged.
+    """
+    import itertools
+
+    for spec, group in itertools.groupby(pending, key=lambda cell: cell.spec):
+        cells = list(group)
+        if _vectorizable_group(spec, cells):
+            from repro.backends import BatchBackend
+
+            results = BatchBackend().run_batch(
+                spec, [cell.repetition for cell in cells]
+            )
+            for cell, result in zip(cells, results):
+                yield record_from_result(spec, cell.repetition, cell.seed, result)
+        else:
+            for cell in cells:
+                yield _execute_cell(cell.spec, cell.repetition)
+
+
 def _execute_cell_payload(payload: Tuple[str, int, Tuple[str, ...]]) -> Record:
     """Worker entry point: rebuild the spec from JSON and run one cell."""
     spec_json, repetition, extension_modules = payload
@@ -562,10 +614,7 @@ class RunSet:
         workers = min(self._workers, len(pending)) if pending else 1
         try:
             if workers <= 1:
-                fresh: Iterator[Record] = (
-                    _execute_cell(cell.spec, cell.repetition) for cell in pending
-                )
-                yield from self._interleave(remaining, fresh)
+                yield from self._interleave(remaining, _execute_pending(pending))
             else:
                 payloads = [
                     (cell.spec.to_json(), cell.repetition, plan.extensions)

@@ -13,7 +13,11 @@ and program family they plug in.  Importing this package registers:
 * ``bitset`` — the kernel over integer-bitmask state: native bit-level fast
   programs where algorithms provide them, the generic exchange path
   everywhere else; supports every registered algorithm under oblivious and
-  adaptive adversaries.
+  adaptive adversaries;
+* ``batch`` — the vectorized numpy kernel (:mod:`repro.batch`) running all
+  repetitions of a scenario in lockstep lanes, falling back to the bitset
+  kernel per repetition for adaptive or non-vectorizable scenarios.  Needs
+  the ``repro[fast]`` optional extra.
 
 Select a backend per scenario (``ScenarioSpec(backend="bitset", ...)``,
 ``python -m repro run --backend bitset``) and check equivalence with the
@@ -35,6 +39,7 @@ from repro.backends.base import (
 )
 from repro.backends.bitset import BitsetBackend
 from repro.backends.reference import ReferenceBackend
+from repro.batch.backend import BatchBackend
 
 __all__ = [
     "BACKEND_REGISTRY",
@@ -42,6 +47,7 @@ __all__ = [
     "EngineBackend",
     "get_backend",
     "register_backend",
+    "BatchBackend",
     "BitsetBackend",
     "ReferenceBackend",
 ]

@@ -1,0 +1,26 @@
+"""Vectorized batch execution: whole sweeps of repetitions in lockstep.
+
+This package holds the numpy-backed batch execution core:
+
+- :class:`~repro.batch.programs.BatchRoundProgram` — the per-round protocol
+  batch programs implement (they live next to their algorithms);
+- :class:`~repro.batch.programs.LaneAccounting` — vectorized per-lane
+  message counters;
+- :class:`~repro.batch.engine.BatchKernel` — the many-lane round loop.
+
+The ``batch`` *backend* lives in :mod:`repro.batch.backend` and is imported
+by :mod:`repro.backends` for registration; it is deliberately not imported
+here so algorithm modules can import this package without cycling through
+the backend registry.  None of these modules import numpy at module level —
+numpy is an optional dependency, pulled in lazily when a batch kernel is
+constructed (install it with ``pip install "repro[fast]"``).
+"""
+
+from repro.batch.engine import BatchKernel
+from repro.batch.programs import BatchRoundProgram, LaneAccounting
+
+__all__ = [
+    "BatchKernel",
+    "BatchRoundProgram",
+    "LaneAccounting",
+]

@@ -194,6 +194,167 @@ def speedup_gate(
     return observed >= min_speedup, message
 
 
+# ---------------------------------------------------------------------------
+# Sweep benchmark: serial bitset vs the vectorized batch backend
+# ---------------------------------------------------------------------------
+
+#: The backends timed per sweep entry; the first is ground truth.
+SWEEP_BACKENDS: Tuple[str, ...] = ("bitset", "batch")
+
+
+def _sweep_flooding_spec(num_nodes: int, repetitions: int) -> ScenarioSpec:
+    spec = _flooding_spec(num_nodes)
+    return ScenarioSpec(
+        **{
+            **spec.to_dict(),
+            "repetitions": repetitions,
+            "name": f"sweep-flooding-n{num_nodes}-k{num_nodes}-r{repetitions}",
+        }
+    )
+
+
+def _sweep_one_shot_spec(num_nodes: int, repetitions: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        problem="random-placement",
+        problem_params={"num_nodes": num_nodes, "num_tokens": num_nodes // 2},
+        algorithm="one-shot-flooding",
+        adversary="churn",
+        adversary_params={"changes_per_round": 4},
+        repetitions=repetitions,
+        name=f"sweep-one-shot-n{num_nodes}-k{num_nodes // 2}-r{repetitions}",
+    )
+
+
+def sweep_grid(quick: bool) -> List[ScenarioSpec]:
+    """The multi-repetition sweep grid; ``quick`` is the CI-sized subset.
+
+    Both grids include the 32-repetition flooding sweep at n=128 — the
+    scenario the batch perf gate (``--min-batch-speedup``) is pinned to.
+    """
+    if quick:
+        return [
+            _sweep_flooding_spec(128, 32),
+            _sweep_one_shot_spec(64, 16),
+        ]
+    return [
+        _sweep_flooding_spec(64, 32),
+        _sweep_flooding_spec(128, 32),
+        _sweep_one_shot_spec(96, 32),
+    ]
+
+
+def run_sweep_entry(spec: ScenarioSpec, *, repeat: int = 1) -> Dict[str, Any]:
+    """Time all repetitions of one spec serially (bitset) and batched.
+
+    The serial side executes each repetition exactly the way the scenario
+    runner would — fresh materialization per repetition, per-repetition
+    seed — so the measured speedup is the real sweep-level win.  Both sides
+    run with ``keep_trace=False`` and every repetition is diffed
+    field-by-field.
+    """
+    from repro.batch.backend import BatchBackend
+
+    repetitions = list(range(spec.repetitions))
+    seeds = [repetition_seed(spec, repetition) for repetition in repetitions]
+    serial_backend = get_backend("bitset")
+    serial_best = float("inf")
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        serial_results = []
+        for seed in seeds:
+            scenario = materialize(spec)
+            serial_results.append(
+                serial_backend.run(
+                    scenario.problem,
+                    scenario.algorithm,
+                    scenario.adversary,
+                    seed=seed,
+                    max_rounds=spec.max_rounds,
+                    keep_trace=False,
+                )
+            )
+        serial_best = min(serial_best, time.perf_counter() - start)
+
+    batch_backend = BatchBackend()
+    batch_best = float("inf")
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        batch_results = batch_backend.run_batch(
+            spec, repetitions, keep_trace=False
+        )
+        batch_best = min(batch_best, time.perf_counter() - start)
+
+    differences: List[str] = []
+    for repetition, (serial, batch) in enumerate(zip(serial_results, batch_results)):
+        differences.extend(
+            f"rep{repetition}:{difference.field}"
+            for difference in diff_results(serial, batch, compare_graphs=False)
+        )
+    return {
+        "scenario": spec.label,
+        "algorithm": spec.algorithm,
+        "adversary": spec.adversary,
+        "n": spec.problem_params["num_nodes"],
+        "k": spec.problem_params.get(
+            "num_tokens", spec.problem_params["num_nodes"]
+        ),
+        "repetitions": spec.repetitions,
+        "completed": all(result.completed for result in serial_results),
+        "rounds": max(result.rounds for result in serial_results),
+        "total_messages": sum(result.total_messages for result in serial_results),
+        "seconds": {
+            "bitset": round(serial_best, 4),
+            "batch": round(batch_best, 4),
+        },
+        "speedup": {"batch": round(serial_best / batch_best, 2)},
+        "equal": not differences,
+        "differences": differences,
+    }
+
+
+def batch_speedup_gate(
+    entries: Sequence[Dict[str, Any]], min_speedup: float
+) -> Tuple[bool, str]:
+    """Check the flooding-sweep-at-largest-n batch speedup against a floor."""
+    flooding = [entry for entry in entries if entry["algorithm"] == "flooding"]
+    if not flooding:
+        return False, "batch speedup gate: no flooding sweep in the executed grid"
+    entry = max(flooding, key=lambda e: e["n"])
+    observed = entry["speedup"].get("batch", 0.0)
+    message = (
+        f"batch speedup gate: batch {observed}x vs serial bitset on "
+        f"{entry['scenario']} (required >= {min_speedup}x)"
+    )
+    return observed >= min_speedup, message
+
+
+def run_sweep_benchmark(
+    *,
+    quick: bool = False,
+    repeat: int = 1,
+    progress=None,
+) -> Dict[str, Any]:
+    """Run the sweep grid and return the batch-trajectory payload."""
+    entries = []
+    for spec in sweep_grid(quick):
+        entry = run_sweep_entry(spec, repeat=repeat)
+        entries.append(entry)
+        if progress is not None:
+            status = "ok" if entry["equal"] else f"MISMATCH: {entry['differences']}"
+            progress(
+                f"{entry['scenario']}: n={entry['n']} k={entry['k']} "
+                f"reps={entry['repetitions']} bitset={entry['seconds']['bitset']}s "
+                f"batch={entry['seconds']['batch']}s "
+                f"({entry['speedup']['batch']}x) [{status}]"
+            )
+    return {
+        "benchmark": "batch-sweeps",
+        "grid": "quick" if quick else "full",
+        "backends": list(SWEEP_BACKENDS),
+        "entries": entries,
+    }
+
+
 def run_benchmark(
     *,
     quick: bool = False,

@@ -282,6 +282,22 @@ def build_parser() -> argparse.ArgumentParser:
         "faster than reference on the grid's largest flooding scenario — the "
         "CI guard against silently losing the fast path",
     )
+    bench.add_argument(
+        "--sweeps",
+        action="store_true",
+        help="run the multi-repetition sweep grid instead: all repetitions of "
+        "each scenario serially (bitset) vs the vectorized batch backend "
+        "(needs the repro[fast] extra)",
+    )
+    bench.add_argument(
+        "--min-batch-speedup",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="with --sweeps: fail (exit 1) unless the batch backend is at "
+        "least FACTOR times faster than serial bitset on the grid's largest "
+        "flooding sweep — the CI guard on the vectorized kernel",
+    )
 
     table1 = subparsers.add_parser("table1", help="regenerate Table 1 for a given n")
     table1.add_argument("-n", "--nodes", type=int, default=4096)
@@ -816,16 +832,34 @@ def command_list(args: argparse.Namespace) -> int:
 
 
 def command_bench(args: argparse.Namespace) -> int:
-    from repro.benchmark import bench_store, run_benchmark, speedup_gate
+    from repro.benchmark import (
+        batch_speedup_gate,
+        bench_store,
+        run_benchmark,
+        run_sweep_benchmark,
+        speedup_gate,
+    )
 
     if args.repeat < 1:
         raise ConfigurationError(f"--repeat must be at least 1, got {args.repeat}")
-    payload = run_benchmark(
-        quick=args.quick,
-        repeat=args.repeat,
-        store=bench_store(),
-        progress=print,
-    )
+    if args.min_batch_speedup is not None and not args.sweeps:
+        raise ConfigurationError("--min-batch-speedup requires --sweeps")
+    if args.sweeps and args.min_speedup is not None:
+        raise ConfigurationError(
+            "--min-speedup gates the single-run grid; with --sweeps use "
+            "--min-batch-speedup"
+        )
+    if args.sweeps:
+        payload = run_sweep_benchmark(
+            quick=args.quick, repeat=args.repeat, progress=print
+        )
+    else:
+        payload = run_benchmark(
+            quick=args.quick,
+            repeat=args.repeat,
+            store=bench_store(),
+            progress=print,
+        )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
@@ -834,6 +868,13 @@ def command_bench(args: argparse.Namespace) -> int:
     if not all(entry["equal"] for entry in payload["entries"]):
         print("backend results diverged; see the differences fields", file=sys.stderr)
         return 1
+    if args.sweeps and args.min_batch_speedup is not None:
+        passed, message = batch_speedup_gate(
+            payload["entries"], args.min_batch_speedup
+        )
+        print(message)
+        if not passed:
+            return 1
     if args.min_speedup is not None:
         passed, message = speedup_gate(payload["entries"], args.min_speedup)
         print(message)

@@ -53,6 +53,12 @@ class RoundObservation:
         algorithm_name: the name of the running algorithm.
         extra: free-form additional state exposed by the algorithm (e.g. the
             set of complete nodes for the unicast algorithms).
+        knowledge_counts: the number of tokens each node knows,
+            ``|K_v(r-1)|``.  Cheaper to materialize than the full knowledge
+            sets; adversaries that only rank nodes by how much they know
+            (e.g. star-recenter) declare this field instead of ``knowledge``.
+            May be empty when the observation was built for an adversary
+            that did not request it — fall back to ``len(knowledge[v])``.
     """
 
     round_index: int
@@ -61,6 +67,7 @@ class RoundObservation:
     previous_messages: Tuple[SentRecord, ...] = ()
     algorithm_name: str = ""
     extra: Mapping[str, object] = field(default_factory=dict)
+    knowledge_counts: Mapping[NodeId, int] = field(default_factory=dict)
 
     def broadcasting_nodes(self) -> List[NodeId]:
         """The nodes that will broadcast a payload this round (local broadcast model)."""

@@ -134,9 +134,7 @@ class AccountingStage:
             raise ConfigurationError("close_round called without begin_round")
         self._round_open = False
         self.per_round.append(self._round_count)
-        events = self.events
-        for node, token in program.drain_learnings():
-            events.record(round_index, node, token)
+        self.events.record_bulk(round_index, program.drain_learnings())
         return self._round_count
 
     def statistics(self) -> MessageStatistics:
@@ -195,6 +193,11 @@ class AdversaryStage:
         self.adversary = adversary
         self.require_connected = require_connected
         self.observe = not getattr(adversary, "oblivious", False)
+        #: The observation fields the adversary declared it reads (``None``
+        #: = everything); programs materialize only these.
+        self.observed_fields: Optional[FrozenSet[str]] = getattr(
+            adversary, "observed_fields", None
+        )
         n = self.n
         self.trace = EdgeIdTrace(
             nodes,
@@ -207,6 +210,12 @@ class AdversaryStage:
         self._previous_ids: FrozenSet[int] = frozenset()
         self._last_raw_edges: Optional[object] = None
         self._last_ids: Optional[FrozenSet[int]] = None
+        #: The adversary's promise (if any) that its topology stops changing
+        #: from this round on; lets :meth:`advance` skip the edge query for
+        #: every later round.
+        self._steady_after: Optional[int] = getattr(
+            adversary, "steady_after_round", None
+        )
 
     def _edge_ids_for_round(
         self, round_index: int, observation: Optional[RoundObservation]
@@ -262,18 +271,36 @@ class AdversaryStage:
         commitment: Optional[object],
     ) -> None:
         """Fix and validate the round graph, update trace and adjacency."""
+        steady_after = self._steady_after
+        if steady_after is not None and round_index > steady_after:
+            # The adversary promised a steady topology from ``steady_after``
+            # on, and that round has already been played: the graph, its
+            # validation and the adjacency are all unchanged.
+            if self.inserted_ids:
+                self.inserted_ids = frozenset()
+            if self.removed_ids:
+                self.removed_ids = frozenset()
+            self.trace.record_unchanged()
+            return
         observation = (
             program.observation(round_index, commitment) if self.observe else None
         )
         current = self._edge_ids_for_round(round_index, observation)
         previous = self._previous_ids
-        inserted = frozenset(current - previous)
-        removed = frozenset(previous - current)
+        if current is previous:
+            # Schedule-replaying adversaries hand back the identical edge set
+            # object round after round; skip the O(|E|) set differences and
+            # the connectivity re-check — the set was validated when it was
+            # first produced, and identical edges stay connected.
+            inserted = removed = frozenset()
+        else:
+            inserted = frozenset(current - previous)
+            removed = frozenset(previous - current)
+            if self.require_connected and self.n > 1 and not self._is_connected(current):
+                raise AdversaryViolationError(
+                    f"adversary produced a disconnected graph in round {round_index}"
+                )
         self.trace.record_ids(current, inserted, removed)
-        if self.require_connected and self.n > 1 and not self._is_connected(current):
-            raise AdversaryViolationError(
-                f"adversary produced a disconnected graph in round {round_index}"
-            )
         adj = self.adj
         n = self.n
         for eid in inserted:
@@ -287,6 +314,22 @@ class AdversaryStage:
         self.inserted_ids = inserted
         self.removed_ids = removed
         self._previous_ids = current
+
+    def catch_up(self, target_round: int) -> None:
+        """Advance the trace to ``target_round`` in one step.
+
+        Only valid for rounds past the adversary's
+        :attr:`~repro.adversaries.base.Adversary.steady_after_round` — the
+        batch kernel uses this to stop stepping per-lane stages once every
+        lane's topology has gone steady, then settles the traces here.
+        """
+        count = target_round - self.trace.num_rounds
+        if count > 0:
+            if self.inserted_ids:
+                self.inserted_ids = frozenset()
+            if self.removed_ids:
+                self.removed_ids = frozenset()
+            self.trace.record_unchanged_many(count)
 
     def neighbors_view(self) -> Dict[NodeId, FrozenSet[NodeId]]:
         """The current adjacency as the object-level mapping algorithms use."""
@@ -386,15 +429,34 @@ class _ExchangeProgram(RoundProgram):
         self, round_index: int, commitment: Optional[object]
     ) -> RoundObservation:
         algorithm = self.algorithm
-        problem = self.kernel.problem
-        knowledge = {node: algorithm.known_tokens(node) for node in problem.nodes}
+        kernel = self.kernel
+        wants = kernel.wants_observation_field
+        nodes = kernel.problem.nodes
+        knowledge = (
+            {node: algorithm.known_tokens(node) for node in nodes}
+            if wants("knowledge")
+            else {}
+        )
+        state = kernel.state
+        index_of = kernel.index_of
+        counts = (
+            {node: state.known_count(index_of[node]) for node in nodes}
+            if wants("knowledge_counts")
+            else {}
+        )
+        payloads = (
+            dict(commitment)
+            if commitment is not None and wants("broadcast_payloads")
+            else {}
+        )
         return RoundObservation(
             round_index=round_index,
             knowledge=knowledge,
-            broadcast_payloads=dict(commitment) if commitment is not None else {},
+            broadcast_payloads=payloads,
             previous_messages=self._previous_messages,
             algorithm_name=algorithm.name,
-            extra=algorithm.observation_extra(),
+            extra=algorithm.observation_extra() if wants("extra") else {},
+            knowledge_counts=counts,
         )
 
     def completed(self) -> bool:
@@ -431,7 +493,7 @@ class BroadcastExchangeProgram(_ExchangeProgram):
         inbox: Dict[NodeId, List[ReceivedMessage]] = {
             node: [] for node in kernel.nodes
         }
-        records: Optional[List[SentRecord]] = [] if kernel.observe else None
+        records: Optional[List[SentRecord]] = [] if kernel.observe_messages else None
         for node in sorted(broadcasts):
             payload = broadcasts[node]
             if payload is None:
@@ -468,7 +530,7 @@ class UnicastExchangeProgram(_ExchangeProgram):
         inbox: Dict[NodeId, List[ReceivedMessage]] = {
             node: [] for node in kernel.nodes
         }
-        records: Optional[List[SentRecord]] = [] if kernel.observe else None
+        records: Optional[List[SentRecord]] = [] if kernel.observe_messages else None
         for sender in sorted(sends):
             if sender not in node_set:
                 raise ProtocolViolationError(
@@ -505,10 +567,11 @@ class FastRoundProgram(RoundProgram):
     by kind/round/node, same token-learning event order, same rounds.
 
     Under an adaptive adversary the base class contributes the lazy
-    :class:`~repro.core.observation.RoundObservation` adapter: knowledge
-    frozensets are materialized from the bit state on demand, and subclasses
-    record payload-level :class:`SentRecord` tuples (only when
-    ``kernel.observe`` is set) via :meth:`store_sent_records`.
+    :class:`~repro.core.observation.RoundObservation` adapter: only the
+    fields the adversary declared it reads are materialized from the bit
+    state, and subclasses record payload-level :class:`SentRecord` tuples
+    (only when ``kernel.observe_messages`` is set) via
+    :meth:`store_sent_records`.
     """
 
     #: Set by subclasses that consult per-edge insertion history
@@ -554,14 +617,31 @@ class FastRoundProgram(RoundProgram):
         self, round_index: int, commitment: Optional[object]
     ) -> RoundObservation:
         state = self.state
-        knowledge = {node: state.known_tokens(node) for node in state.nodes}
+        wants = self.kernel.wants_observation_field
+        knowledge = (
+            {node: state.known_tokens(node) for node in state.nodes}
+            if wants("knowledge")
+            else {}
+        )
+        counts = (
+            {
+                node: state.known_count(index)
+                for index, node in enumerate(state.nodes)
+            }
+            if wants("knowledge_counts")
+            else {}
+        )
+        payloads = (
+            self.commit_payloads(commitment) if wants("broadcast_payloads") else {}
+        )
         return RoundObservation(
             round_index=round_index,
             knowledge=knowledge,
-            broadcast_payloads=self.commit_payloads(commitment),
+            broadcast_payloads=payloads,
             previous_messages=self._sent_records,
             algorithm_name=self.algorithm.name,
-            extra=self.observation_extra(),
+            extra=self.observation_extra() if wants("extra") else {},
+            knowledge_counts=counts,
         )
 
     # -- subclass hooks -----------------------------------------------------
@@ -725,10 +805,22 @@ class RoundKernel:
         )
         self.commit_stage = CommitStage()
         self.delivery_stage = DeliveryStage()
-        #: True iff the adversary is adaptive — programs must then maintain
-        #: the previous-round SentRecords for the observation.
+        #: True iff the adversary is adaptive — programs must then build an
+        #: observation for it every round.
         self.observe = self.graph.observe
+        #: The declared observation field scope (``None`` = everything).
+        self.observed_fields = self.graph.observed_fields
+        #: True iff programs must record payload-level SentRecords: only
+        #: adaptive adversaries that actually read ``previous_messages``.
+        self.observe_messages = self.observe and (
+            self.observed_fields is None
+            or "previous_messages" in self.observed_fields
+        )
         self.program = self._build_program(allow_fast_programs)
+
+    def wants_observation_field(self, field_name: str) -> bool:
+        """True iff the adversary's declared scope includes ``field_name``."""
+        return self.observed_fields is None or field_name in self.observed_fields
 
     def _build_program(self, allow_fast_programs: bool) -> RoundProgram:
         if allow_fast_programs:

@@ -10,16 +10,21 @@ state behind one interface with two observable layers:
   ``learn_index`` over dense node/token indices; tokens are indexed in
   sorted order, so bit ``i`` always means the ``i``-th smallest token).
 
-Two implementations ship:
+Three implementations ship:
 
 * :class:`MappingKnowledgeState` — the reference dict-of-sets representation
   (exactly what :class:`~repro.algorithms.base.TokenForwardingAlgorithm`
   historically stored inline);
 * :class:`BitsetKnowledgeState` — one Python integer per node (promoted out
   of the old ``backends/bitset.py``), where ``knows`` is a bit test and a
-  whole neighbourhood learns a token with a handful of mask operations.
+  whole neighbourhood learns a token with a handful of mask operations;
+* :class:`BatchKnowledgeState` — a ``numpy.bool_`` array of shape
+  ``(lanes, n, k)`` holding the knowledge of many independently seeded
+  repetitions (*lanes*) of the same problem at once.  The batch backend
+  (:mod:`repro.batch`) steps all lanes in lockstep; the per-lane protocol
+  methods make any single lane look like an ordinary knowledge state.
 
-Both maintain the same derived quantities (per-node missing counts, the
+All maintain the same derived quantities (per-node missing counts, the
 number of incomplete nodes, the buffered token-learning events the kernel
 drains into the :class:`~repro.core.events.EventLog`), so an algorithm — or
 a kernel program — behaves identically on either: the representation is an
@@ -31,9 +36,37 @@ from __future__ import annotations
 import abc
 from typing import Dict, FrozenSet, List, Set, Tuple
 
+from repro.core.events import SEG_COLUMN, SEG_TRIPLES, column_segment
+
 from repro.core.problem import DisseminationProblem
 from repro.core.tokens import Token
 from repro.utils.ids import NodeId
+from repro.utils.validation import ConfigurationError, require_positive_int
+
+
+def require_numpy(feature: str = "the batch backend"):
+    """Import and return numpy, or explain how to install it.
+
+    numpy is an optional dependency (the ``repro[fast]`` extra): everything
+    except the vectorized batch subsystem runs without it.
+    """
+    try:
+        import numpy
+    except ImportError as error:
+        raise ConfigurationError(
+            f"{feature} needs numpy, which is an optional dependency; "
+            "install it with: pip install \"repro[fast]\" (or: pip install numpy)"
+        ) from error
+    return numpy
+
+
+def numpy_available() -> bool:
+    """True iff numpy can be imported (the ``repro[fast]`` extra is installed)."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
 
 
 def bit_indices(mask: int) -> List[int]:
@@ -292,3 +325,205 @@ class BitsetKnowledgeState(KnowledgeState):
             if value & bit:
                 mask |= 1 << index
         return mask
+
+
+class BatchKnowledgeState(KnowledgeState):
+    """Knowledge of ``lanes`` repetitions as one ``(lanes, n, k)`` bool array.
+
+    Every lane starts from the same problem (per-repetition seeds only
+    diverge the adversary and algorithm randomness, never the initial token
+    placement), so the constructor broadcasts the initial knowledge across
+    the lane axis.  Two layers of access:
+
+    * the **per-lane protocol**: :meth:`select_lane` picks the active lane,
+      after which the full :class:`KnowledgeState` interface (``knows``,
+      ``learn_index``, ``know_mask``, ...) reads and writes that lane only —
+      per-lane program bodies run unchanged against a batch state;
+    * **bulk operations** used by the vectorized batch programs:
+      :meth:`holders_column` (a ``(lanes, n)`` view of one token's holders),
+      :meth:`learn_token_bulk` (a whole learner matrix in one shot) and
+      :meth:`completed_lanes`.
+
+    Token-learning events are buffered *per lane* (delivery order within the
+    lane), so the batch kernel reconstructs each lane's event log exactly as
+    a serial execution would have recorded it.
+    """
+
+    __slots__ = (
+        "np",
+        "lanes",
+        "know",
+        "known_counts",
+        "current_round",
+        "_lane",
+        "_lane_pending",
+    )
+
+    def __init__(self, problem: DisseminationProblem, lanes: int = 1) -> None:
+        super().__init__(problem)
+        require_positive_int(lanes, "lanes")
+        np = require_numpy("BatchKnowledgeState")
+        self.np = np
+        self.lanes = lanes
+        know = np.zeros((lanes, self.n, self.k), dtype=np.bool_)
+        token_index = self.token_index
+        for index, node in enumerate(self.nodes):
+            for token in problem.initial_knowledge[node]:
+                know[:, index, token_index[token]] = True
+        self.know = know
+        self.known_counts = know.sum(axis=2, dtype=np.int64)
+        self._lane = 0
+        #: The round stamp applied to buffered learnings; the kernel bumps it
+        #: via :meth:`begin_round` so lanes can be drained once per run
+        #: instead of once per round.
+        self.current_round = 0
+        #: Per-lane event-log segments (see :mod:`repro.core.events`), in
+        #: learn order; learnings are kept columnar so no per-event python
+        #: objects exist until the log is actually read.
+        self._lane_pending: List[List[tuple]] = [[] for _ in range(lanes)]
+
+    def begin_round(self, round_index: int) -> None:
+        """Stamp all learnings buffered from now on with ``round_index``."""
+        self.current_round = round_index
+
+    # -- lane selection ------------------------------------------------------
+
+    @property
+    def lane(self) -> int:
+        """The active lane addressed by the per-lane protocol methods."""
+        return self._lane
+
+    def select_lane(self, lane: int) -> "BatchKnowledgeState":
+        """Make ``lane`` the target of the per-lane protocol methods."""
+        if not 0 <= lane < self.lanes:
+            raise ConfigurationError(f"lane {lane} out of range [0, {self.lanes})")
+        self._lane = lane
+        return self
+
+    # -- object layer (active lane) ------------------------------------------
+
+    def knows(self, node: NodeId, token: Token) -> bool:
+        return bool(
+            self.know[self._lane, self.index_of[node], self.token_index[token]]
+        )
+
+    def known_tokens(self, node: NodeId) -> FrozenSet[Token]:
+        row = self.know[self._lane, self.index_of[node]]
+        tokens = self.tokens
+        return frozenset(tokens[int(index)] for index in self.np.nonzero(row)[0])
+
+    def missing_tokens(self, node: NodeId) -> List[Token]:
+        row = self.know[self._lane, self.index_of[node]]
+        tokens = self.tokens
+        return [tokens[int(index)] for index in self.np.nonzero(~row)[0]]
+
+    def is_node_complete(self, node: NodeId) -> bool:
+        return int(self.known_counts[self._lane, self.index_of[node]]) == self.k
+
+    def all_complete(self) -> bool:
+        return self.incomplete_count() == 0
+
+    def drain_learnings(self) -> List[Tuple[NodeId, Token]]:
+        pairs: List[Tuple[NodeId, Token]] = []
+        for segment in self.drain_lane_segments(self._lane):
+            if segment[0] is SEG_COLUMN:
+                _, _, token, indices, nodes = segment
+                pairs.extend((nodes[index], token) for index in indices)
+            else:
+                pairs.extend((node, token) for _, node, token in segment[1])
+        return pairs
+
+    # -- index layer (active lane) -------------------------------------------
+
+    def learn_index(self, node_index: int, token_bit_index: int) -> bool:
+        return self.learn_lane_index(self._lane, node_index, token_bit_index)
+
+    def know_mask(self, node_index: int) -> int:
+        row = self.know[self._lane, node_index]
+        mask = 0
+        for index in self.np.nonzero(row)[0]:
+            mask |= 1 << int(index)
+        return mask
+
+    def known_count(self, node_index: int) -> int:
+        return int(self.known_counts[self._lane, node_index])
+
+    def incomplete_count(self) -> int:
+        return int((self.known_counts[self._lane] < self.k).sum())
+
+    def holders_mask(self, token_bit_index: int) -> int:
+        column = self.know[self._lane, :, token_bit_index]
+        mask = 0
+        for index in self.np.nonzero(column)[0]:
+            mask |= 1 << int(index)
+        return mask
+
+    # -- bulk layer (all lanes) ----------------------------------------------
+
+    def learn_lane_index(self, lane: int, node_index: int, token_bit_index: int) -> bool:
+        """Index-layer learn on an explicit lane; buffers the lane's event."""
+        if self.know[lane, node_index, token_bit_index]:
+            return False
+        self.know[lane, node_index, token_bit_index] = True
+        self.known_counts[lane, node_index] += 1
+        triple = (
+            self.current_round,
+            self.nodes[node_index],
+            self.tokens[token_bit_index],
+        )
+        segments = self._lane_pending[lane]
+        if segments and segments[-1][0] is SEG_TRIPLES:
+            segments[-1][1].append(triple)
+        else:
+            segments.append((SEG_TRIPLES, [triple]))
+        return True
+
+    def holders_column(self, token_bit_index: int):
+        """The ``(lanes, n)`` bool view of one token's holders (no copy)."""
+        return self.know[:, :, token_bit_index]
+
+    def learn_token_bulk(self, token_bit_index: int, learners) -> None:
+        """Learn one token for a whole ``(lanes, n)`` learner matrix.
+
+        ``learners`` must be ``False`` for nodes that already know the token
+        and for every inactive lane.  Events are buffered lane-major with
+        node indices ascending inside each lane — exactly the order a serial
+        broadcast delivery would have produced.
+        """
+        np = self.np
+        self.know[:, :, token_bit_index] |= learners
+        self.known_counts += learners
+        lane_ids, node_ids = np.nonzero(learners)
+        if lane_ids.size == 0:
+            return
+        nodes = self.nodes
+        token = self.tokens[token_bit_index]
+        round_index = self.current_round
+        pending = self._lane_pending
+        # ``nonzero`` returns lane-major rows, so one searchsorted yields each
+        # lane's slice; each slice becomes one columnar log segment — no
+        # per-learning python objects are built here.
+        node_list = node_ids.tolist()
+        bounds = np.searchsorted(lane_ids, np.arange(self.lanes + 1)).tolist()
+        for lane in range(self.lanes):
+            start, stop = bounds[lane], bounds[lane + 1]
+            if start != stop:
+                pending[lane].append(
+                    column_segment(round_index, token, node_list[start:stop], nodes)
+                )
+
+    def completed_lanes(self):
+        """A ``(lanes,)`` bool array: which lanes have solved dissemination."""
+        return (self.known_counts == self.k).all(axis=1)
+
+    def drain_lane_segments(self, lane: int) -> List[tuple]:
+        """Return (and clear) one lane's buffered, round-stamped learnings.
+
+        Entries are event-log segments (see :mod:`repro.core.events`) in
+        learn order (round-ascending because the kernel advances rounds
+        monotonically) — ready for
+        :meth:`~repro.core.events.EventLog.extend_segments`.
+        """
+        segments = self._lane_pending[lane]
+        self._lane_pending[lane] = []
+        return segments

@@ -16,6 +16,7 @@ by oblivious adversaries and by workload generators.
 
 from __future__ import annotations
 
+from itertools import repeat
 from typing import (
     Callable,
     Dict,
@@ -247,6 +248,33 @@ class EdgeIdTrace(DynamicGraphTrace):
         self._current_removed_ids = removed
         if self._keep_history:
             self._id_rounds.append(ids)
+
+    def record_unchanged(self) -> None:
+        """Record a round whose edge set equals the previous round's.
+
+        Equivalent to ``record_ids(current, frozenset(), frozenset())`` with
+        the current edge set, without touching it.
+        """
+        self._num_rounds += 1
+        self._current_inserted_ids = frozenset()
+        self._current_removed_ids = frozenset()
+        if self._keep_history:
+            self._id_rounds.append(self._current_ids)
+
+    def record_unchanged_many(self, count: int) -> None:
+        """Record ``count`` consecutive rounds with the current edge set.
+
+        The batch kernel's catch-up path for adversaries past their steady
+        round: indistinguishable from calling :meth:`record_unchanged`
+        ``count`` times.
+        """
+        if count <= 0:
+            return
+        self._num_rounds += count
+        self._current_inserted_ids = frozenset()
+        self._current_removed_ids = frozenset()
+        if self._keep_history:
+            self._id_rounds.extend(repeat(self._current_ids, count))
 
     # -- materialization ---------------------------------------------------
 

@@ -1,0 +1,350 @@
+"""Tests for the vectorized batch backend (``repro.batch``).
+
+Covers the four layers the subsystem spans: the ``BatchKnowledgeState``
+(bulk array operations + per-lane protocol + columnar event buffering), the
+segment-based lazy :class:`~repro.core.events.EventLog`, the steady-topology
+skip machinery on adversary stages, and the end-to-end contract — records
+produced by the batch kernel are field-identical to serial execution,
+whether reached through :meth:`BatchBackend.run_batch`, the differential
+harness, or the fluent :class:`~repro.api.Experiment` pipeline's automatic
+dispatch.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.api import Experiment
+from repro.backends import BatchBackend, get_backend
+from repro.backends.differential import validate_backends
+from repro.batch.backend import can_vectorize_spec
+from repro.core.events import (
+    SEG_COLUMN,
+    SEG_TRIPLES,
+    EventLog,
+    TokenLearning,
+    column_segment,
+)
+from repro.core.problem import single_source_problem
+from repro.core.state import BatchKnowledgeState
+from repro.core.tokens import Token
+from repro.dynamics.graph_sequence import EdgeIdTrace
+from repro.scenarios import ScenarioSpec, run_spec
+from repro.scenarios.registry import ADVERSARY_REGISTRY
+from repro.scenarios.runner import record_from_result, repetition_seed
+from repro.utils.validation import ConfigurationError
+
+
+def flooding_spec(**overrides):
+    """A vectorizable scenario: flooding under an oblivious adversary."""
+    fields = dict(
+        problem="single-source",
+        problem_params={"num_nodes": 12, "num_tokens": 8},
+        algorithm="flooding",
+        algorithm_params={"rounds_per_token": 4},
+        adversary="static-random",
+        adversary_params={"num_nodes": 12},
+        seed=17,
+        repetitions=4,
+        name="batch-test",
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+def adaptive_spec(**overrides):
+    """A non-vectorizable scenario: the adaptive lower-bound adversary."""
+    fields = dict(
+        problem="single-source",
+        problem_params={"num_nodes": 10, "num_tokens": 6},
+        algorithm="single-source",
+        adversary="star-recenter",
+        seed=23,
+        repetitions=3,
+        name="batch-test-fallback",
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+class TestBatchKnowledgeState:
+    def make_state(self, lanes=3, n=6, k=4):
+        problem = single_source_problem(num_nodes=n, num_tokens=k, source=0)
+        return BatchKnowledgeState(problem, lanes=lanes), problem
+
+    def test_initial_knowledge_broadcasts_across_lanes(self):
+        state, problem = self.make_state(lanes=3, n=6, k=4)
+        source = state.nodes[0]
+        for lane in range(3):
+            state.select_lane(lane)
+            assert state.known_tokens(source) == problem.initial_knowledge[source]
+            assert state.is_node_complete(source)
+            assert not state.is_node_complete(state.nodes[1])
+
+    def test_per_lane_learn_touches_only_that_lane(self):
+        state, _ = self.make_state(lanes=2)
+        token = state.tokens[1]
+        node = state.nodes[2]
+        assert state.select_lane(0).learn_index(2, 1)
+        assert state.select_lane(0).knows(node, token)
+        assert not state.select_lane(1).knows(node, token)
+        # Re-learning is a no-op and buffers no second event.
+        assert not state.select_lane(0).learn_index(2, 1)
+        assert len(state.drain_lane_segments(0)) == 1
+        assert state.drain_lane_segments(1) == []
+
+    def test_learn_token_bulk_updates_counts_and_buffers_columns(self):
+        state, _ = self.make_state(lanes=2, n=6, k=4)
+        state.begin_round(7)
+        learners = np.zeros((2, 6), dtype=np.bool_)
+        learners[0, [2, 4]] = True
+        learners[1, 3] = True
+        state.learn_token_bulk(1, learners)
+        token = state.tokens[1]
+        assert state.select_lane(0).knows(state.nodes[2], token)
+        assert state.select_lane(0).knows(state.nodes[4], token)
+        assert state.select_lane(1).knows(state.nodes[3], token)
+        assert state.known_counts[0, 2] == 1 and state.known_counts[1, 3] == 1
+
+        lane0 = state.drain_lane_segments(0)
+        assert len(lane0) == 1
+        tag, round_index, seg_token, indices, _nodes = lane0[0]
+        assert tag is SEG_COLUMN
+        assert round_index == 7
+        assert seg_token == token
+        assert indices == [2, 4]  # node indices ascending within the lane
+        (lane1,) = state.drain_lane_segments(1)
+        assert lane1[3] == [3]
+        # Draining clears the buffers.
+        assert state.drain_lane_segments(0) == []
+
+    def test_serial_drain_expands_segments_to_pairs(self):
+        state, _ = self.make_state(lanes=1, n=6, k=4)
+        state.begin_round(3)
+        learners = np.zeros((1, 6), dtype=np.bool_)
+        learners[0, [1, 5]] = True
+        state.learn_token_bulk(2, learners)
+        state.learn_index(4, 3)
+        pairs = state.select_lane(0).drain_learnings()
+        token2, token3 = state.tokens[2], state.tokens[3]
+        assert pairs == [
+            (state.nodes[1], token2),
+            (state.nodes[5], token2),
+            (state.nodes[4], token3),
+        ]
+        assert state.drain_learnings() == []
+
+    def test_completed_lanes(self):
+        state, _ = self.make_state(lanes=2, n=4, k=2)
+        learners = np.ones((2, 4), dtype=np.bool_)
+        learners &= ~state.holders_column(0)
+        state.learn_token_bulk(0, learners)
+        learners = np.zeros((2, 4), dtype=np.bool_)
+        learners[1] = ~state.holders_column(1)[1]
+        state.learn_token_bulk(1, learners)
+        assert state.completed_lanes().tolist() == [False, True]
+
+
+class TestEventLogSegments:
+    def test_record_returns_the_event(self):
+        log = EventLog()
+        node, token = 0, Token(source=0, index=1)
+        event = log.record(2, node, token)
+        assert event == TokenLearning(round_index=2, node=node, token=token)
+        assert log.events == [event]
+        assert log.total_learnings() == 1
+
+    def test_record_bulk_and_lazy_counts(self):
+        log = EventLog()
+        t0, t1 = Token(source=0, index=1), Token(source=0, index=2)
+        log.record_bulk(1, [(0, t0), (1, t0)])
+        log.record_bulk(3, [(0, t1)])
+        assert log.total_learnings() == 3
+        assert log.learnings_in_round(1) == 2
+        assert log.learnings_in_round(2) == 0
+        assert log.learnings_of_node(0) == 2
+        assert log.rounds_with_learnings() == [1, 3]
+        assert log.last_learning_round() == 3
+        assert [event.round_index for event in log] == [1, 1, 3]
+
+    def test_extend_segments_matches_per_event_recording(self):
+        nodes = (0, 1, 2, 3)
+        t0, t1 = Token(source=0, index=1), Token(source=0, index=2)
+        lazy = EventLog()
+        lazy.extend_segments(
+            [
+                column_segment(1, t0, [0, 2], nodes),
+                (SEG_TRIPLES, [(2, 3, t1)]),
+                column_segment(4, t1, [1], nodes),
+            ]
+        )
+        eager = EventLog()
+        for round_index, node, token in [(1, 0, t0), (1, 2, t0), (2, 3, t1), (4, 1, t1)]:
+            eager.record(round_index, node, token)
+        assert lazy.events == eager.events
+        assert lazy.total_learnings() == eager.total_learnings() == 4
+        for round_index in range(6):
+            assert lazy.learnings_in_round(round_index) == eager.learnings_in_round(
+                round_index
+            )
+        assert lazy.max_learnings_in_a_round() == 2
+
+    def test_empty_segments_are_dropped(self):
+        log = EventLog()
+        log.record_bulk(1, [])
+        log.extend_segments([])
+        assert log.total_learnings() == 0
+        assert log.events == []
+        assert log.last_learning_round() is None
+
+    def test_record_after_materialization_stays_consistent(self):
+        log = EventLog()
+        t0 = Token(source=0, index=1)
+        log.record_bulk(1, [(0, t0)])
+        assert log.total_learnings() == 1 and len(log.events) == 1  # materialize
+        log.record(2, 1, t0)
+        assert log.total_learnings() == 2
+        assert [event.node for event in log.events] == [0, 1]
+        assert log.learnings_in_round(2) == 1
+        assert log.learnings_of_node(1) == 1
+
+
+class TestSteadyTopology:
+    def test_schedule_adversaries_declare_their_steady_round(self):
+        adversary = ADVERSARY_REGISTRY.create("static-random", num_nodes=8)
+        # A static schedule repeats its single graph forever.
+        assert adversary.steady_after_round == 1
+
+    def test_adaptive_adversaries_do_not(self):
+        adversary = ADVERSARY_REGISTRY.create("star-recenter")
+        assert getattr(adversary, "steady_after_round", None) is None
+
+    def test_record_unchanged_many_equals_repeated_record_unchanged(self):
+        def trace():
+            return EdgeIdTrace((0, 1), lambda eid: (0, 1), keep_history=True)
+
+        ids = frozenset({1})
+        many, repeated = trace(), trace()
+        many.record_ids(ids, ids, frozenset())
+        repeated.record_ids(ids, ids, frozenset())
+        many.record_unchanged_many(3)
+        for _ in range(3):
+            repeated.record_unchanged()
+        assert many.num_rounds == repeated.num_rounds == 4
+        for round_index in range(1, 5):
+            assert many.edges_in_round(round_index) == repeated.edges_in_round(
+                round_index
+            )
+        # A non-positive catch-up count is a no-op.
+        many.record_unchanged_many(0)
+        assert many.num_rounds == 4
+
+
+class TestBatchIdentity:
+    def test_vectorized_records_match_serial(self):
+        spec = flooding_spec()
+        assert can_vectorize_spec(spec)
+        serial = run_spec(spec)
+        results = BatchBackend().run_batch(spec)
+        batch = [
+            record_from_result(spec, repetition, repetition_seed(spec, repetition), result)
+            for repetition, result in enumerate(results)
+        ]
+        assert batch == serial
+
+    def test_fallback_records_match_serial(self):
+        spec = adaptive_spec()
+        assert not can_vectorize_spec(spec)
+        serial = run_spec(spec)
+        results = BatchBackend().run_batch(spec)
+        batch = [
+            record_from_result(spec, repetition, repetition_seed(spec, repetition), result)
+            for repetition, result in enumerate(results)
+        ]
+        assert batch == serial
+
+    def test_run_batch_honors_repetition_subset(self):
+        spec = flooding_spec(repetitions=5)
+        all_results = BatchBackend().run_batch(spec)
+        subset = BatchBackend().run_batch(spec, repetitions=[1, 3])
+        assert [r.rounds for r in subset] == [
+            all_results[1].rounds,
+            all_results[3].rounds,
+        ]
+        assert BatchBackend().run_batch(spec, repetitions=[]) == []
+
+    def test_differential_validation_accepts_batch(self):
+        report = validate_backends(
+            [flooding_spec(repetitions=2), adaptive_spec(repetitions=1)],
+            candidate="batch",
+        )
+        assert report.candidate == "batch"
+        assert report.passed, [o.describe() for o in report.failures]
+
+    def test_execution_mode_classification(self):
+        backend = get_backend("batch")
+        spec = flooding_spec()
+        from repro.scenarios.runner import materialize
+
+        scenario = materialize(spec)
+        assert backend.execution_mode(scenario.algorithm, scenario.adversary) == (
+            "vectorized"
+        )
+        fallback = materialize(adaptive_spec())
+        assert backend.execution_mode(fallback.algorithm, fallback.adversary) == (
+            "fallback"
+        )
+
+
+class TestExperimentAutoBatching:
+    def grid(self):
+        return (
+            Experiment.grid(
+                algorithm="flooding",
+                adversary="static-random",
+                num_nodes=[8, 12],
+                num_tokens=6,
+            )
+            .seeds(3)
+        )
+
+    def test_auto_batched_records_match_forced_bitset(self):
+        auto = self.grid().run().records()
+        serial = self.grid().backend("bitset").run().records()
+        # The backend choice is recorded (top-level and inside the embedded
+        # spec); everything else must be identical.
+        def strip(record):
+            record = {key: value for key, value in record.items() if key != "backend"}
+            record["spec"] = {
+                key: value for key, value in record["spec"].items() if key != "backend"
+            }
+            return record
+
+        assert [strip(r) for r in auto] == [strip(r) for r in serial]
+
+    def test_store_backed_rerun_executes_nothing(self, tmp_path):
+        store = tmp_path / "warehouse"
+        first = self.grid().store(store).run()
+        assert len(first.records()) == 6
+        plan = self.grid().store(store).plan()
+        assert len(plan.pending) == 0
+        assert len(plan.cached) == 6
+
+
+class TestNumpyGate:
+    def test_supports_refuses_without_numpy(self, monkeypatch):
+        import repro.batch.backend as backend_module
+
+        monkeypatch.setattr(backend_module, "numpy_available", lambda: False)
+        reason = BatchBackend().supports(None, None, None)
+        assert reason is not None and "repro[fast]" in reason
+
+    def test_run_batch_raises_configuration_error_without_numpy(self, monkeypatch):
+        import repro.batch.backend as backend_module
+
+        def missing(feature="the batch backend"):
+            raise ConfigurationError(f"{feature} needs numpy")
+
+        monkeypatch.setattr(backend_module, "require_numpy", missing)
+        with pytest.raises(ConfigurationError, match="numpy"):
+            BatchBackend().run_batch(flooding_spec())

@@ -185,8 +185,13 @@ class TestListCommand:
         assert main(["list", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         fast_paths = set(payload["bitset_fast_paths"])
-        assert {"flooding", "single-source", "spanning-tree", "multi-source"} <= fast_paths
-        assert "oblivious" not in fast_paths
+        assert {
+            "flooding",
+            "single-source",
+            "spanning-tree",
+            "multi-source",
+            "oblivious",
+        } <= fast_paths
         main(["list"])
         assert "[bitset fast path]" in capsys.readouterr().out
 

@@ -20,6 +20,7 @@ EXAMPLE_FILES = [
     "adversarial_lower_bound.py",
     "results_warehouse.py",
     "backends_fast_path.py",
+    "batch_sweeps.py",
 ]
 
 
