@@ -1,0 +1,145 @@
+"""Observability: tracing runs, watching progress, summarizing timing.
+
+The ``repro.obs`` package (stdlib-only) makes executions observable at
+three granularities without changing a single result field:
+
+1. **Spans** — a :class:`~repro.obs.TimingTracer` handed to any backend
+   times the four kernel stages (commit / adversary / delivery /
+   accounting) of every round; the per-stage totals come back on
+   ``ExecutionResult.timings``.
+2. **Progress events** — :meth:`~repro.api.Experiment.observe` registers
+   callbacks that receive typed ``CellStarted`` / ``CellCached`` /
+   ``CellCompleted`` / ``RunFinished`` events as a run streams, including
+   per-cell backend and wall seconds.
+3. **Trace files** — a :class:`~repro.obs.TraceWriter` observer persists
+   those events as JSONL; ``summarize_trace`` folds a trace back into a
+   per-backend, per-stage timing table (the same table the CLI renders
+   via ``python -m repro trace summarize``).
+
+Run with::
+
+    PYTHONPATH=src python examples/tracing_runs.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.obs import (
+    CellCompleted,
+    MetricsRegistry,
+    TimingTracer,
+    TraceWriter,
+    read_trace,
+    render_trace_summary,
+    summarize_trace,
+)
+from repro.scenarios import ScenarioSpec
+from repro.scenarios.runner import run_scenario
+
+
+def make_spec(num_nodes: int = 16, repetitions: int = 3) -> ScenarioSpec:
+    """Flooding with k = n over a static random graph."""
+    return ScenarioSpec(
+        problem="single-source",
+        problem_params={"num_nodes": num_nodes, "num_tokens": num_nodes},
+        algorithm="flooding",
+        algorithm_params={"rounds_per_token": 8},
+        adversary="static-random",
+        adversary_params={"num_nodes": num_nodes},
+        repetitions=repetitions,
+        name="tracing-demo",
+    )
+
+
+def trace_one_run(num_nodes: int = 16) -> None:
+    """A TimingTracer splits one execution into its four kernel stages."""
+    tracer = TimingTracer()
+    result = run_scenario(make_spec(num_nodes), tracer=tracer)
+    print(f"one run: {result.rounds} rounds, {result.total_messages} messages")
+    for stage, seconds in (result.timings or {}).items():
+        print(f"  {stage:<12} {seconds * 1000:7.2f} ms")
+    print(f"  span depth never exceeded {tracer.max_depth}")
+
+
+def observe_experiment(num_nodes: int = 16, repetitions: int = 3) -> None:
+    """Experiment.observe streams typed progress events as cells execute."""
+    from repro import Experiment
+
+    events = []
+    experiment = (
+        Experiment.grid(
+            algorithm="flooding",
+            adversary="static-random",
+            num_nodes=num_nodes,
+            num_tokens=num_nodes,
+        )
+        .seeds(repetitions)
+        .observe(events.append, timings=True)
+    )
+    # RunSet executes lazily: events stream while records are consumed.
+    records = experiment.run().records()
+    print(f"observed {len(events)} events over {len(records)} records:")
+    for event in events:
+        name = type(event).__name__
+        if isinstance(event, CellCompleted):
+            print(
+                f"  {name}: cell {event.index + 1}/{event.total} on "
+                f"{event.backend} in {event.seconds:.3f}s"
+            )
+        else:
+            print(f"  {name}")
+
+
+def write_and_summarize_trace(num_nodes: int = 16, repetitions: int = 3) -> None:
+    """TraceWriter persists events as JSONL; summarize_trace folds them back."""
+    from repro import Experiment
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "trace.jsonl"
+        with TraceWriter(trace_path) as writer:
+            (
+                Experiment.grid(
+                    algorithm="flooding",
+                    adversary="static-random",
+                    num_nodes=num_nodes,
+                    num_tokens=num_nodes,
+                )
+                .seeds(repetitions)
+                .observe(writer, timings=True)
+                .run()
+                .records()  # consume: RunSet executes (and traces) lazily
+            )
+        summary = summarize_trace(read_trace(trace_path))
+        print(render_trace_summary(summary))
+
+
+def count_with_metrics(num_nodes: int = 12, repetitions: int = 2) -> None:
+    """A MetricsRegistry aggregates counters and histograms across runs."""
+    registry = MetricsRegistry()
+    runs = registry.counter("demo.runs")
+    rounds = registry.histogram("demo.rounds")
+    spec = make_spec(num_nodes, repetitions)
+    for repetition in range(spec.repetitions):
+        result = run_scenario(spec, repetition)
+        runs.inc()
+        rounds.observe(result.rounds)
+    snapshot = registry.snapshot()
+    print(f"metrics: {snapshot['counters']['demo.runs']:.0f} runs, "
+          f"mean rounds {snapshot['histograms']['demo.rounds']['mean']:.1f}")
+
+
+def main() -> None:
+    print("=== per-stage timing of one run ===")
+    trace_one_run()
+    print("\n=== progress events from an Experiment ===")
+    observe_experiment()
+    print("\n=== JSONL trace -> per-stage summary table ===")
+    write_and_summarize_trace()
+    print("\n=== metrics registry ===")
+    count_with_metrics()
+
+
+if __name__ == "__main__":
+    main()

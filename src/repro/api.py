@@ -53,9 +53,11 @@ from __future__ import annotations
 
 import importlib
 import multiprocessing
+import time
 from dataclasses import dataclass, replace
 from typing import (
     Any,
+    Callable,
     Dict,
     Iterable,
     Iterator,
@@ -66,6 +68,15 @@ from typing import (
     Tuple,
     Union,
 )
+
+from repro.obs.events import (
+    CellCached,
+    CellCompleted,
+    CellStarted,
+    ProgressEvent,
+    RunFinished,
+)
+from repro.obs.logs import get_logger
 
 from repro.results.aggregate import (
     DEFAULT_GROUP_BY,
@@ -111,6 +122,17 @@ StorePath = Union[str, "RunStore"]
 #: One JSON-ready run record (the runner's currency).
 Record = Dict[str, Any]
 
+#: Execution metadata riding alongside each fresh record (never stored):
+#: ``{"backend", "seconds", "stage_seconds"}``.
+CellMeta = Dict[str, Any]
+
+#: A progress-event observer callback.
+Observer = Callable[[ProgressEvent], None]
+
+logger = get_logger(__name__)
+
+_numpy_fallback_warned = False
+
 
 class ExperimentError(ReproError):
     """Raised when a pipeline stage is used inconsistently at run time."""
@@ -145,6 +167,8 @@ class Experiment:
     _explicit: Optional[Tuple[ScenarioSpec, ...]] = None
     _store_path: Optional[str] = None
     _extensions: Tuple[str, ...] = ()
+    _observers: Tuple[Observer, ...] = ()
+    _collect_timings: bool = False
 
     # -- construction ------------------------------------------------------
 
@@ -322,6 +346,30 @@ class Experiment:
                 )
         return replace(self, _extensions=self._extensions + tuple(modules))
 
+    def observe(self, *callbacks: Observer, timings: bool = False) -> "Experiment":
+        """Register progress-event observers (see :mod:`repro.obs.events`).
+
+        While the resulting :class:`RunSet` streams, each callback receives
+        typed ``CellStarted``/``CellCompleted``/``CellCached`` events in
+        plan order plus one final ``RunFinished`` — the hook behind the
+        CLI's live progress line and ``--trace`` files.  With
+        ``timings=True`` every fresh cell additionally runs under a
+        per-stage timing tracer, so its ``CellCompleted.stage_seconds``
+        breaks the run down by kernel stage (commit/adversary/delivery/
+        accounting).  Timings ride on the events only; stored records are
+        byte-identical with or without observation.
+        """
+        for callback in callbacks:
+            if not callable(callback):
+                raise ConfigurationError(
+                    f"observers must be callables, got {callback!r}"
+                )
+        return replace(
+            self,
+            _observers=self._observers + tuple(callbacks),
+            _collect_timings=self._collect_timings or timings,
+        )
+
     # -- evaluation --------------------------------------------------------
 
     def specs(self) -> List[ScenarioSpec]:
@@ -400,7 +448,11 @@ class Experiment:
                     )
                 )
         return ExperimentPlan(
-            cells=tuple(cells), store=store, extensions=self._extensions
+            cells=tuple(cells),
+            store=store,
+            extensions=self._extensions,
+            observers=self._observers,
+            collect_timings=self._collect_timings,
         )
 
     def run(self, workers: int = 1) -> "RunSet":
@@ -437,6 +489,8 @@ class ExperimentPlan:
     cells: Tuple[PlanCell, ...]
     store: Optional[RunStore] = None
     extensions: Tuple[str, ...] = ()
+    observers: Tuple[Observer, ...] = ()
+    collect_timings: bool = False
 
     def __iter__(self) -> Iterator[PlanCell]:
         return iter(self.cells)
@@ -478,9 +532,30 @@ class ExperimentPlan:
         return RunSet(plan=self, workers=workers)
 
 
-def _execute_cell(spec: ScenarioSpec, repetition: int) -> Record:
-    result = run_scenario(spec, repetition)
-    return record_from_result(spec, repetition, repetition_seed(spec, repetition), result)
+def _cell_tracer(collect_timings: bool):
+    if not collect_timings:
+        return None
+    from repro.obs.tracing import TimingTracer
+
+    return TimingTracer()
+
+
+def _execute_cell(
+    spec: ScenarioSpec, repetition: int, collect_timings: bool = False
+) -> Tuple[Record, CellMeta]:
+    """Run one cell; the record rides with never-stored execution metadata."""
+    tracer = _cell_tracer(collect_timings)
+    started = time.perf_counter()
+    result = run_scenario(spec, repetition, tracer=tracer)
+    meta: CellMeta = {
+        "backend": spec.backend,
+        "seconds": time.perf_counter() - started,
+        "stage_seconds": result.timings,
+    }
+    record = record_from_result(
+        spec, repetition, repetition_seed(spec, repetition), result
+    )
+    return record, meta
 
 
 def _vectorizable_group(spec: ScenarioSpec, cells: Sequence["PlanCell"]) -> bool:
@@ -489,14 +564,21 @@ def _vectorizable_group(spec: ScenarioSpec, cells: Sequence["PlanCell"]) -> bool
     Multi-repetition groups of vectorizable scenarios are dispatched to the
     vectorized batch backend automatically — it produces field-identical
     records, only faster.  An explicit ``.backend("bitset")`` (or any other
-    non-default backend) opts out; a missing numpy silently keeps the
-    serial path.
+    non-default backend) opts out; a missing numpy keeps the serial path
+    (with a once-per-process warning, since it silently costs wall-clock).
     """
     if len(cells) < 2 or spec.backend not in ("reference", "batch"):
         return False
     from repro.core.state import numpy_available
 
     if not numpy_available():
+        global _numpy_fallback_warned
+        if not _numpy_fallback_warned:
+            _numpy_fallback_warned = True
+            logger.warning(
+                "numpy is not installed; multi-repetition sweeps run serially "
+                "(install the repro[fast] extra to vectorize them)"
+            )
         return False
     # Imported lazily: repro.backends imports the scenario layer.
     from repro.batch.backend import can_vectorize_spec
@@ -504,7 +586,9 @@ def _vectorizable_group(spec: ScenarioSpec, cells: Sequence["PlanCell"]) -> bool
     return can_vectorize_spec(spec)
 
 
-def _execute_pending(pending: Sequence["PlanCell"]) -> Iterator[Record]:
+def _execute_pending(
+    pending: Sequence["PlanCell"], collect_timings: bool = False
+) -> Iterator[Tuple[Record, CellMeta]]:
     """Execute pending cells in plan order, vectorizing eligible groups.
 
     Plan order is spec-major, so consecutive grouping recovers exactly the
@@ -518,22 +602,37 @@ def _execute_pending(pending: Sequence["PlanCell"]) -> Iterator[Record]:
         if _vectorizable_group(spec, cells):
             from repro.backends import BatchBackend
 
+            tracer = _cell_tracer(collect_timings)
+            started = time.perf_counter()
             results = BatchBackend().run_batch(
-                spec, [cell.repetition for cell in cells]
+                spec, [cell.repetition for cell in cells], tracer=tracer
             )
+            # Lockstep lanes share the wall clock; an even split keeps the
+            # per-cell seconds summing back to the group's true cost.
+            lane_seconds = (time.perf_counter() - started) / len(cells)
             for cell, result in zip(cells, results):
-                yield record_from_result(spec, cell.repetition, cell.seed, result)
+                meta: CellMeta = {
+                    "backend": "batch",
+                    "seconds": lane_seconds,
+                    "stage_seconds": result.timings,
+                }
+                yield (
+                    record_from_result(spec, cell.repetition, cell.seed, result),
+                    meta,
+                )
         else:
             for cell in cells:
-                yield _execute_cell(cell.spec, cell.repetition)
+                yield _execute_cell(cell.spec, cell.repetition, collect_timings)
 
 
-def _execute_cell_payload(payload: Tuple[str, int, Tuple[str, ...]]) -> Record:
+def _execute_cell_payload(
+    payload: Tuple[str, int, Tuple[str, ...], bool]
+) -> Tuple[Record, CellMeta]:
     """Worker entry point: rebuild the spec from JSON and run one cell."""
-    spec_json, repetition, extension_modules = payload
+    spec_json, repetition, extension_modules, collect_timings = payload
     for module_name in extension_modules:
         importlib.import_module(module_name)
-    return _execute_cell(ScenarioSpec.from_json(spec_json), repetition)
+    return _execute_cell(ScenarioSpec.from_json(spec_json), repetition, collect_timings)
 
 
 class RunSet:
@@ -599,12 +698,30 @@ class RunSet:
         return iterator
 
     def _execute(self) -> Iterator[Record]:
+        started = time.perf_counter()
         # Replay the progress an abandoned earlier pass already made;
-        # those cells executed (and persisted) once and are not re-run.
+        # those cells executed (and persisted) once and are not re-run —
+        # and their events are not re-emitted.
         for record in list(self._collected):
             yield record
         yield from self._stream(start=len(self._collected))
+        plan = self._plan
+        assert plan is not None
+        if plan.observers:
+            self._notify(
+                RunFinished(
+                    cells=len(plan.cells),
+                    executed=self._executed,
+                    cached=len(self._collected) - self._executed,
+                    seconds=time.perf_counter() - started,
+                )
+            )
         self._records = list(self._collected)
+
+    def _notify(self, event: ProgressEvent) -> None:
+        assert self._plan is not None
+        for observer in self._plan.observers:
+            observer(event)
 
     def _stream(self, start: int = 0) -> Iterator[Record]:
         plan = self._plan
@@ -614,17 +731,28 @@ class RunSet:
         workers = min(self._workers, len(pending)) if pending else 1
         try:
             if workers <= 1:
-                yield from self._interleave(remaining, _execute_pending(pending))
+                yield from self._interleave(
+                    remaining,
+                    _execute_pending(pending, plan.collect_timings),
+                    start=start,
+                )
             else:
                 payloads = [
-                    (cell.spec.to_json(), cell.repetition, plan.extensions)
+                    (
+                        cell.spec.to_json(),
+                        cell.repetition,
+                        plan.extensions,
+                        plan.collect_timings,
+                    )
                     for cell in pending
                 ]
                 with multiprocessing.Pool(processes=workers) as pool:
                     # imap (not imap_unordered) keeps batch order, which keeps
                     # parallel output byte-identical to the serial path.
                     yield from self._interleave(
-                        remaining, pool.imap(_execute_cell_payload, payloads, chunksize=1)
+                        remaining,
+                        pool.imap(_execute_cell_payload, payloads, chunksize=1),
+                        start=start,
                     )
         finally:
             # Shard appends are durable per record; the manifest index is
@@ -634,15 +762,40 @@ class RunSet:
                 plan.store.flush()
 
     def _interleave(
-        self, cells: Sequence[PlanCell], fresh: Iterator[Record]
+        self,
+        cells: Sequence[PlanCell],
+        fresh: Iterator[Tuple[Record, CellMeta]],
+        start: int = 0,
     ) -> Iterator[Record]:
         plan = self._plan
         assert plan is not None
-        for cell in cells:
+        observers = plan.observers
+        total = len(plan.cells)
+        for offset, cell in enumerate(cells):
+            index = start + offset
             if cell.cached:
                 record = cell.cached_record  # type: ignore[assignment]
+                if observers:
+                    self._notify(
+                        CellCached(
+                            index=index,
+                            total=total,
+                            scenario=cell.spec.label,
+                            repetition=cell.repetition,
+                        )
+                    )
             else:
-                record = next(fresh)
+                if observers:
+                    self._notify(
+                        CellStarted(
+                            index=index,
+                            total=total,
+                            scenario=cell.spec.label,
+                            repetition=cell.repetition,
+                            backend=cell.spec.backend,
+                        )
+                    )
+                record, meta = next(fresh)
                 self._executed += 1
                 if plan.store is not None:
                     # replace=True: a cell is only pending when the store has
@@ -654,6 +807,21 @@ class RunSet:
                         [record], replace=True, save_manifest=False
                     )
                     self._stored += added
+                if observers:
+                    self._notify(
+                        CellCompleted(
+                            index=index,
+                            total=total,
+                            scenario=cell.spec.label,
+                            repetition=cell.repetition,
+                            backend=meta["backend"],
+                            seconds=meta["seconds"],
+                            completed=record["completed"],
+                            rounds=record["rounds"],
+                            total_messages=record["total_messages"],
+                            stage_seconds=meta["stage_seconds"],
+                        )
+                    )
             self._collected.append(record)
             yield record
 

@@ -74,8 +74,14 @@ class EngineBackend(abc.ABC):
         seed: SeedLike = None,
         require_connected: bool = True,
         keep_trace: bool = True,
+        tracer=None,
     ) -> ExecutionResult:
-        """Run one execution to completion (or the round limit)."""
+        """Run one execution to completion (or the round limit).
+
+        ``tracer`` is an optional :class:`repro.obs.Tracer`; backends that
+        honour it run the round loop inside per-stage spans and attach a
+        timing breakdown to the result.  ``None`` must cost nothing.
+        """
 
     def check_supports(self, problem, algorithm, adversary) -> None:
         """Raise a :class:`ConfigurationError` if the scenario is unsupported."""

@@ -101,6 +101,7 @@ class BitsetBackend(EngineBackend):
         seed: SeedLike = None,
         require_connected: bool = True,
         keep_trace: bool = True,
+        tracer=None,
     ) -> ExecutionResult:
         self.check_supports(problem, algorithm, adversary)
         kernel = RoundKernel(
@@ -113,5 +114,6 @@ class BitsetBackend(EngineBackend):
             seed=seed,
             require_connected=require_connected,
             keep_trace=keep_trace,
+            tracer=tracer,
         )
         return kernel.run()

@@ -34,6 +34,7 @@ class ReferenceBackend(EngineBackend):
         seed: SeedLike = None,
         require_connected: bool = True,
         keep_trace: bool = True,
+        tracer=None,
     ) -> ExecutionResult:
         return Simulator(
             problem,
@@ -43,4 +44,5 @@ class ReferenceBackend(EngineBackend):
             seed=seed,
             require_connected=require_connected,
             keep_trace=keep_trace,
+            tracer=tracer,
         ).run()

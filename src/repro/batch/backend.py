@@ -30,7 +30,10 @@ from repro.batch.engine import BatchKernel
 from repro.core.result import ExecutionResult
 from repro.core.rounds import RoundKernel
 from repro.core.state import BitsetKnowledgeState, numpy_available, require_numpy
+from repro.obs.logs import get_logger
 from repro.utils.rng import SeedLike
+
+logger = get_logger(__name__)
 
 
 def can_vectorize(algorithm, adversary) -> bool:
@@ -95,6 +98,7 @@ class BatchBackend(EngineBackend):
         seed: SeedLike = None,
         require_connected: bool = True,
         keep_trace: bool = True,
+        tracer=None,
     ) -> ExecutionResult:
         """Run one execution: a single-lane batch kernel, or the bitset fallback."""
         require_numpy("the batch backend")
@@ -107,6 +111,7 @@ class BatchBackend(EngineBackend):
                 max_rounds=max_rounds,
                 require_connected=require_connected,
                 keep_trace=keep_trace,
+                tracer=tracer,
             )
             return kernel.run()[0]
         return self._run_fallback(
@@ -117,6 +122,7 @@ class BatchBackend(EngineBackend):
             seed=seed,
             require_connected=require_connected,
             keep_trace=keep_trace,
+            tracer=tracer,
         )
 
     def _run_fallback(
@@ -129,7 +135,14 @@ class BatchBackend(EngineBackend):
         seed: SeedLike,
         require_connected: bool,
         keep_trace: bool,
+        tracer=None,
     ) -> ExecutionResult:
+        logger.debug(
+            "batch backend falling back to serial bitset execution for "
+            "algorithm %r / adversary %r",
+            getattr(algorithm, "name", type(algorithm).__name__),
+            getattr(adversary, "name", type(adversary).__name__),
+        )
         kernel = RoundKernel(
             problem,
             algorithm,
@@ -140,11 +153,17 @@ class BatchBackend(EngineBackend):
             seed=seed,
             require_connected=require_connected,
             keep_trace=keep_trace,
+            tracer=tracer,
         )
         return kernel.run()
 
     def run_batch(
-        self, spec, repetitions: Optional[List[int]] = None, *, keep_trace: bool = True
+        self,
+        spec,
+        repetitions: Optional[List[int]] = None,
+        *,
+        keep_trace: bool = True,
+        tracer=None,
     ) -> List[ExecutionResult]:
         """Run repetitions of one spec, vectorized when the scenario allows.
 
@@ -185,6 +204,7 @@ class BatchBackend(EngineBackend):
                 seeds,
                 max_rounds=spec.max_rounds,
                 keep_trace=keep_trace,
+                tracer=tracer,
             )
             return kernel.run()
 
@@ -200,6 +220,7 @@ class BatchBackend(EngineBackend):
                     seed=seed,
                     require_connected=True,
                     keep_trace=keep_trace,
+                    tracer=tracer,
                 )
             )
         return results

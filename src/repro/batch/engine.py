@@ -54,6 +54,10 @@ class BatchKernel:
         require_connected: enforce per-round connectivity per lane.
         keep_trace: when False, per-lane traces drop round-by-round edge ids
             (``TC(E)`` and removals survive), matching the serial kernel.
+        tracer: a :class:`repro.obs.Tracer`; when enabled, each lockstep
+            stage runs inside a span and every lane's result carries the
+            group's stage seconds divided evenly across lanes (so per-lane
+            shares sum back to the group totals).
     """
 
     def __init__(
@@ -66,6 +70,7 @@ class BatchKernel:
         max_rounds: Optional[int] = None,
         require_connected: bool = True,
         keep_trace: bool = True,
+        tracer=None,
     ) -> None:
         if len(adversaries) != len(seeds):
             raise ConfigurationError(
@@ -89,6 +94,11 @@ class BatchKernel:
         self.algorithm = algorithm
         self.adversaries = list(adversaries)
         self.lanes = len(seeds)
+        if tracer is None:
+            from repro.obs.tracing import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self.tracer = tracer
         if max_rounds is None:
             max_rounds = default_round_limit(problem)
         self.max_rounds = require_positive_int(max_rounds, "max_rounds")
@@ -194,6 +204,18 @@ class BatchKernel:
         for adversary, rng in zip(self.adversaries, self.adversary_rngs):
             adversary.reset(self.problem, rng)
 
+        # One lockstep round does the numpy work of *all* lanes, so four
+        # span entries per round are noise — no separate untraced loop is
+        # needed here, unlike the serial kernel.
+        tracer = self.tracer
+        timings_before = tracer.timings() if tracer.enabled else None
+        from repro.obs.tracing import (
+            STAGE_ACCOUNTING,
+            STAGE_ADVERSARY,
+            STAGE_COMMIT,
+            STAGE_DELIVERY,
+        )
+
         active = self.active_lanes
         rounds_played = self.rounds_played
         round_index = 0
@@ -201,10 +223,14 @@ class BatchKernel:
             round_index += 1
             state.begin_round(round_index)
             accounting.begin_round()
-            commitment = program.commit(round_index) if broadcast else None
-            self._advance_graphs(round_index)
-            program.deliver(round_index, commitment)
-            accounting.close_round()
+            with tracer.span(STAGE_COMMIT, round=round_index, lanes=self.lanes):
+                commitment = program.commit(round_index) if broadcast else None
+            with tracer.span(STAGE_ADVERSARY, round=round_index, lanes=self.lanes):
+                self._advance_graphs(round_index)
+            with tracer.span(STAGE_DELIVERY, round=round_index, lanes=self.lanes):
+                program.deliver(round_index, commitment)
+            with tracer.span(STAGE_ACCOUNTING, round=round_index, lanes=self.lanes):
+                accounting.close_round()
             rounds_played[active] = round_index
             completed = state.completed_lanes()
             # A quiescent, not-completed lane will never send again: stop it
@@ -222,6 +248,20 @@ class BatchKernel:
             # Settle each lane's trace to the rounds it actually played.
             for lane in range(self.lanes):
                 self.stages[lane].catch_up(int(rounds_played[lane]))
+
+        # Lockstep stages serve all lanes at once; dividing the group's
+        # stage seconds evenly across lanes keeps per-lane shares summing
+        # back to the group totals (what trace summaries aggregate).
+        lane_timings = None
+        if timings_before is not None:
+            from repro.obs.tracing import timing_delta
+
+            group_timings = timing_delta(timings_before, tracer.timings())
+            if group_timings:
+                lane_timings = {
+                    name: seconds / self.lanes
+                    for name, seconds in group_timings.items()
+                }
 
         completed = state.completed_lanes()
         results: List[ExecutionResult] = []
@@ -241,6 +281,7 @@ class BatchKernel:
                     adversary_name=getattr(
                         adversary, "name", type(adversary).__name__
                     ),
+                    timings=dict(lane_timings) if lane_timings else None,
                 )
             )
         return results

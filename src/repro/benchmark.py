@@ -17,6 +17,17 @@ perf trajectory reproducible from the installed entry point::
 flooding entry with the largest ``n`` in the executed grid is at least that
 many times faster than the reference engine — the canary that the staged
 round kernel has not silently lost its fast path.
+
+All measurements are routed through a :class:`repro.obs.MetricsRegistry`
+whose snapshot rides along in the payload (``payload["metrics"]``), so bench
+output and trace files share one vocabulary.  Two further opt-ins:
+
+* ``--track-memory`` records the ``tracemalloc`` allocation peak of the grid
+  into the ``memory.peak_bytes`` gauge;
+* ``--max-obs-overhead`` runs :func:`obs_overhead_entry` — an untraced run
+  vs a run with a *disabled* tracer handed through the full plumbing on the
+  gate scenario — and fails unless the slowdown stays under the given
+  percent, guarding the tracing layer's "disabled means free" promise.
 """
 
 from __future__ import annotations
@@ -27,6 +38,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.backends import get_backend
 from repro.backends.differential import diff_results
+from repro.obs.metrics import MetricsRegistry, track_peak_memory
 from repro.scenarios import (
     ScenarioSpec,
     materialize,
@@ -328,30 +340,62 @@ def batch_speedup_gate(
     return observed >= min_speedup, message
 
 
+def _record_entry_metrics(
+    registry: MetricsRegistry, prefix: str, entry: Dict[str, Any]
+) -> None:
+    """Fold one grid entry into the registry's counters and histograms."""
+    registry.counter(f"{prefix}.entries").inc()
+    if not entry["equal"]:
+        registry.counter(f"{prefix}.mismatches").inc()
+    for backend_name, seconds in entry["seconds"].items():
+        registry.histogram(f"{prefix}.seconds.{backend_name}").observe(seconds)
+    for backend_name, speedup in entry["speedup"].items():
+        registry.histogram(f"{prefix}.speedup.{backend_name}").observe(speedup)
+
+
 def run_sweep_benchmark(
     *,
     quick: bool = False,
     repeat: int = 1,
     progress=None,
+    registry: Optional[MetricsRegistry] = None,
+    track_memory: bool = False,
 ) -> Dict[str, Any]:
-    """Run the sweep grid and return the batch-trajectory payload."""
+    """Run the sweep grid and return the batch-trajectory payload.
+
+    Measurements land in ``registry`` (one is created when not given) and
+    its snapshot rides along as ``payload["metrics"]``; ``track_memory``
+    additionally records the tracemalloc allocation peak of the whole grid.
+    """
+    if registry is None:
+        registry = MetricsRegistry()
     entries = []
-    for spec in sweep_grid(quick):
-        entry = run_sweep_entry(spec, repeat=repeat)
-        entries.append(entry)
-        if progress is not None:
-            status = "ok" if entry["equal"] else f"MISMATCH: {entry['differences']}"
-            progress(
-                f"{entry['scenario']}: n={entry['n']} k={entry['k']} "
-                f"reps={entry['repetitions']} bitset={entry['seconds']['bitset']}s "
-                f"batch={entry['seconds']['batch']}s "
-                f"({entry['speedup']['batch']}x) [{status}]"
-            )
+
+    def _run_grid() -> None:
+        for spec in sweep_grid(quick):
+            entry = run_sweep_entry(spec, repeat=repeat)
+            entries.append(entry)
+            _record_entry_metrics(registry, "bench.sweep", entry)
+            if progress is not None:
+                status = "ok" if entry["equal"] else f"MISMATCH: {entry['differences']}"
+                progress(
+                    f"{entry['scenario']}: n={entry['n']} k={entry['k']} "
+                    f"reps={entry['repetitions']} bitset={entry['seconds']['bitset']}s "
+                    f"batch={entry['seconds']['batch']}s "
+                    f"({entry['speedup']['batch']}x) [{status}]"
+                )
+
+    if track_memory:
+        with track_peak_memory(registry):
+            _run_grid()
+    else:
+        _run_grid()
     return {
         "benchmark": "batch-sweeps",
         "grid": "quick" if quick else "full",
         "backends": list(SWEEP_BACKENDS),
         "entries": entries,
+        "metrics": registry.snapshot(),
     }
 
 
@@ -361,25 +405,132 @@ def run_benchmark(
     repeat: int = 1,
     store=None,
     progress=None,
+    registry: Optional[MetricsRegistry] = None,
+    track_memory: bool = False,
 ) -> Dict[str, Any]:
-    """Run the grid and return the trajectory payload."""
+    """Run the grid and return the trajectory payload.
+
+    Measurements land in ``registry`` (one is created when not given) and
+    its snapshot rides along as ``payload["metrics"]``; ``track_memory``
+    additionally records the tracemalloc allocation peak of the whole grid.
+    """
+    if registry is None:
+        registry = MetricsRegistry()
     entries = []
-    for spec in benchmark_grid(quick):
-        entry = run_entry(spec, store=store, repeat=repeat)
-        entries.append(entry)
-        if progress is not None:
-            speedups = ", ".join(
-                f"{name} {entry['speedup'][name]}x" for name in BACKENDS[1:]
-            )
-            status = "ok" if entry["equal"] else f"MISMATCH: {entry['differences']}"
-            progress(
-                f"{entry['scenario']}: n={entry['n']} k={entry['k']} "
-                f"rounds={entry['rounds']} reference={entry['seconds']['reference']}s "
-                f"({speedups}) [{status}]"
-            )
+
+    def _run_grid() -> None:
+        for spec in benchmark_grid(quick):
+            entry = run_entry(spec, store=store, repeat=repeat)
+            entries.append(entry)
+            _record_entry_metrics(registry, "bench", entry)
+            if progress is not None:
+                speedups = ", ".join(
+                    f"{name} {entry['speedup'][name]}x" for name in BACKENDS[1:]
+                )
+                status = "ok" if entry["equal"] else f"MISMATCH: {entry['differences']}"
+                progress(
+                    f"{entry['scenario']}: n={entry['n']} k={entry['k']} "
+                    f"rounds={entry['rounds']} reference={entry['seconds']['reference']}s "
+                    f"({speedups}) [{status}]"
+                )
+
+    if track_memory:
+        with track_peak_memory(registry):
+            _run_grid()
+    else:
+        _run_grid()
     return {
         "benchmark": "backends",
         "grid": "quick" if quick else "full",
         "backends": list(BACKENDS),
         "entries": entries,
+        "metrics": registry.snapshot(),
     }
+
+
+# ---------------------------------------------------------------------------
+# Observability overhead: the "disabled tracing is free" gate
+# ---------------------------------------------------------------------------
+
+
+def obs_overhead_entry(*, repeat: int = 3) -> Dict[str, Any]:
+    """Measure what a disabled tracer costs on the bitset fast path.
+
+    Runs the perf-gate scenario (flooding at n=128) three ways per trial:
+
+    * ``plain`` — no tracer argument at all (the pre-observability call);
+    * ``disabled`` — ``NULL_TRACER`` handed through the whole plumbing
+      (backend kwarg, kernel construction, the per-run ``enabled`` check),
+      which must select the same uninstrumented round loop;
+    * ``noop`` — a :class:`~repro.obs.NullTracer` forced *enabled*, paying
+      span creation and context entry per stage while every span is free.
+
+    ``overhead_pct`` (``disabled`` vs ``plain``) is what the gate checks:
+    the promise that tracing you did not ask for costs nothing.  If the
+    kernel ever loses its dual-loop structure and starts opening spans
+    unconditionally, the disabled run inherits the ``noop`` cost (~5% at
+    this grid point) and the gate trips.  ``noop_overhead_pct`` rides along
+    as the informational ceiling.  Best-of-``max(repeat, 3)`` per side
+    damps scheduler noise; trials interleave all three sides so drift hits
+    them equally.
+    """
+    from repro.obs.tracing import NULL_TRACER, NullTracer
+
+    spec = _flooding_spec(128)
+    seed = repetition_seed(spec, 0)
+    backend = get_backend("bitset")
+    forced = NullTracer(enabled=True)
+    trials = max(repeat, 3)
+    best = {"plain": float("inf"), "disabled": float("inf"), "noop": float("inf")}
+    results: Dict[str, Any] = {}
+    sides = (("plain", {}), ("disabled", {"tracer": NULL_TRACER}), ("noop", {"tracer": forced}))
+    for _ in range(trials):
+        for side, kwargs in sides:
+            scenario = materialize(spec)
+            start = time.perf_counter()
+            results[side] = backend.run(
+                scenario.problem,
+                scenario.algorithm,
+                scenario.adversary,
+                seed=seed,
+                max_rounds=spec.max_rounds,
+                keep_trace=False,
+                **kwargs,
+            )
+            best[side] = min(best[side], time.perf_counter() - start)
+    differences = [
+        f"{side}:{difference.field}"
+        for side in ("disabled", "noop")
+        for difference in diff_results(
+            results["plain"], results[side], compare_graphs=False
+        )
+    ]
+    return {
+        "scenario": spec.label,
+        "backend": "bitset",
+        "trials": trials,
+        "seconds": {side: round(value, 4) for side, value in best.items()},
+        "overhead_pct": round((best["disabled"] / best["plain"] - 1.0) * 100.0, 2),
+        "noop_overhead_pct": round((best["noop"] / best["plain"] - 1.0) * 100.0, 2),
+        "equal": not differences,
+        "differences": differences,
+    }
+
+
+def obs_overhead_gate(
+    entry: Dict[str, Any], max_overhead_pct: float
+) -> Tuple[bool, str]:
+    """Check an :func:`obs_overhead_entry` result against a ceiling.
+
+    Also fails when any traced run diverged from the plain one — a tracer
+    must never change results, only observe them.
+    """
+    observed = entry["overhead_pct"]
+    message = (
+        f"obs overhead gate: disabled tracer {observed:+.2f}% vs untraced on "
+        f"{entry['scenario']} (allowed <= {max_overhead_pct}%; "
+        f"enabled no-op spans {entry['noop_overhead_pct']:+.2f}%)"
+    )
+    if not entry["equal"]:
+        return False, message + f" [MISMATCH: {entry['differences']}]"
+    return observed <= max_overhead_pct, message

@@ -21,8 +21,16 @@ problems show up automatically:
 * ``list`` — enumerate the registered algorithms, adversaries, problems and
   execution backends with their tunable parameters (algorithms with a
   native bitset fast program are marked);
+* ``trace`` — inspect JSONL trace files written by ``run``/``sweep``
+  ``--trace``: ``trace summarize`` renders a per-backend, per-stage
+  (Commit/Adversary/Delivery/Accounting) timing table;
 * ``table1`` — regenerate Table 1 (analytic bounds) for a given n;
 * ``bounds`` — evaluate every theorem bound at a given (n, k, s).
+
+Global flags (before the subcommand): ``-v``/``-vv`` raise the log level
+to INFO/DEBUG, ``-q`` silences everything below ERROR, and ``--log-level``
+sets it explicitly — all wired to the ``repro`` stdlib logger
+(:mod:`repro.obs.logs`), so library warnings surface uniformly.
 
 Examples::
 
@@ -49,6 +57,7 @@ import argparse
 import ast
 import json
 import sys
+from contextlib import contextmanager
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.bounds import (
@@ -119,6 +128,25 @@ def build_parser() -> argparse.ArgumentParser:
         version=f"%(prog)s {_package_version()}",
         help="print the package version and exit",
     )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="raise the log level: -v shows INFO, -vv shows DEBUG",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="silence library logging below ERROR",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="explicit log level (DEBUG, INFO, WARNING, ERROR); overrides -v/-q",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run = subparsers.add_parser(
@@ -133,6 +161,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--json", action="store_true", help="emit the result record(s) as JSON lines"
+    )
+    run.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL trace (progress events + per-stage timings); "
+        "inspect it with 'repro trace summarize FILE'",
     )
 
     sweep_parser = subparsers.add_parser(
@@ -165,6 +200,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--json", action="store_true", help="print records as JSON lines instead of a table"
+    )
+    sweep_parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL trace (progress events + per-stage timings); "
+        "inspect it with 'repro trace summarize FILE'",
     )
 
     analyze = subparsers.add_parser(
@@ -297,6 +339,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --sweeps: fail (exit 1) unless the batch backend is at "
         "least FACTOR times faster than serial bitset on the grid's largest "
         "flooding sweep — the CI guard on the vectorized kernel",
+    )
+    bench.add_argument(
+        "--max-obs-overhead",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="fail (exit 1) if the instrumented round loop (driven with no-op "
+        "spans) is more than PCT percent slower than the uninstrumented loop "
+        "on the flooding n=128 bitset cell — the CI guard that disabled "
+        "tracing stays free",
+    )
+    bench.add_argument(
+        "--track-memory",
+        action="store_true",
+        help="also record each timed run's tracemalloc allocation peak "
+        "(roughly doubles allocation cost; timings stay comparable because "
+        "every backend pays it equally)",
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="inspect JSONL trace files written by run/sweep --trace"
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="render a per-backend, per-stage timing table from a trace file",
+    )
+    summarize.add_argument("file", metavar="TRACE.jsonl", help="trace file to read")
+    summarize.add_argument(
+        "--format",
+        choices=("text", "md", "csv", "json"),
+        default="text",
+        help="output format (default text)",
     )
 
     table1 = subparsers.add_parser("table1", help="regenerate Table 1 for a given n")
@@ -574,6 +649,18 @@ def _reject_scenario_flags_with_spec(args: argparse.Namespace) -> None:
         )
 
 
+@contextmanager
+def _trace_observer(path: Optional[str]):
+    """A context yielding the observer tuple for ``--trace`` (empty without it)."""
+    if path is None:
+        yield ()
+        return
+    from repro.obs import TraceWriter
+
+    with TraceWriter(path) as writer:
+        yield (writer,)
+
+
 def command_run(args: argparse.Namespace) -> int:
     """Thin adapter over :mod:`repro.api` for one scenario."""
     if args.spec is not None:
@@ -587,16 +674,53 @@ def command_run(args: argparse.Namespace) -> int:
         # The rich single-execution table needs the full ExecutionResult
         # (communication model, per-class names, ...), which records do not
         # carry — this is the one direct call into the api's cell executor.
-        result = run_scenario(spec)
+        import time
+
+        from repro.obs import (
+            CellCompleted,
+            CellStarted,
+            RunFinished,
+            TimingTracer,
+            TraceWriter,
+        )
+
+        tracer = TimingTracer() if args.trace else None
+        started = time.perf_counter()
+        result = run_scenario(spec, tracer=tracer)
+        seconds = time.perf_counter() - started
+        if args.trace:
+            # One synthetic cell, so single runs and sweeps share one trace
+            # vocabulary and 'repro trace summarize' reads both.
+            with TraceWriter(args.trace) as write:
+                write(CellStarted(0, 1, spec.label, 0, spec.backend))
+                write(
+                    CellCompleted(
+                        0,
+                        1,
+                        spec.label,
+                        0,
+                        backend=spec.backend,
+                        seconds=seconds,
+                        completed=result.completed,
+                        rounds=result.rounds,
+                        total_messages=result.total_messages,
+                        stage_seconds=result.timings,
+                    )
+                )
+                write(RunFinished(cells=1, executed=1, cached=0, seconds=seconds))
         _print_result_table(spec, result)
         return 0 if result.completed else 1
 
-    runset = Experiment.from_specs([spec]).run()
-    if args.json:
-        for record in runset:
-            print(record_to_json_line(record))
-    else:
-        print(_records_table(runset.records()))
+    experiment = Experiment.from_specs([spec])
+    with _trace_observer(args.trace) as observers:
+        if observers:
+            experiment = experiment.observe(*observers, timings=True)
+        runset = experiment.run()
+        if args.json:
+            for record in runset:
+                print(record_to_json_line(record))
+        else:
+            print(_records_table(runset.records()))
     return 0 if runset.completed else 1
 
 
@@ -657,6 +781,10 @@ def command_sweep(args: argparse.Namespace) -> int:
     store and only executes the scenario×repetition cells it does not
     already hold, while the output still covers the complete batch.
     """
+    import time
+
+    from repro.obs import ProgressPrinter
+
     base = _spec_from_args(args, repetitions=args.repetitions)
     grid = _parse_grid(args.grid)
     overrides = _parse_overrides(args.overrides)
@@ -666,22 +794,32 @@ def command_sweep(args: argparse.Namespace) -> int:
     experiment = Experiment.from_specs(specs)
     if args.store is not None:
         experiment = experiment.store(args.store)
-    runset = experiment.run(workers=args.workers)
-    sink = open(args.output, "w", encoding="utf-8") if args.output else None
+    started = time.perf_counter()
     records = []
-    try:
-        # Stream: records arrive as cells complete, so the JSONL file (and
-        # --json stdout) hold partial output if the batch is interrupted.
-        for record in runset:
-            records.append(record)
+    with _trace_observer(args.trace) as trace_observers:
+        # Progress goes to stderr (live line on a TTY, one summary line
+        # otherwise), so stdout stays pipeable JSON/tables.
+        experiment = experiment.observe(
+            ProgressPrinter(label="sweep"),
+            *trace_observers,
+            timings=args.trace is not None,
+        )
+        runset = experiment.run(workers=args.workers)
+        sink = open(args.output, "w", encoding="utf-8") if args.output else None
+        try:
+            # Stream: records arrive as cells complete, so the JSONL file (and
+            # --json stdout) hold partial output if the batch is interrupted.
+            for record in runset:
+                records.append(record)
+                if sink is not None:
+                    sink.write(record_to_json_line(record) + "\n")
+                    sink.flush()
+                if args.json:
+                    print(record_to_json_line(record))
+        finally:
             if sink is not None:
-                sink.write(record_to_json_line(record) + "\n")
-                sink.flush()
-            if args.json:
-                print(record_to_json_line(record))
-    finally:
-        if sink is not None:
-            sink.close()
+                sink.close()
+    elapsed = time.perf_counter() - started
     if not args.json:
         print(_records_table(records))
         print(f"\n{len(records)} record(s) from {len(specs)} scenario(s)", end="")
@@ -692,6 +830,12 @@ def command_sweep(args: argparse.Namespace) -> int:
                 f"{runset.cached_count} already present "
                 f"({runset.executed_count} executed)"
             )
+        print(
+            f"total runtime: {elapsed:.2f}s "
+            f"({runset.executed_count} executed, {runset.cached_count} cached)"
+        )
+        if args.trace is not None:
+            print(f"trace -> {args.trace}")
     return 0 if all(record["completed"] for record in records) else 1
 
 
@@ -835,6 +979,8 @@ def command_bench(args: argparse.Namespace) -> int:
     from repro.benchmark import (
         batch_speedup_gate,
         bench_store,
+        obs_overhead_entry,
+        obs_overhead_gate,
         run_benchmark,
         run_sweep_benchmark,
         speedup_gate,
@@ -849,9 +995,16 @@ def command_bench(args: argparse.Namespace) -> int:
             "--min-speedup gates the single-run grid; with --sweeps use "
             "--min-batch-speedup"
         )
+    if args.max_obs_overhead is not None and args.max_obs_overhead <= 0:
+        raise ConfigurationError(
+            f"--max-obs-overhead must be positive, got {args.max_obs_overhead}"
+        )
     if args.sweeps:
         payload = run_sweep_benchmark(
-            quick=args.quick, repeat=args.repeat, progress=print
+            quick=args.quick,
+            repeat=args.repeat,
+            progress=print,
+            track_memory=args.track_memory,
         )
     else:
         payload = run_benchmark(
@@ -859,7 +1012,15 @@ def command_bench(args: argparse.Namespace) -> int:
             repeat=args.repeat,
             store=bench_store(),
             progress=print,
+            track_memory=args.track_memory,
         )
+    if args.track_memory:
+        peak = payload["metrics"]["gauges"].get("memory.peak_bytes")
+        if peak is not None:
+            print(f"peak memory: {peak / (1024 * 1024):.1f} MiB")
+    if args.max_obs_overhead is not None:
+        overhead = obs_overhead_entry(repeat=args.repeat)
+        payload["obs_overhead"] = overhead
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
@@ -880,6 +1041,32 @@ def command_bench(args: argparse.Namespace) -> int:
         print(message)
         if not passed:
             return 1
+    if args.max_obs_overhead is not None:
+        passed, message = obs_overhead_gate(
+            payload["obs_overhead"], args.max_obs_overhead
+        )
+        print(message)
+        if not passed:
+            return 1
+    return 0
+
+
+def command_trace(args: argparse.Namespace) -> int:
+    """Inspect JSONL trace files (currently: ``summarize``)."""
+    from repro.obs import read_trace, render_trace_summary, summarize_trace
+
+    if args.trace_command != "summarize":  # pragma: no cover - argparse enforces
+        raise ConfigurationError(f"unknown trace command {args.trace_command!r}")
+    try:
+        summary = summarize_trace(read_trace(args.file))
+    except ValueError as error:
+        raise ConfigurationError(str(error)) from error
+    if not summary["backends"]:
+        raise ConfigurationError(
+            f"{args.file} holds no completed-cell events; was the run traced "
+            f"with --trace and did any cell execute?"
+        )
+    print(render_trace_summary(summary, args.format))
     return 0
 
 
@@ -914,10 +1101,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "verify-backend": command_verify_backend,
         "list": command_list,
         "bench": command_bench,
+        "trace": command_trace,
         "table1": command_table1,
         "bounds": command_bounds,
     }
     try:
+        from repro.obs.logs import configure_logging
+
+        try:
+            configure_logging(args.log_level, args.verbose, args.quiet)
+        except ValueError as error:
+            raise ConfigurationError(str(error)) from error
         return handlers[args.command](args)
     except (ReproError, OSError) as error:
         # The unified hierarchy: every library failure is a ReproError

@@ -62,6 +62,9 @@ class Simulator:
             executions use O(current edges) memory instead of
             O(rounds x edges).  All headline result numbers are unaffected;
             only round-by-round trace queries become unavailable.
+        tracer: a :class:`repro.obs.Tracer`; when enabled the result carries
+            a per-stage timing breakdown.  ``None`` (default) disables
+            tracing at zero cost.
     """
 
     def __init__(
@@ -74,6 +77,7 @@ class Simulator:
         seed: SeedLike = None,
         require_connected: bool = True,
         keep_trace: bool = True,
+        tracer=None,
     ) -> None:
         if not isinstance(algorithm, (LocalBroadcastAlgorithm, UnicastAlgorithm)):
             raise ConfigurationError(
@@ -88,6 +92,7 @@ class Simulator:
         self._seed = seed
         self._require_connected = require_connected
         self._keep_trace = keep_trace
+        self._tracer = tracer
 
     # -- public API --------------------------------------------------------
 
@@ -103,6 +108,7 @@ class Simulator:
             seed=self._seed,
             require_connected=self._require_connected,
             keep_trace=self._keep_trace,
+            tracer=self._tracer,
         )
         return kernel.run()
 

@@ -31,6 +31,10 @@ class ExecutionResult:
     trace: DynamicGraphTrace
     events: EventLog
     adversary_name: str = ""
+    #: Wall seconds per kernel stage (commit/adversary/delivery/accounting),
+    #: populated only when the execution ran under a timing tracer.  Never
+    #: part of records or differential comparison — purely observability.
+    timings: Optional[Dict[str, float]] = None
 
     @property
     def total_messages(self) -> int:

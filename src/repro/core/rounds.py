@@ -755,6 +755,10 @@ class RoundKernel:
             requirement).  Disable only for diagnostic experiments.
         keep_trace: when False, the trace drops per-round edge ids as it
             goes; ``TC(E)``, removals and current-round queries survive.
+        tracer: a :class:`repro.obs.Tracer`; when enabled, each round's four
+            stages run inside spans and the result carries a per-stage
+            timing breakdown.  ``None`` (the default) is the disabled no-op
+            tracer — the round loop then runs entirely uninstrumented.
     """
 
     def __init__(
@@ -769,6 +773,7 @@ class RoundKernel:
         seed: SeedLike = None,
         require_connected: bool = True,
         keep_trace: bool = True,
+        tracer=None,
     ) -> None:
         from repro.algorithms.base import LocalBroadcastAlgorithm, UnicastAlgorithm
 
@@ -816,6 +821,11 @@ class RoundKernel:
             self.observed_fields is None
             or "previous_messages" in self.observed_fields
         )
+        if tracer is None:
+            from repro.obs.tracing import NULL_TRACER
+
+            tracer = NULL_TRACER
+        self.tracer = tracer
         self.program = self._build_program(allow_fast_programs)
 
     def wants_observation_field(self, field_name: str) -> bool:
@@ -837,6 +847,36 @@ class RoundKernel:
         program.setup()
         self.adversary.reset(self.problem, self.adversary_rng)
 
+        tracer = self.tracer
+        timings = None
+        if tracer.enabled:
+            # Spans may accumulate into a tracer shared across executions;
+            # subtracting the starting totals attributes only this run.
+            before = tracer.timings()
+            completed, rounds_played = self._play_rounds_traced(program, tracer)
+            from repro.obs.tracing import timing_delta
+
+            timings = timing_delta(before, tracer.timings())
+        else:
+            completed, rounds_played = self._play_rounds(program)
+
+        return ExecutionResult(
+            algorithm_name=self.algorithm.name,
+            communication_model=self.algorithm.communication_model,
+            problem=self.problem,
+            completed=completed,
+            rounds=rounds_played,
+            messages=self.accounting.statistics(),
+            trace=self.graph.trace,
+            events=self.accounting.events,
+            adversary_name=getattr(
+                self.adversary, "name", type(self.adversary).__name__
+            ),
+            timings=timings,
+        )
+
+    def _play_rounds(self, program: RoundProgram) -> Tuple[bool, int]:
+        """The uninstrumented round loop (tracing disabled)."""
         accounting = self.accounting
         commit_stage = self.commit_stage
         graph_stage = self.graph
@@ -858,17 +898,43 @@ class RoundKernel:
                 # progress is possible, so stop instead of idling to the
                 # round limit (the result is reported as not completed).
                 break
+        return completed, rounds_played
 
-        return ExecutionResult(
-            algorithm_name=self.algorithm.name,
-            communication_model=self.algorithm.communication_model,
-            problem=self.problem,
-            completed=completed,
-            rounds=rounds_played,
-            messages=accounting.statistics(),
-            trace=graph_stage.trace,
-            events=accounting.events,
-            adversary_name=getattr(
-                self.adversary, "name", type(self.adversary).__name__
-            ),
+    def _play_rounds_traced(self, program: RoundProgram, tracer) -> Tuple[bool, int]:
+        """The same round loop with each stage bracketed by a tracer span.
+
+        Kept as a separate loop so the disabled path stays free of span
+        construction entirely; ``repro bench --max-obs-overhead`` guards
+        this loop's own cost with no-op spans.
+        """
+        from repro.obs.tracing import (
+            STAGE_ACCOUNTING,
+            STAGE_ADVERSARY,
+            STAGE_COMMIT,
+            STAGE_DELIVERY,
         )
+
+        accounting = self.accounting
+        commit_stage = self.commit_stage
+        graph_stage = self.graph
+        delivery_stage = self.delivery_stage
+
+        completed = program.completed()
+        rounds_played = 0
+        while not completed and rounds_played < self.max_rounds:
+            round_index = rounds_played + 1
+            accounting.begin_round()
+            with tracer.span(STAGE_COMMIT, round=round_index):
+                commitment = commit_stage.run(program, round_index)
+            with tracer.span(STAGE_ADVERSARY, round=round_index):
+                graph_stage.advance(round_index, program, commitment)
+            with tracer.span(STAGE_DELIVERY, round=round_index):
+                delivery_stage.run(program, round_index, commitment)
+            with tracer.span(STAGE_ACCOUNTING, round=round_index):
+                accounting.close_round(round_index, program)
+            rounds_played = round_index
+            completed = program.completed()
+            if not completed and program.is_quiescent():
+                # See _play_rounds: quiescence means no further progress.
+                break
+        return completed, rounds_played

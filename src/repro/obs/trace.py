@@ -1,0 +1,157 @@
+"""JSONL trace files: writing, reading, and summarizing.
+
+A trace file is one progress event per line in :func:`~repro.obs.events.
+event_to_dict` form.  ``repro run/sweep --trace out.jsonl`` writes one via
+:class:`TraceWriter` (an observer that is also a context manager);
+``repro trace summarize out.jsonl`` reads it back with :func:`read_trace`
+and renders the per-backend × per-stage timing table built by
+:func:`summarize_trace`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, TextIO, Union
+
+from ..results.report import rows_to_table
+from .events import (
+    CellCached,
+    CellCompleted,
+    ProgressEvent,
+    RunFinished,
+    event_from_dict,
+    event_to_dict,
+)
+from .tracing import KERNEL_STAGES
+
+__all__ = [
+    "TraceWriter",
+    "read_trace",
+    "render_trace_summary",
+    "summarize_trace",
+]
+
+
+class TraceWriter:
+    """An observer that appends each event to a JSONL trace file."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._stream: Optional[TextIO] = None
+
+    def __enter__(self) -> "TraceWriter":
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._stream = self.path.open("w", encoding="utf-8")
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self.close()
+        return False
+
+    def __call__(self, event: ProgressEvent) -> None:
+        if self._stream is None:
+            raise RuntimeError("TraceWriter used outside its context")
+        self._stream.write(json.dumps(event_to_dict(event), sort_keys=True) + "\n")
+        self._stream.flush()
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+
+def read_trace(path: Union[str, Path]) -> Iterator[ProgressEvent]:
+    """Yield the events of a JSONL trace file, skipping blank lines."""
+    with Path(path).open("r", encoding="utf-8") as stream:
+        for line_number, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+                yield event_from_dict(payload)
+            except (ValueError, TypeError) as exc:
+                raise ValueError(f"{path}:{line_number}: invalid trace line: {exc}")
+
+
+def summarize_trace(events: Union[Iterator[ProgressEvent], List[ProgressEvent]]):
+    """Aggregate a trace's completed cells per backend.
+
+    Returns a dict with:
+
+    * ``"backends"`` — ordered ``{backend: {"cells", "seconds", "stages":
+      {stage: seconds}}}`` over every :class:`CellCompleted` event,
+    * ``"cached"`` — count of :class:`CellCached` events,
+    * ``"run"`` — the final :class:`RunFinished` payload, if present.
+    """
+    backends: Dict[str, Dict[str, Any]] = {}
+    cached = 0
+    run: Optional[Dict[str, Any]] = None
+    for event in events:
+        if isinstance(event, CellCompleted):
+            backend = event.backend or "unknown"
+            entry = backends.setdefault(
+                backend, {"cells": 0, "seconds": 0.0, "stages": {}}
+            )
+            entry["cells"] += 1
+            if event.seconds is not None:
+                entry["seconds"] += event.seconds
+            for stage, seconds in (event.stage_seconds or {}).items():
+                entry["stages"][stage] = entry["stages"].get(stage, 0.0) + seconds
+        elif isinstance(event, CellCached):
+            cached += 1
+        elif isinstance(event, RunFinished):
+            run = {
+                "cells": event.cells,
+                "executed": event.executed,
+                "cached": event.cached,
+                "seconds": event.seconds,
+            }
+    return {"backends": backends, "cached": cached, "run": run}
+
+
+def _stage_columns(summary: Dict[str, Any]) -> List[str]:
+    """Kernel stages first (in round order), then any extra span names."""
+    seen = set()
+    for entry in summary["backends"].values():
+        seen.update(entry["stages"])
+    ordered = [stage for stage in KERNEL_STAGES if stage in seen]
+    ordered.extend(sorted(seen - set(KERNEL_STAGES)))
+    return ordered
+
+
+def render_trace_summary(summary: Dict[str, Any], fmt: str = "text") -> str:
+    """Render a :func:`summarize_trace` result as a per-backend table.
+
+    One row per backend: cell count, total wall seconds, then one column
+    per kernel stage (title-cased: Commit/Adversary/Delivery/Accounting)
+    holding that backend's accumulated stage seconds.
+    """
+    stages = _stage_columns(summary)
+    columns = ["backend", "cells", "seconds"] + [stage.title() for stage in stages]
+    rows = []
+    for backend in sorted(summary["backends"]):
+        entry = summary["backends"][backend]
+        row: Dict[str, Any] = {
+            "backend": backend,
+            "cells": entry["cells"],
+            "seconds": round(entry["seconds"], 6),
+        }
+        for stage in stages:
+            seconds = entry["stages"].get(stage)
+            row[stage.title()] = None if seconds is None else round(seconds, 6)
+        rows.append(row)
+    table = rows_to_table(rows, columns, fmt)
+    if fmt == "json":
+        return table
+    lines = [table]
+    run = summary.get("run")
+    if run is not None:
+        lines.append(
+            f"run: {run['cells']} cell(s), {run['executed']} executed,"
+            f" {run['cached']} cached in {run['seconds']:.2f}s"
+        )
+    elif summary.get("cached"):
+        lines.append(f"cached cells: {summary['cached']}")
+    return "\n".join(lines)

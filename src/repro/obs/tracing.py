@@ -1,0 +1,214 @@
+"""Span tracing for the execution core.
+
+A :class:`Tracer` hands out *spans* — context managers bracketing one unit
+of work::
+
+    with tracer.span("delivery", round=round_index):
+        program.deliver(round_index, commitment)
+
+Two implementations ship:
+
+* :data:`NULL_TRACER` — the disabled default.  Every component that accepts
+  a tracer treats ``None`` as this tracer, and the
+  :class:`~repro.core.rounds.RoundKernel` checks :attr:`Tracer.enabled`
+  *once per run* to select an uninstrumented round loop, so tracing that is
+  off costs exactly one attribute read per execution.  ``repro bench
+  --max-obs-overhead`` gates that promise by timing a run with this
+  disabled tracer against a fully untraced run, and reports the cost of
+  the instrumented loop itself (timed under ``NullTracer(enabled=True)``,
+  free spans) alongside.
+* :class:`TimingTracer` — accumulates wall-clock totals and call counts per
+  span name (nested spans each accrue under their own name), which is how
+  per-stage timing breakdowns reach :attr:`~repro.core.result.
+  ExecutionResult.timings` and the JSONL traces behind
+  ``repro trace summarize``.
+
+The canonical span names of the staged round kernel are the four stages of
+the paper's round structure: :data:`STAGE_COMMIT`, :data:`STAGE_ADVERSARY`,
+:data:`STAGE_DELIVERY`, :data:`STAGE_ACCOUNTING`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "KERNEL_STAGES",
+    "NULL_TRACER",
+    "NullTracer",
+    "STAGE_ACCOUNTING",
+    "STAGE_ADVERSARY",
+    "STAGE_COMMIT",
+    "STAGE_DELIVERY",
+    "TimingTracer",
+    "Tracer",
+    "timing_delta",
+]
+
+#: The four stages of the staged round kernel, in round order.
+STAGE_COMMIT = "commit"
+STAGE_ADVERSARY = "adversary"
+STAGE_DELIVERY = "delivery"
+STAGE_ACCOUNTING = "accounting"
+KERNEL_STAGES = (STAGE_COMMIT, STAGE_ADVERSARY, STAGE_DELIVERY, STAGE_ACCOUNTING)
+
+
+class Tracer:
+    """The tracer protocol: hand out spans, optionally report timings.
+
+    Subclasses override :meth:`span`; :attr:`enabled` tells instrumented
+    hot loops whether building spans is worthwhile at all (the round kernel
+    selects an entirely uninstrumented loop when it is False).
+    """
+
+    #: False only on the disabled tracer; hot loops may skip span creation
+    #: entirely when this is False.
+    enabled: bool = True
+
+    def span(self, name: str, **attributes: Any):
+        """A context manager bracketing one named unit of work.
+
+        ``attributes`` are advisory (round index, lane count, ...); the
+        built-in tracers ignore them, richer tracers may record them.
+        """
+        raise NotImplementedError
+
+    def timings(self) -> Optional[Dict[str, float]]:
+        """Accumulated wall seconds per span name, or None if not collected."""
+        return None
+
+
+class _NullSpan:
+    """The shared do-nothing span; one instance serves every call."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """The no-op tracer: every span is the same do-nothing object.
+
+    Constructed ``enabled=False`` (the :data:`NULL_TRACER` default) it tells
+    instrumented loops to skip span creation altogether.  Constructed
+    ``enabled=True`` it forces the instrumented code path while keeping the
+    spans free — the probe ``repro bench --max-obs-overhead`` uses to
+    measure what the instrumented loop costs by itself.
+    """
+
+    __slots__ = ("enabled",)
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+
+#: The disabled default every tracer-accepting component falls back to.
+NULL_TRACER = NullTracer()
+
+
+class _TimedSpan:
+    """One live span of a :class:`TimingTracer`."""
+
+    __slots__ = ("_tracer", "name", "_start")
+
+    def __init__(self, tracer: "TimingTracer", name: str) -> None:
+        self._tracer = tracer
+        self.name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimedSpan":
+        self._tracer._open(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        elapsed = time.perf_counter() - self._start
+        self._tracer._close(self.name, elapsed)
+        return False
+
+
+class TimingTracer(Tracer):
+    """Accumulates per-name wall-clock totals and call counts.
+
+    Spans may nest; a nested span's time accrues under its own name *and*
+    (by wall-clock inclusion) under every open ancestor, exactly like a
+    flame graph.  :attr:`max_depth` records the deepest nesting observed,
+    and mismatched exits raise immediately — the kernel's stage structure
+    is strictly bracketed, so a mismatch is always a bug.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+        self._stack: List[str] = []
+        self.max_depth = 0
+
+    def span(self, name: str, **attributes: Any) -> _TimedSpan:
+        return _TimedSpan(self, name)
+
+    # -- span plumbing ------------------------------------------------------
+
+    def _open(self, name: str) -> None:
+        self._stack.append(name)
+        if len(self._stack) > self.max_depth:
+            self.max_depth = len(self._stack)
+
+    def _close(self, name: str, elapsed: float) -> None:
+        if not self._stack or self._stack[-1] != name:
+            raise RuntimeError(
+                f"span {name!r} closed out of order (open stack: {self._stack})"
+            )
+        self._stack.pop()
+        self.totals[name] = self.totals.get(name, 0.0) + elapsed
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """How many spans are currently open."""
+        return len(self._stack)
+
+    def timings(self) -> Dict[str, float]:
+        """A copy of the accumulated wall seconds per span name."""
+        return dict(self.totals)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Totals and counts together, JSON-ready."""
+        return {
+            "seconds": dict(self.totals),
+            "counts": dict(self.counts),
+        }
+
+
+def timing_delta(
+    before: Optional[Dict[str, float]], after: Optional[Dict[str, float]]
+) -> Optional[Dict[str, float]]:
+    """The per-name difference ``after - before`` of two timing snapshots.
+
+    Kernels use this to attach only *their own* stage seconds to a result
+    when the caller shares one tracer across several executions.  ``None``
+    snapshots (a tracer that does not collect) yield ``None``.
+    """
+    if after is None:
+        return None
+    if not before:
+        return dict(after)
+    return {
+        name: value - before.get(name, 0.0)
+        for name, value in after.items()
+        if value - before.get(name, 0.0) > 0.0 or name not in before
+    }

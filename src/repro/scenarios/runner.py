@@ -93,13 +93,16 @@ def repetition_seed(spec: ScenarioSpec, repetition: int) -> int:
 
 
 def run_scenario(
-    spec: ScenarioSpec, repetition: int = 0, *, keep_trace: bool = True
+    spec: ScenarioSpec, repetition: int = 0, *, keep_trace: bool = True, tracer=None
 ) -> ExecutionResult:
     """Run one repetition of ``spec`` and return the full execution result.
 
     The execution is dispatched to the backend named by ``spec.backend``
     (see :mod:`repro.backends`); all validated backends produce structurally
     identical results, so the choice only affects wall-clock and memory.
+    ``tracer`` (a :class:`repro.obs.Tracer`) is forwarded only when given,
+    so third-party backends that predate the tracer kwarg keep working
+    untraced.
     """
     if repetition < 0 or repetition >= spec.repetitions:
         raise ConfigurationError(
@@ -112,6 +115,9 @@ def run_scenario(
 
     scenario = materialize(spec)
     backend = get_backend(spec.backend)
+    kwargs: Dict[str, Any] = {}
+    if tracer is not None:
+        kwargs["tracer"] = tracer
     return backend.run(
         scenario.problem,
         scenario.algorithm,
@@ -119,6 +125,7 @@ def run_scenario(
         seed=repetition_seed(spec, repetition),
         max_rounds=spec.max_rounds,
         keep_trace=keep_trace,
+        **kwargs,
     )
 
 

@@ -21,6 +21,7 @@ EXAMPLE_FILES = [
     "results_warehouse.py",
     "backends_fast_path.py",
     "batch_sweeps.py",
+    "tracing_runs.py",
 ]
 
 
