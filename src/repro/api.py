@@ -113,6 +113,8 @@ __all__ = [
     "ExperimentPlan",
     "PlanCell",
     "RunSet",
+    "execute_cell",
+    "execute_cell_payload",
     "load_runs",
 ]
 
@@ -540,10 +542,17 @@ def _cell_tracer(collect_timings: bool):
     return TimingTracer()
 
 
-def _execute_cell(
+def execute_cell(
     spec: ScenarioSpec, repetition: int, collect_timings: bool = False
 ) -> Tuple[Record, CellMeta]:
-    """Run one cell; the record rides with never-stored execution metadata."""
+    """Run one plan cell; the record rides with never-stored execution metadata.
+
+    The unit of work behind both the in-process path and every external
+    scheduler (worker pools, the :mod:`repro.service` daemon): given a spec
+    and a repetition index it derives the repetition seed, runs the
+    scenario and returns ``(record, meta)`` where ``meta`` is
+    ``{"backend", "seconds", "stage_seconds"}``.
+    """
     tracer = _cell_tracer(collect_timings)
     started = time.perf_counter()
     result = run_scenario(spec, repetition, tracer=tracer)
@@ -622,17 +631,22 @@ def _execute_pending(
                 )
         else:
             for cell in cells:
-                yield _execute_cell(cell.spec, cell.repetition, collect_timings)
+                yield execute_cell(cell.spec, cell.repetition, collect_timings)
 
 
-def _execute_cell_payload(
+def execute_cell_payload(
     payload: Tuple[str, int, Tuple[str, ...], bool]
 ) -> Tuple[Record, CellMeta]:
-    """Worker entry point: rebuild the spec from JSON and run one cell."""
+    """Worker entry point: rebuild the spec from JSON and run one cell.
+
+    Picklable by module path, so process pools (``RunSet`` workers, the
+    service daemon's pool) can ship cells as
+    ``(spec_json, repetition, extension_modules, collect_timings)`` tuples.
+    """
     spec_json, repetition, extension_modules, collect_timings = payload
     for module_name in extension_modules:
         importlib.import_module(module_name)
-    return _execute_cell(ScenarioSpec.from_json(spec_json), repetition, collect_timings)
+    return execute_cell(ScenarioSpec.from_json(spec_json), repetition, collect_timings)
 
 
 class RunSet:
@@ -751,7 +765,7 @@ class RunSet:
                     # parallel output byte-identical to the serial path.
                     yield from self._interleave(
                         remaining,
-                        pool.imap(_execute_cell_payload, payloads, chunksize=1),
+                        pool.imap(execute_cell_payload, payloads, chunksize=1),
                         start=start,
                     )
         finally:

@@ -161,13 +161,23 @@ class BatchKernel:
             else None
         )
 
+    def stages_advanced(self, round_index: int) -> bool:
+        """Whether the per-lane adversary stages stepped this round.
+
+        False once every lane's topology has gone steady: from then on
+        ``stages[lane].inserted_ids`` / ``removed_ids`` hold stale values
+        from the last stepped round, and programs tracking per-edge history
+        must not re-consume them.
+        """
+        return self._steady_round is None or round_index <= self._steady_round
+
     def _advance_graphs(self, round_index: int) -> None:
         """Advance the adversary stage of every active lane.
 
         Inactive lanes are frozen: their traces, adjacency and adversary RNG
         stop exactly where the equivalent serial run stopped.
         """
-        if self._steady_round is not None and round_index > self._steady_round:
+        if not self.stages_advanced(round_index):
             # Every lane's topology (and dense adjacency) is frozen; traces
             # are caught up in bulk after the round loop.
             return

@@ -27,17 +27,24 @@ without breaking the append-only layout.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import os
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
 
+try:  # Advisory multi-writer locking; absent on non-POSIX platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - windows
+    fcntl = None  # type: ignore[assignment]
+
 from repro.results.records import RunRecord, coerce_record, iter_records
 from repro.utils.validation import ConfigurationError
 
 _MANIFEST_NAME = "manifest.json"
 _SHARD_DIR = "shards"
+_LOCK_NAME = ".lock"
 _MANIFEST_VERSION = 1
 
 
@@ -99,13 +106,36 @@ class RunStore:
             )
         return manifest
 
+    @contextlib.contextmanager
+    def _write_lock(self) -> Iterator[None]:
+        """Advisory exclusive lock serialising writers across processes.
+
+        The service daemon and a concurrent ``repro sweep --store`` may
+        append to the same store; the lock keeps shard appends and the
+        manifest replace from interleaving mid-write.  Best effort: where
+        ``fcntl`` is unavailable the store falls back to unlocked writes
+        (single-writer semantics, as before).
+        """
+        if fcntl is None:
+            yield
+            return
+        with open(self._path / _LOCK_NAME, "a+b") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
     def _save_manifest(self) -> None:
         # Write-then-rename so a crash mid-write never corrupts the index.
-        temporary = self._manifest_path.with_suffix(".json.tmp")
-        with open(temporary, "w", encoding="utf-8") as handle:
-            json.dump(self._manifest, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(temporary, self._manifest_path)
+        # The temporary name carries the pid so concurrent writers never
+        # stage into (and replace from) the same file.
+        temporary = self._manifest_path.with_suffix(f".json.{os.getpid()}.tmp")
+        with self._write_lock():
+            with open(temporary, "w", encoding="utf-8") as handle:
+                json.dump(self._manifest, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(temporary, self._manifest_path)
 
     def _shard_path(self, shard_id: str) -> Path:
         return self._shard_dir / f"{shard_id}.jsonl"
@@ -243,9 +273,10 @@ class RunStore:
             fresh.append(record)
         skipped = len(records) - len(fresh)
         if fresh:
-            with open(self._shard_path(shard_id), "a", encoding="utf-8") as handle:
-                for record in fresh:
-                    handle.write(record.to_json_line() + "\n")
+            with self._write_lock():
+                with open(self._shard_path(shard_id), "a", encoding="utf-8") as handle:
+                    for record in fresh:
+                        handle.write(record.to_json_line() + "\n")
             cache = self._latest_lines.get(shard_id)
             if cache is not None:
                 for record in fresh:

@@ -1,0 +1,43 @@
+"""repro.service — a long-running experiment daemon with store-backed dedup.
+
+The serving layer turns the lazy Experiment pipeline into a shared,
+long-lived process: ``repro serve`` hosts an :mod:`asyncio` job queue over
+a line-delimited JSON protocol (UNIX socket or TCP — stdlib only), expands
+each submission to an :class:`~repro.api.ExperimentPlan`, coalesces
+duplicate pending cells **across jobs**, fans work out to a
+multiprocessing pool, streams :mod:`repro.obs.events` progress frames back
+to subscribed clients in plan order and persists every completed record to
+the shared :class:`~repro.results.store.RunStore` the moment it lands.
+
+Layers::
+
+    protocol.py   frame encode/decode + typed protocol errors
+    scheduler.py  job queue, cross-job execution coalescing, persistence
+    workers.py    process/thread pool executing cells off the event loop
+    server.py     asyncio socket server, connection handling, drain logic
+    client.py     blocking client used by the repro submit/status/... CLI
+"""
+
+from repro.service.client import ServiceClient, connect_with_retry
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+from repro.service.scheduler import Job, Scheduler
+from repro.service.server import ExperimentServer
+from repro.service.workers import WorkerPool
+
+__all__ = [
+    "ExperimentServer",
+    "Job",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Scheduler",
+    "ServiceClient",
+    "WorkerPool",
+    "connect_with_retry",
+    "decode_frame",
+    "encode_frame",
+]

@@ -1,0 +1,89 @@
+"""The wire protocol: one JSON object per line, both directions.
+
+Requests are single frames carrying an ``"op"`` key::
+
+    {"op": "ping"}
+    {"op": "submit", "specs": [<spec dict>, ...], "watch": true}
+    {"op": "watch", "job": "job-0001"}
+    {"op": "status"}                      # or {"op": "status", "job": ...}
+    {"op": "results", "job": "job-0001"}
+    {"op": "shutdown"}
+
+Responses carry ``"ok"``: ``{"ok": true, "op": ..., ...}`` on success or
+``{"ok": false, "error": {"kind": ..., "message": ...}}`` on failure.
+Error kinds are ``protocol`` (malformed frame), ``configuration`` (valid
+frame, invalid content — e.g. an unknown algorithm), ``unknown-job``,
+``shutting-down`` and ``internal``.  Errors never close the connection;
+the client may keep sending frames.
+
+A watched job additionally streams ``{"ok": true, "op": "event", "job":
+..., "data": {<event_to_dict form>}}`` frames — the exact serialization of
+:mod:`repro.obs.events` — in plan order, terminated by one
+``{"ok": true, "op": "job-finished", "job": ..., "state": "done"|"failed"}``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Union
+
+from repro.utils.validation import ReproError
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "decode_frame",
+    "encode_frame",
+    "error_frame",
+    "ok_frame",
+]
+
+PROTOCOL_VERSION = 1
+
+#: StreamReader line limit: a submit frame carries a whole spec batch.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: The error kinds a server may put in an error frame.
+ERROR_KINDS = ("protocol", "configuration", "unknown-job", "shutting-down", "internal")
+
+
+class ProtocolError(ReproError):
+    """A frame that does not parse as a protocol object."""
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """Serialize one frame: compact JSON plus the line terminator."""
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_frame(line: Union[str, bytes]) -> Dict[str, Any]:
+    """Parse one frame, raising :class:`ProtocolError` on malformed input."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise ProtocolError(f"frame is not valid UTF-8: {error}") from error
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"frame is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def ok_frame(op: str, **fields: Any) -> Dict[str, Any]:
+    """A success response frame."""
+    frame: Dict[str, Any] = {"ok": True, "op": op}
+    frame.update(fields)
+    return frame
+
+
+def error_frame(kind: str, message: str) -> Dict[str, Any]:
+    """A typed error response frame (connection stays open)."""
+    if kind not in ERROR_KINDS:
+        raise ValueError(f"unknown error kind {kind!r}")
+    return {"ok": False, "error": {"kind": kind, "message": message}}

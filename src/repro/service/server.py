@@ -1,0 +1,346 @@
+"""The asyncio socket server hosting the scheduler.
+
+One :class:`ExperimentServer` owns a :class:`~repro.service.scheduler.
+Scheduler` plus a :class:`~repro.service.workers.WorkerPool` and serves
+the line protocol on a UNIX socket (default) or a TCP port.  Each
+connection is an independent frame loop: malformed frames produce typed
+error responses and the connection stays open.
+
+Graceful shutdown — the ``shutdown`` op or SIGTERM/SIGINT — stops
+accepting connections and new jobs, drains every accepted job (in-flight
+cells finish and persist), then closes remaining connections and exits.
+A non-graceful death (``kill -9``) is also safe: records persist as they
+land, so a restarted daemon resumes from the persisted prefix.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import signal
+import socket as socket_module
+import sys
+from typing import Any, Dict, Optional, Sequence, TextIO
+
+from repro.obs.logs import get_logger
+from repro.scenarios.spec import ScenarioSpec
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+    error_frame,
+    ok_frame,
+)
+from repro.service.scheduler import Job, Scheduler, ShuttingDownError
+from repro.service.workers import WorkerPool
+from repro.utils.validation import ConfigurationError, ReproError
+
+__all__ = ["ExperimentServer"]
+
+logger = get_logger(__name__)
+
+DEFAULT_SOCKET = ".repro-service.sock"
+
+
+class _UnknownJobError(ReproError):
+    """A frame referenced a job id the scheduler does not know."""
+
+
+class ExperimentServer:
+    """The daemon: socket frontend + scheduler + worker pool."""
+
+    def __init__(
+        self,
+        store: str,
+        *,
+        workers: int = 1,
+        socket: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        extensions: Sequence[str] = (),
+        collect_timings: bool = False,
+        stream: Optional[TextIO] = None,
+    ) -> None:
+        if host is None and socket is None:
+            socket = DEFAULT_SOCKET
+        if host is not None and socket is not None:
+            raise ConfigurationError("serve on a UNIX socket or a TCP port, not both")
+        self.store = str(store)
+        self.workers = workers
+        self.socket_path = socket
+        self.host = host
+        self.port = port or 0
+        self.extensions = tuple(extensions)
+        self.collect_timings = collect_timings
+        self._stream = stream if stream is not None else sys.stdout
+        self.scheduler: Optional[Scheduler] = None
+        self._shutdown = None  # type: Optional[asyncio.Event]
+        self._connections: set = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self) -> int:
+        """Serve until shutdown; the blocking entry point behind ``repro serve``."""
+        return asyncio.run(self.serve())
+
+    async def serve(self) -> int:
+        loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        pool = WorkerPool(self.workers)
+        # Spawn the workers before the socket exists: no client connects
+        # until the pool (and the readiness line below) is actually ready.
+        pool.warm()
+        self.scheduler = Scheduler(
+            self.store,
+            pool,
+            extensions=self.extensions,
+            collect_timings=self.collect_timings,
+        )
+        if self.socket_path is not None:
+            self._remove_stale_socket(self.socket_path)
+            server = await asyncio.start_unix_server(
+                self._handle, path=self.socket_path, limit=MAX_FRAME_BYTES
+            )
+            address = self.socket_path
+        else:
+            server = await asyncio.start_server(
+                self._handle, host=self.host, port=self.port, limit=MAX_FRAME_BYTES
+            )
+            bound = server.sockets[0].getsockname()
+            self.port = bound[1]
+            address = f"{bound[0]}:{bound[1]}"
+        # Signal handlers only install on the main thread; embedded servers
+        # (tests run one on a background thread) rely on the shutdown op.
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+                loop.add_signal_handler(signum, self._shutdown.set)
+        # The readiness line: tests and wrapper scripts wait for it.
+        print(f"repro service listening on {address}", file=self._stream, flush=True)
+        try:
+            await self._shutdown.wait()
+            server.close()
+            await server.wait_closed()
+            await self.scheduler.drain()
+        finally:
+            pool.shutdown()
+            for task in list(self._connections):
+                task.cancel()
+            if self._connections:
+                await asyncio.gather(*self._connections, return_exceptions=True)
+            if self.socket_path is not None:
+                with contextlib.suppress(OSError):
+                    os.unlink(self.socket_path)
+        print("repro service drained, exiting", file=self._stream, flush=True)
+        return 0
+
+    @staticmethod
+    def _remove_stale_socket(path: str) -> None:
+        """Unlink a socket file no live daemon is listening on."""
+        if not os.path.exists(path):
+            return
+        probe = socket_module.socket(socket_module.AF_UNIX, socket_module.SOCK_STREAM)
+        try:
+            probe.settimeout(0.25)
+            probe.connect(path)
+        except OSError:
+            os.unlink(path)  # nobody home: a previous daemon died hard
+        else:
+            raise ConfigurationError(
+                f"another repro service is already listening on {path}"
+            )
+        finally:
+            probe.close()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle(
+        self, reader: "asyncio.StreamReader", writer: "asyncio.StreamWriter"
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            await self._frame_loop(reader, writer)
+        except (
+            asyncio.CancelledError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            with contextlib.suppress(OSError):
+                writer.close()
+
+    async def _frame_loop(
+        self, reader: "asyncio.StreamReader", writer: "asyncio.StreamWriter"
+    ) -> None:
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                # An overlong frame leaves the stream mid-line; the only
+                # safe recovery is to report and close this connection.
+                await self._send(
+                    writer, error_frame("protocol", "frame exceeds the size limit")
+                )
+                return
+            if not line:
+                return  # EOF: client went away
+            if not line.strip():
+                continue
+            try:
+                frame = decode_frame(line)
+                await self._dispatch(frame, writer)
+            except ProtocolError as error:
+                await self._send(writer, error_frame("protocol", str(error)))
+            except _UnknownJobError as error:
+                await self._send(writer, error_frame("unknown-job", str(error)))
+            except ShuttingDownError as error:
+                await self._send(writer, error_frame("shutting-down", str(error)))
+            except ReproError as error:
+                await self._send(writer, error_frame("configuration", str(error)))
+            except Exception as error:  # keep the daemon alive
+                logger.error("internal error handling frame: %s", error)
+                await self._send(
+                    writer,
+                    error_frame("internal", f"{type(error).__name__}: {error}"),
+                )
+
+    async def _send(self, writer: "asyncio.StreamWriter", frame: Dict[str, Any]) -> None:
+        writer.write(encode_frame(frame))
+        await writer.drain()
+
+    # -- ops ---------------------------------------------------------------
+
+    async def _dispatch(
+        self, frame: Dict[str, Any], writer: "asyncio.StreamWriter"
+    ) -> None:
+        scheduler = self.scheduler
+        assert scheduler is not None
+        op = frame.get("op")
+        if op == "ping":
+            await self._send(
+                writer,
+                ok_frame(
+                    "ping",
+                    version=PROTOCOL_VERSION,
+                    store=self.store,
+                    workers=self.workers,
+                    jobs=len(scheduler.jobs),
+                    draining=scheduler.draining,
+                ),
+            )
+        elif op == "submit":
+            await self._op_submit(frame, writer)
+        elif op == "watch":
+            job = self._job_from(frame, scheduler)
+            await self._send(writer, ok_frame("watch", job=job.id))
+            await self._stream_job(writer, job)
+        elif op == "status":
+            if "job" in frame:
+                job = self._job_from(frame, scheduler)
+                await self._send(writer, ok_frame("status", jobs=[job.describe()]))
+            else:
+                await self._send(
+                    writer, ok_frame("status", jobs=scheduler.describe())
+                )
+        elif op == "results":
+            job = self._job_from(frame, scheduler)
+            if job.state != "done":
+                raise ConfigurationError(
+                    f"job {job.id} has no results yet (state: {job.state}"
+                    + (f", error: {job.error}" if job.error else "")
+                    + ")"
+                )
+            await self._send(
+                writer, ok_frame("results", job=job.id, records=job.records)
+            )
+        elif op == "shutdown":
+            scheduler.draining = True  # reject new jobs from this moment
+            await self._send(
+                writer,
+                ok_frame(
+                    "shutdown",
+                    draining=sum(
+                        1 for job in scheduler.jobs.values() if not job.finished
+                    ),
+                ),
+            )
+            assert self._shutdown is not None
+            self._shutdown.set()
+        else:
+            raise ProtocolError(f"unknown op {op!r}")
+
+    async def _op_submit(
+        self, frame: Dict[str, Any], writer: "asyncio.StreamWriter"
+    ) -> None:
+        scheduler = self.scheduler
+        assert scheduler is not None
+        raw_specs = frame.get("specs")
+        if not isinstance(raw_specs, list) or not raw_specs:
+            raise ProtocolError("submit needs a non-empty 'specs' list")
+        specs = []
+        for raw in raw_specs:
+            if not isinstance(raw, dict):
+                raise ProtocolError("each spec must be a JSON object")
+            try:
+                specs.append(ScenarioSpec.from_dict(raw))
+            except ReproError:
+                raise  # typed: reported as a configuration error
+            except (TypeError, ValueError, KeyError) as error:
+                raise ProtocolError(f"invalid spec: {error}") from error
+        job = scheduler.submit(specs)
+        counts = job.plan.describe()
+        await self._send(
+            writer,
+            ok_frame(
+                "submit",
+                job=job.id,
+                cells=counts["cells"],
+                pending=counts["pending"],
+                cached=counts["cached"],
+                scenarios=counts["scenarios"],
+            ),
+        )
+        if frame.get("watch"):
+            await self._stream_job(writer, job)
+
+    @staticmethod
+    def _job_from(frame: Dict[str, Any], scheduler: Scheduler) -> Job:
+        job_id = frame.get("job")
+        if not isinstance(job_id, str) or not job_id:
+            raise ProtocolError("this op needs a 'job' id")
+        job = scheduler.get(job_id)
+        if job is None:
+            raise _UnknownJobError(f"unknown job {job_id!r}")
+        return job
+
+    async def _stream_job(
+        self, writer: "asyncio.StreamWriter", job: Job, start: int = 0
+    ) -> None:
+        """Replay a job's event buffer from ``start``, then follow it live."""
+        index = start
+        while True:
+            async with job.condition:
+                await job.condition.wait_for(
+                    lambda: len(job.events) > index or job.finished
+                )
+            while index < len(job.events):
+                writer.write(
+                    encode_frame(
+                        ok_frame("event", job=job.id, data=job.events[index])
+                    )
+                )
+                index += 1
+            await writer.drain()
+            if job.finished and index >= len(job.events):
+                break
+        await self._send(
+            writer,
+            ok_frame("job-finished", job=job.id, state=job.state, error=job.error),
+        )

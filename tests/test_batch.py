@@ -252,6 +252,35 @@ class TestBatchIdentity:
         ]
         assert batch == serial
 
+    def test_single_source_vectorized_records_match_serial(self):
+        """The single-source batch program replays the fast program per lane.
+
+        churn keeps inserting/removing edges every round, so the per-lane
+        edge histories (the new > idle > contributive request priority) are
+        exercised; the steady static adversary exercises the
+        stages_advanced guard (stale stage inserted_ids after the steady
+        round must not be re-consumed).
+        """
+        for adversary, params in (("churn", {}), ("static-random", {"num_nodes": 10})):
+            spec = flooding_spec(
+                problem_params={"num_nodes": 10, "num_tokens": 8},
+                algorithm="single-source",
+                algorithm_params={},
+                adversary=adversary,
+                adversary_params=params,
+                seed=7,
+            )
+            assert can_vectorize_spec(spec)
+            serial = run_spec(spec)
+            results = BatchBackend().run_batch(spec)
+            batch = [
+                record_from_result(
+                    spec, repetition, repetition_seed(spec, repetition), result
+                )
+                for repetition, result in enumerate(results)
+            ]
+            assert batch == serial, adversary
+
     def test_fallback_records_match_serial(self):
         spec = adaptive_spec()
         assert not can_vectorize_spec(spec)
