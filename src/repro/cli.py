@@ -378,6 +378,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default text)",
     )
 
+    warehouse_parser = subparsers.add_parser(
+        "warehouse",
+        help="maintain and query the sqlite index over a run store "
+        "(the JSONL shards stay the source of truth)",
+    )
+    warehouse_sub = warehouse_parser.add_subparsers(
+        dest="warehouse_command", required=True
+    )
+    wh_sync = warehouse_sub.add_parser(
+        "sync",
+        help="create the index if missing and fold in new/changed shards "
+        "(unchanged shards are skipped via mtime+size watermarks)",
+    )
+    wh_sync.add_argument("store", metavar="STORE/", help="run-store directory")
+    wh_rebuild = warehouse_sub.add_parser(
+        "rebuild",
+        help="drop the index database and re-derive it from the JSONL shards "
+        "(the recovery path for corruption or schema bumps)",
+    )
+    wh_rebuild.add_argument("store", metavar="STORE/", help="run-store directory")
+    wh_query = warehouse_sub.add_parser(
+        "query",
+        help="sync, then aggregate (or count / take a percentile) from the "
+        "index; aggregation output is byte-identical to 'repro analyze STORE'",
+    )
+    wh_query.add_argument("store", metavar="STORE/", help="run-store directory")
+    _add_analysis_arguments(wh_query)
+    wh_query.add_argument(
+        "--format",
+        choices=("text", "md", "csv", "json"),
+        default="md",
+        help="output format (default md)",
+    )
+    for component in ("algorithm", "adversary", "problem"):
+        wh_query.add_argument(
+            f"--{component}",
+            default=None,
+            metavar="NAME",
+            help=f"only records with this {component}",
+        )
+    wh_query.add_argument(
+        "--count",
+        action="store_true",
+        help="print the matching record count instead of aggregating",
+    )
+    wh_query.add_argument(
+        "--percentile",
+        default=None,
+        metavar="METRIC:Q",
+        help="print the Q-th percentile (0..100) of a metric over the "
+        "matching records, e.g. rounds:95",
+    )
+    wh_report = warehouse_sub.add_parser(
+        "report",
+        help="sync, then render the consolidated cross-experiment report "
+        "(per algorithm x adversary tables with paper-bound verdicts)",
+    )
+    wh_report.add_argument("store", metavar="STORE/", help="run-store directory")
+    _add_analysis_arguments(wh_report)
+    wh_report.add_argument(
+        "--format",
+        choices=("text", "md", "csv", "json"),
+        default="md",
+        help="output format (default md; non-md renders the overview table)",
+    )
+    wh_report.add_argument(
+        "--output", metavar="FILE", default=None, help="write the report to a file"
+    )
+    wh_report.add_argument(
+        "--title",
+        default="Consolidated warehouse report",
+        help="report heading",
+    )
+
     serve = subparsers.add_parser(
         "serve",
         help="run the experiment service daemon (async job queue over a socket)",
@@ -996,11 +1070,69 @@ def _load_runset(source: str) -> RunSet:
     return runset
 
 
+def _warehouse_query(source: str) -> Optional[Any]:
+    """The warehouse query API for a store source, or ``None`` to shard-scan.
+
+    When ``source`` is a run-store directory carrying an index, sync it
+    (skipping unchanged shards via watermarks, reported on stderr so
+    stdout stays byte-identical to the index-less path) and answer from
+    sqlite.  Everything else — stdin, JSONL files, stores without an
+    index, corrupt indexes, failed syncs — falls back to shard scans.
+    """
+    if source == "-":
+        return None
+    from repro.results.store import is_store_path
+
+    if not is_store_path(source):
+        return None
+    from repro.warehouse import open_index
+
+    index = open_index(source)
+    if index is None:
+        return None
+    try:
+        stats = index.sync()
+    except ReproError as error:
+        print(
+            f"warehouse sync failed ({error}); falling back to shard scans",
+            file=sys.stderr,
+        )
+        return None
+    print(stats.summary(source), file=sys.stderr)
+    return index.query()
+
+
 def command_analyze(args: argparse.Namespace) -> int:
     """Thin adapter: ``RunSet.aggregate(...).table()`` plus the verdicts."""
-    runset = _load_runset(args.source)
     group_by = _split_option(args.group_by)
     metrics = _split_option(args.metrics)
+    query = _warehouse_query(args.source)
+    if query is not None:
+        from repro.results.aggregate import (
+            DEFAULT_GROUP_BY,
+            DEFAULT_METRICS,
+            aggregate_columns,
+        )
+        from repro.results.report import rows_to_table
+
+        chosen_by = list(group_by) if group_by is not None else list(DEFAULT_GROUP_BY)
+        chosen_metrics = (
+            list(metrics) if metrics is not None else list(DEFAULT_METRICS)
+        )
+        rows = query.aggregate(chosen_by, chosen_metrics)
+        if not rows:
+            raise ConfigurationError(f"{args.source} holds no records")
+        print(rows_to_table(rows, aggregate_columns(chosen_by, chosen_metrics), args.format))
+        if args.bounds:
+            runset = RunSet.from_records(query.records())
+            print()
+            print(
+                runset.aggregate(by=group_by, metrics=metrics)
+                .compare(x_axis=args.x_axis)
+                .table(args.format)
+            )
+        return 0
+    runset = _load_runset(args.source)
     aggregated = runset.aggregate(by=group_by, metrics=metrics)
     print(aggregated.table(args.format))
     if args.bounds:
@@ -1011,10 +1143,105 @@ def command_analyze(args: argparse.Namespace) -> int:
 
 def command_report(args: argparse.Namespace) -> int:
     """Thin adapter: the full ``RunSet.report(...)`` document."""
-    runset = _load_runset(args.source)
+    query = _warehouse_query(args.source)
+    if query is not None:
+        records = query.records()
+        if not records:
+            raise ConfigurationError(f"{args.source} holds no records")
+        runset = RunSet.from_records(records)
+    else:
+        runset = _load_runset(args.source)
     document = runset.report(
         by=_split_option(args.group_by),
         metrics=_split_option(args.metrics),
+        x_axis=args.x_axis,
+        title=args.title,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(document + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(document)
+    return 0
+
+
+def command_warehouse(args: argparse.Namespace) -> int:
+    """Maintain and query the sqlite index (see :mod:`repro.warehouse`)."""
+    from repro import warehouse
+    from repro.results.aggregate import (
+        DEFAULT_GROUP_BY,
+        DEFAULT_METRICS,
+        aggregate_columns,
+    )
+    from repro.results.report import rows_to_table
+
+    if args.warehouse_command == "rebuild":
+        index, stats = warehouse.rebuild_index(args.store)
+        print(
+            f"rebuilt {index.path}: {index.count()} row(s) from "
+            f"{stats.shards_read} shard(s) in {stats.seconds:.2f}s"
+        )
+        return 0
+    # sync / query / report all start by creating-or-opening and syncing.
+    index = warehouse.WarehouseIndex(args.store)
+    stats = index.sync()
+    if args.warehouse_command == "sync":
+        print(stats.summary(args.store))
+        return 0
+    # Diagnostics on stderr: query/report stdout must stay byte-identical
+    # to the index-less analyze path (asserted in CI).
+    print(stats.summary(args.store), file=sys.stderr)
+    query = index.query()
+    if args.warehouse_command == "query":
+        filters = {
+            "algorithm": args.algorithm,
+            "adversary": args.adversary,
+            "problem": args.problem,
+        }
+        if args.count:
+            print(query.count(**filters))
+            return 0
+        if args.percentile is not None:
+            metric, sep, quantile = args.percentile.partition(":")
+            if not sep or not metric:
+                raise ConfigurationError(
+                    f"--percentile wants METRIC:Q (e.g. rounds:95), "
+                    f"got {args.percentile!r}"
+                )
+            try:
+                q = float(quantile)
+            except ValueError as error:
+                raise ConfigurationError(
+                    f"--percentile quantile must be a number, got {quantile!r}"
+                ) from error
+            print(query.percentile(metric, q, **filters))
+            return 0
+        group_by = _split_option(args.group_by) or list(DEFAULT_GROUP_BY)
+        metrics = _split_option(args.metrics) or list(DEFAULT_METRICS)
+        if any(value is not None for value in filters.values()):
+            # Filtered aggregation goes through the records (the group
+            # cache covers the whole store, not arbitrary subsets).
+            records = query.records(**filters)
+            if not records:
+                raise ConfigurationError(f"{args.store} holds no matching records")
+            aggregated = RunSet.from_records(records).aggregate(
+                by=group_by, metrics=metrics
+            )
+            print(aggregated.table(args.format))
+            return 0
+        rows = query.aggregate(group_by, metrics)
+        if not rows:
+            raise ConfigurationError(f"{args.store} holds no records")
+        print(rows_to_table(rows, aggregate_columns(group_by, metrics), args.format))
+        return 0
+    # warehouse report
+    records = query.records()
+    document = warehouse.render_consolidated_report(
+        records,
+        fmt=args.format,
+        group_by=_split_option(args.group_by) or DEFAULT_GROUP_BY,
+        metrics=_split_option(args.metrics) or DEFAULT_METRICS,
         x_axis=args.x_axis,
         title=args.title,
     )
@@ -1364,6 +1591,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": command_sweep,
         "analyze": command_analyze,
         "report": command_report,
+        "warehouse": command_warehouse,
         "verify-backend": command_verify_backend,
         "list": command_list,
         "bench": command_bench,

@@ -31,8 +31,21 @@ import contextlib
 import hashlib
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
 try:  # Advisory multi-writer locking; absent on non-POSIX platforms.
     import fcntl
@@ -51,6 +64,32 @@ _MANIFEST_VERSION = 1
 def shard_id_for_key(scenario_key: str) -> str:
     """The stable shard identifier (hex digest prefix) of a scenario key."""
     return hashlib.sha256(scenario_key.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class StoreAppendEvent:
+    """One shard append, as delivered to registered store listeners.
+
+    Emitted under the store's writer lock immediately after the shard file
+    grows, so a listener sees the append atomically with respect to other
+    writers.  ``before``/``after`` are ``(mtime_ns, size_bytes)`` watermarks
+    of the shard file around the append (``before`` is ``None`` for a brand
+    new shard) — derived indexes compare ``before`` against their recorded
+    watermark to decide whether they may fold ``records`` in directly or
+    must re-read the shard.
+    """
+
+    shard_id: str
+    scenario_key: str
+    records: Tuple[RunRecord, ...]
+    #: Repetitions that were already present and are superseded (last-wins).
+    replaced: FrozenSet[int]
+    before: Optional[Tuple[int, int]]
+    after: Tuple[int, int]
+
+
+#: A store append listener (see :meth:`RunStore.add_listener`).
+StoreListener = Callable[[StoreAppendEvent], None]
 
 
 class RunStore:
@@ -75,6 +114,9 @@ class RunStore:
         # True when in-memory manifest changes have not been saved to disk
         # (add(..., save_manifest=False)); flush() persists them.
         self._manifest_dirty = False
+        # Append listeners (e.g. the warehouse index keeping itself warm);
+        # notified under the writer lock right after each shard append.
+        self._listeners: List[StoreListener] = []
         self._recover_orphan_shards()
 
     # -- manifest ----------------------------------------------------------
@@ -172,6 +214,24 @@ class RunStore:
             "count": len(self._known[shard_id]),
         }
 
+    # -- listeners ---------------------------------------------------------
+
+    def add_listener(self, listener: StoreListener) -> None:
+        """Register a callback for every shard append this writer performs.
+
+        The callback runs synchronously under the store's writer lock (so
+        it observes the append atomically w.r.t. other processes) and must
+        not write to this store.  Registering the same callable twice is a
+        no-op.
+        """
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: StoreListener) -> None:
+        """Deregister a callback registered with :meth:`add_listener`."""
+        with contextlib.suppress(ValueError):
+            self._listeners.remove(listener)
+
     # -- ingest ------------------------------------------------------------
 
     def add(
@@ -252,6 +312,7 @@ class RunStore:
             known = {record.repetition for record in self._iter_shard(shard_id)}
             self._known[shard_id] = known
         fresh: List[RunRecord] = []
+        replaced: set = set()
         for record in sorted(records, key=lambda record: record.repetition):
             if record.repetition in known:
                 if not replace:
@@ -267,16 +328,34 @@ class RunStore:
                 if current.get(record.repetition) == record.to_json_line():
                     continue  # identical content: a replace is still idempotent
                 current[record.repetition] = record.to_json_line()
+                replaced.add(record.repetition)
                 fresh.append(record)
                 continue
             known.add(record.repetition)
             fresh.append(record)
         skipped = len(records) - len(fresh)
         if fresh:
+            path = self._shard_path(shard_id)
             with self._write_lock():
-                with open(self._shard_path(shard_id), "a", encoding="utf-8") as handle:
+                before: Optional[Tuple[int, int]] = None
+                if self._listeners and path.exists():
+                    stat = path.stat()
+                    before = (stat.st_mtime_ns, stat.st_size)
+                with open(path, "a", encoding="utf-8") as handle:
                     for record in fresh:
                         handle.write(record.to_json_line() + "\n")
+                if self._listeners:
+                    stat = path.stat()
+                    event = StoreAppendEvent(
+                        shard_id=shard_id,
+                        scenario_key=scenario_key,
+                        records=tuple(fresh),
+                        replaced=frozenset(replaced),
+                        before=before,
+                        after=(stat.st_mtime_ns, stat.st_size),
+                    )
+                    for listener in list(self._listeners):
+                        listener(event)
             cache = self._latest_lines.get(shard_id)
             if cache is not None:
                 for record in fresh:

@@ -131,6 +131,32 @@ class Scheduler:
         self.jobs: Dict[str, Job] = {}
         self._executions: Dict[ExecutionKey, _Execution] = {}
         self._next_job = 1
+        self.warehouse = self._open_warehouse()
+
+    def _open_warehouse(self) -> Optional[Any]:
+        """Create/sync the warehouse index for the service store and attach
+        it to the writer, so every completed cell lands in sqlite as it
+        persists and consolidated queries over the store are always warm.
+        A long-running daemon is exactly the writer the index is for, so
+        (unlike `analyze`) the service *creates* the index when missing.
+        Any failure is non-fatal: the store works fine without it.
+        """
+        try:
+            from repro.warehouse import WarehouseIndex, sqlite_available
+
+            if not sqlite_available():
+                return None
+            index = WarehouseIndex(self.store_path)
+            index.sync()
+            index.attach(self.store)
+            return index
+        except ReproError as error:
+            logger.warning(
+                "warehouse index unavailable for %s (%s); serving without it",
+                self.store_path,
+                error,
+            )
+            return None
 
     # -- submission --------------------------------------------------------
 
