@@ -360,88 +360,105 @@ class _OneShotFloodingFastProgram(FastRoundProgram):
 
 
 class _OneShotFloodingBatchProgram(BatchRoundProgram):
-    """One-shot flooding across lanes: per-lane FIFO queues, lockstep rounds.
+    """One-shot flooding across lanes: array-backed queues, bulk delivery.
 
-    The round body is inherently sequential per lane (each node pops the
-    head of its own queue, and newly learned tokens re-enter the queue), so
-    this program replays :class:`_OneShotFloodingFastProgram`'s round body
-    lane by lane on the lane's adjacency bitmasks — the win over serial
-    execution is the shared problem setup, the shared knowledge cube and
-    the vectorized bookkeeping around the loop.  Knowledge is mirrored in
-    per-lane integer bitmasks so the hot already-knows test never touches a
-    numpy scalar; the batch state is only told about successful learnings
-    (at most ``n·k`` per lane).
+    The per-node FIFO queues of every lane live in one ``(lanes, n, k)``
+    ring-free buffer (each node enqueues each token at most once, so ``k``
+    slots always suffice) with ``(lanes, n)`` head/tail cursors.  A round's
+    commit is then pure array work: every node whose cursor window is
+    non-empty broadcasts its head token, and the pop is one masked cursor
+    increment.  Delivery builds a one-hot ``(lanes, n, k)`` sender cube and
+    one batched matmul against the dense per-lane adjacency yields, for all
+    lanes at once, which (receiver, token) pairs were reached; learners are
+    the reached pairs not yet in the knowledge cube.  Only the actual
+    learnings (at most ``n·k`` per lane over the whole run) drop back to
+    python — ordered receiver-ascending and, within a receiver, by the
+    lowest adjacent sender that carried the token, which is exactly the
+    order the serial fast program's ascending-bit delivery loop learns in.
     """
 
+    needs_dense_adjacency = True
+
     def setup(self) -> None:
+        np = self.np
         initial = self.kernel.problem.initial_knowledge
         token_index = self.kernel.token_index
-        initial_queues = [
-            sorted(token_index[token] for token in initial[node])
-            for node in self.nodes
-        ]
-        initial_masks = [
-            sum(1 << bit for bit in bits) for bits in initial_queues
-        ]
         lanes = self.kernel.lanes
-        self.queues: List[List[Deque[int]]] = [
-            [deque(bits) for bits in initial_queues] for _ in range(lanes)
-        ]
-        self.know_masks: List[List[int]] = [
-            list(initial_masks) for _ in range(lanes)
-        ]
+        self.queue_buf = np.zeros((lanes, self.n, self.k), dtype=np.int64)
+        self.qhead = np.zeros((lanes, self.n), dtype=np.int64)
+        self.qtail = np.zeros((lanes, self.n), dtype=np.int64)
+        for index, node in enumerate(self.nodes):
+            bits = sorted(token_index[token] for token in initial[node])
+            if bits:
+                self.queue_buf[:, index, : len(bits)] = bits
+                self.qtail[:, index] = len(bits)
+        # Once every lane's knowledge cube is full no broadcast can teach
+        # anything — the remaining rounds only drain queues and count, so
+        # the matmul is skipped for the rest of the run.
+        self._saturated = False
 
-    def commit(self, round_index: int) -> List[Optional[Tuple[int, List[int]]]]:
-        active = self.kernel.active_lanes
-        commitments: List[Optional[Tuple[int, List[int]]]] = [None] * self.kernel.lanes
-        for lane in self.np.nonzero(active)[0]:
-            token_of = [-1] * self.n
-            senders = 0
-            for index, queue in enumerate(self.queues[lane]):
-                if queue:
-                    token_of[index] = queue.popleft()
-                    senders |= 1 << index
-            commitments[lane] = (senders, token_of)
-        return commitments
+    def commit(self, round_index: int) -> Tuple[object, object]:
+        np = self.np
+        senders = (self.qhead < self.qtail) & self.kernel.active_lanes[:, None]
+        # Head tokens for every node at once; the clip keeps empty-queue
+        # reads in bounds — they are masked out by ``senders`` anyway.
+        heads = np.minimum(self.qhead, self.k - 1)
+        token_of = np.take_along_axis(self.queue_buf, heads[:, :, None], axis=2)[:, :, 0]
+        self.qhead += senders
+        return senders, token_of
 
     def deliver(self, round_index: int, commitment) -> None:
-        n = self.n
-        state = self.state
+        np = self.np
+        senders, token_of = commitment
+        counts = senders.sum(axis=1)
+        self.accounting.count_lanes(_KIND_TOKEN, counts)
+        self.accounting.per_node += senders
+        if self._saturated or not counts.any():
+            return
+        lane_ids, sender_ids = np.nonzero(senders)
+        sent_tokens = token_of[lane_ids, sender_ids]
+        one_hot = np.zeros((self.kernel.lanes, self.n, self.k), dtype=np.float32)
+        one_hot[lane_ids, sender_ids, sent_tokens] = 1.0
+        reached = np.matmul(self.kernel.dense_adj, one_hot) > 0.5
+        learned = reached & ~self.state.know
+        if not learned.any():
+            self._saturated = bool(
+                (self.state.known_counts == self.k).all()
+            )
+            return
+        ll, rr, tt = np.nonzero(learned)
+        # Serial learning order within a receiver is sender-ascending, and a
+        # token's learn event lands at its *first* delivering sender.  Build
+        # per-lane token -> sender-bitmask maps (only for lanes that learn
+        # this round) and sort the events by that first sender.
         stages = self.kernel.stages
-        accounting = self.accounting
-        per_node = accounting.per_node
-        for lane in self.np.nonzero(self.kernel.active_lanes)[0]:
-            lane = int(lane)
-            senders, token_of = commitment[lane]
-            if not senders:
-                continue
-            broadcasters = bit_indices(senders)
-            accounting.count_lane(lane, _KIND_TOKEN, len(broadcasters))
-            per_node_lane = per_node[lane]
-            for index in broadcasters:
-                per_node_lane[index] += 1
-            adj = stages[lane].adj
-            queues = self.queues[lane]
-            know_masks = self.know_masks[lane]
-            # Delivery order mirrors the serial fast program: receivers
-            # ascending, and within a receiver the senders ascending.
-            for receiver in range(n):
-                incoming = adj[receiver] & senders
-                while incoming:
-                    low = incoming & -incoming
-                    sender = low.bit_length() - 1
-                    incoming ^= low
-                    token_bit = token_of[sender]
-                    if not (know_masks[receiver] >> token_bit) & 1:
-                        know_masks[receiver] |= 1 << token_bit
-                        state.learn_lane_index(lane, receiver, token_bit)
-                        queues[receiver].append(token_bit)
+        token_senders: Dict[int, Dict[int, int]] = {}
+        for lane in np.unique(ll).tolist():
+            bucket: Dict[int, int] = {}
+            row = np.nonzero(senders[lane])[0]
+            for sender, token_bit in zip(row.tolist(), token_of[lane, row].tolist()):
+                bucket[token_bit] = bucket.get(token_bit, 0) | (1 << sender)
+            token_senders[lane] = bucket
+        lanes_list = ll.tolist()
+        receivers_list = rr.tolist()
+        tokens_list = tt.tolist()
+        first_sender = np.empty(len(lanes_list), dtype=np.int64)
+        for position, (lane, receiver, token_bit) in enumerate(
+            zip(lanes_list, receivers_list, tokens_list)
+        ):
+            incoming = stages[lane].adj[receiver] & token_senders[lane][token_bit]
+            first_sender[position] = (incoming & -incoming).bit_length() - 1
+        learn = self.state.learn_lane_index
+        queue_buf = self.queue_buf
+        qtail = self.qtail
+        for position in np.lexsort((first_sender, rr, ll)).tolist():
+            lane = lanes_list[position]
+            receiver = receivers_list[position]
+            token_bit = tokens_list[position]
+            learn(lane, receiver, token_bit)
+            queue_buf[lane, receiver, qtail[lane, receiver]] = token_bit
+            qtail[lane, receiver] += 1
+        self._saturated = bool((self.state.known_counts == self.k).all())
 
     def quiescent_lanes(self):
-        return self.np.array(
-            [
-                all(not queue for queue in lane_queues)
-                for lane_queues in self.queues
-            ],
-            dtype=self.np.bool_,
-        )
+        return (self.qhead >= self.qtail).all(axis=1)

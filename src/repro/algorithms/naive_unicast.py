@@ -176,92 +176,94 @@ class _NaiveUnicastFastProgram(FastRoundProgram):
 
 
 class _NaiveUnicastBatchProgram(BatchRoundProgram):
-    """Naive unicast across lanes: per-lane sent-pair bitmasks, lockstep rounds.
+    """Naive unicast across lanes: packed per-pair send history, bulk rounds.
 
-    Message selection depends on each lane's own send history, so the round
-    body replays :class:`_NaiveUnicastFastProgram` lane by lane on the
-    lane's adjacency bitmasks (including the quiescence rule's
-    create-on-consideration quirk).  Knowledge is mirrored in per-lane
-    integer bitmasks so the hot sendable test never touches a numpy scalar;
-    the batch state is only told about successful learnings.
+    The per-pair "tokens v already pushed to u" sets of every lane live in
+    one ``(lanes, n, n, words)`` uint64 cube (``words = ceil(k / 64)``), so
+    a round is pure array work: mask the knowledge words of every sender
+    against its per-pair sent words, find the lowest settable bit per
+    adjacent pair with a word-at-a-time bit trick, and fold the chosen bits
+    back into the history cube — all lanes at once.  The quiescence rule's
+    create-on-consideration quirk survives as a ``(lanes, n, n)`` bool
+    ``considered`` matrix OR-ed with each round's adjacency, and the
+    pair-send tallies it compares against knowledge counts are maintained
+    incrementally.  Only the actual learnings (at most ``n·k`` per lane over
+    the run) drop back to python, in the serial program's receiver-major,
+    sender-ascending order.
     """
 
+    needs_dense_adjacency = True
+
     def setup(self) -> None:
+        np = self.np
+        lanes = self.kernel.lanes
+        n = self.n
+        self.words = (self.k + 63) // 64
         initial = self.kernel.problem.initial_knowledge
         token_index = self.kernel.token_index
-        initial_masks = [
-            sum(1 << token_index[token] for token in initial[node])
-            for node in self.nodes
-        ]
-        lanes = self.kernel.lanes
-        # sent[lane][v][u] = bitmask of tokens v has pushed to u on this lane.
-        self.sent: List[List[Dict[int, int]]] = [
-            [{} for _ in range(self.n)] for _ in range(lanes)
-        ]
-        self.know_masks: List[List[int]] = [
-            list(initial_masks) for _ in range(lanes)
-        ]
+        # know_words[lane, v, w] mirrors the knowledge cube, 64 tokens per word.
+        self.know_words = np.zeros((lanes, n, self.words), dtype=np.uint64)
+        for index, node in enumerate(self.nodes):
+            for token in initial[node]:
+                bit = token_index[token]
+                self.know_words[:, index, bit >> 6] |= np.uint64(1 << (bit & 63))
+        # sent_words[lane, v, u, w] = tokens v has pushed to u on this lane.
+        self.sent_words = np.zeros((lanes, n, n, self.words), dtype=np.uint64)
+        self.sent_counts = np.zeros((lanes, n, n), dtype=np.int64)
+        self.considered = np.zeros((lanes, n, n), dtype=np.bool_)
 
     def deliver(self, round_index: int, commitment) -> None:
+        np = self.np
         n = self.n
-        state = self.state
-        stages = self.kernel.stages
-        accounting = self.accounting
-        per_node = accounting.per_node
-        for lane in self.np.nonzero(self.kernel.active_lanes)[0]:
-            lane = int(lane)
-            adj = stages[lane].adj
-            sent = self.sent[lane]
-            know_masks = self.know_masks[lane]
-            per_node_lane = per_node[lane]
-            deliveries: List[Optional[List[int]]] = [None] * n
-            token_count = 0
-            for v in range(n):
-                neighbors = adj[v]
-                if not neighbors:
-                    continue
-                sent_v = sent[v]
-                know_v = know_masks[v]
-                to_visit = neighbors
-                while to_visit:
-                    low = to_visit & -to_visit
-                    u = low.bit_length() - 1
-                    to_visit ^= low
-                    already = sent_v.get(u)
-                    if already is None:
-                        already = sent_v[u] = 0
-                    sendable = know_v & ~already
-                    if not sendable:
-                        continue
-                    token_low = sendable & -sendable
-                    sent_v[u] = already | token_low
-                    token_count += 1
-                    per_node_lane[v] += 1
-                    box = deliveries[u]
-                    if box is None:
-                        box = deliveries[u] = []
-                    box.append(token_low.bit_length() - 1)
-            for u in range(n):
-                box = deliveries[u]
-                if not box:
-                    continue
-                for token_bit_index in box:
-                    if not (know_masks[u] >> token_bit_index) & 1:
-                        know_masks[u] |= 1 << token_bit_index
-                        state.learn_lane_index(lane, u, token_bit_index)
-            accounting.count_lane(lane, _KIND_TOKEN, token_count)
+        pairs = (self.kernel.dense_adj > 0.5) & self.kernel.active_lanes[:, None, None]
+        self.considered |= pairs
+        sendable = self.know_words[:, :, None, :] & ~self.sent_words
+        # Lowest sendable bit per (sender, receiver) pair: scan the words
+        # ascending, first non-empty word wins, isolate its lowest set bit.
+        chosen = np.full((self.kernel.lanes, n, n), -1, dtype=np.int64)
+        open_pairs = pairs
+        one = np.uint64(1)
+        for word in range(self.words):
+            words = sendable[:, :, :, word]
+            hits = open_pairs & (words != 0)
+            if not hits.any():
+                continue
+            lows = words & (~words + one)
+            bits = (
+                np.bitwise_count(np.where(hits, lows - one, 0)).astype(np.int64)
+                + 64 * word
+            )
+            chosen = np.where(hits, bits, chosen)
+            self.sent_words[:, :, :, word] |= np.where(hits, lows, 0)
+            open_pairs = open_pairs & ~hits
+        messages = chosen >= 0
+        self.sent_counts += messages
+        self.accounting.count_lanes(_KIND_TOKEN, messages.sum(axis=(1, 2)))
+        self.accounting.per_node += messages.sum(axis=2)
+        # Learning order mirrors the serial program: receiver-major, then the
+        # senders ascending — ``nonzero`` on the transposed cube walks
+        # exactly that order lane by lane.
+        ll, uu, vv = np.nonzero(messages.transpose(0, 2, 1))
+        if ll.size == 0:
+            return
+        sent_tokens = chosen[ll, vv, uu]
+        fresh = ~self.state.know[ll, uu, sent_tokens]
+        learn = self.state.learn_lane_index
+        know_words = self.know_words
+        for lane, receiver, token_bit in zip(
+            ll[fresh].tolist(), uu[fresh].tolist(), sent_tokens[fresh].tolist()
+        ):
+            # learn_lane_index dedups same-round duplicates (two senders
+            # pushing one token to the same receiver); the first — lowest —
+            # sender wins, matching the serial delivery loop.
+            if learn(lane, receiver, token_bit):
+                know_words[lane, receiver, token_bit >> 6] |= np.uint64(
+                    1 << (token_bit & 63)
+                )
 
     def quiescent_lanes(self):
-        n = self.n
-        total_pairs = n * (n - 1)
-        flags = []
-        for lane in range(self.kernel.lanes):
-            know_masks = self.know_masks[lane]
-            pushed = 0
-            for v, sent_v in enumerate(self.sent[lane]):
-                count = know_masks[v].bit_count()
-                for mask in sent_v.values():
-                    if mask.bit_count() >= count:
-                        pushed += 1
-            flags.append(pushed >= total_pairs)
-        return self.np.array(flags, dtype=self.np.bool_)
+        total_pairs = self.n * (self.n - 1)
+        pushed = self.considered & (
+            self.sent_counts >= self.state.known_counts[:, :, None]
+        )
+        return pushed.sum(axis=(1, 2)) >= total_pairs

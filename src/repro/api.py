@@ -115,7 +115,11 @@ __all__ = [
     "RunSet",
     "execute_cell",
     "execute_cell_payload",
+    "execute_group",
+    "execute_group_payload",
+    "group_payloads",
     "load_runs",
+    "vectorizable_group",
 ]
 
 #: Path-like accepted wherever a store directory is named.
@@ -592,8 +596,8 @@ def execute_cell(
     return record, meta
 
 
-def _vectorizable_group(spec: ScenarioSpec, cells: Sequence["PlanCell"]) -> bool:
-    """Whether a group of pending cells should run through the batch kernel.
+def vectorizable_group(spec: ScenarioSpec, count: int) -> bool:
+    """Whether ``count`` pending repetitions of one spec should run batched.
 
     Multi-repetition groups of vectorizable scenarios are dispatched to the
     vectorized batch backend automatically — it produces field-identical
@@ -601,7 +605,7 @@ def _vectorizable_group(spec: ScenarioSpec, cells: Sequence["PlanCell"]) -> bool
     non-default backend) opts out; a missing numpy keeps the serial path
     (with a once-per-process warning, since it silently costs wall-clock).
     """
-    if len(cells) < 2 or spec.backend not in ("reference", "batch"):
+    if count < 2 or spec.backend not in ("reference", "batch"):
         return False
     from repro.core.state import numpy_available
 
@@ -614,10 +618,57 @@ def _vectorizable_group(spec: ScenarioSpec, cells: Sequence["PlanCell"]) -> bool
                 "(install the repro[fast] extra to vectorize them)"
             )
         return False
-    # Imported lazily: repro.backends imports the scenario layer.
+    # Imported lazily: repro.backends imports the scenario layer.  The
+    # package import must come first — in a fresh worker process, importing
+    # repro.batch.backend directly would re-enter the half-initialized
+    # backends package through the registration cycle between the two.
+    import repro.backends  # noqa: F401
     from repro.batch.backend import can_vectorize_spec
 
     return can_vectorize_spec(spec)
+
+
+def execute_group(
+    spec: ScenarioSpec,
+    repetitions: Sequence[int],
+    collect_timings: bool = False,
+) -> List[Tuple[Record, CellMeta]]:
+    """Run a same-spec repetition group, vectorized when possible.
+
+    The group-level unit of work behind both the in-process path and the
+    worker pools: a vectorizable group runs all repetitions as lockstep
+    lanes of one batch kernel; anything else runs cell by cell through the
+    spec's own backend.  Either way the outcome list is in repetition
+    order and each record is field-identical to a serial execution.
+    """
+    if vectorizable_group(spec, len(repetitions)):
+        from repro.backends import BatchBackend
+
+        tracer = _cell_tracer(collect_timings)
+        started = time.perf_counter()
+        results = BatchBackend().run_batch(spec, list(repetitions), tracer=tracer)
+        # Lockstep lanes share the wall clock; an even split keeps the
+        # per-cell seconds summing back to the group's true cost.
+        lane_seconds = (time.perf_counter() - started) / len(repetitions)
+        outcomes: List[Tuple[Record, CellMeta]] = []
+        for repetition, result in zip(repetitions, results):
+            meta: CellMeta = {
+                "backend": "batch",
+                "seconds": lane_seconds,
+                "stage_seconds": result.timings,
+            }
+            outcomes.append(
+                (
+                    record_from_result(
+                        spec, repetition, repetition_seed(spec, repetition), result
+                    ),
+                    meta,
+                )
+            )
+        return outcomes
+    return [
+        execute_cell(spec, repetition, collect_timings) for repetition in repetitions
+    ]
 
 
 def _execute_pending(
@@ -626,37 +677,14 @@ def _execute_pending(
     """Execute pending cells in plan order, vectorizing eligible groups.
 
     Plan order is spec-major, so consecutive grouping recovers exactly the
-    pending repetitions of each grid cell.  Groups that cannot vectorize
-    run cell by cell through the spec's own backend, unchanged.
+    pending repetitions of each grid cell.
     """
     import itertools
 
     for spec, group in itertools.groupby(pending, key=lambda cell: cell.spec):
-        cells = list(group)
-        if _vectorizable_group(spec, cells):
-            from repro.backends import BatchBackend
-
-            tracer = _cell_tracer(collect_timings)
-            started = time.perf_counter()
-            results = BatchBackend().run_batch(
-                spec, [cell.repetition for cell in cells], tracer=tracer
-            )
-            # Lockstep lanes share the wall clock; an even split keeps the
-            # per-cell seconds summing back to the group's true cost.
-            lane_seconds = (time.perf_counter() - started) / len(cells)
-            for cell, result in zip(cells, results):
-                meta: CellMeta = {
-                    "backend": "batch",
-                    "seconds": lane_seconds,
-                    "stage_seconds": result.timings,
-                }
-                yield (
-                    record_from_result(spec, cell.repetition, cell.seed, result),
-                    meta,
-                )
-        else:
-            for cell in cells:
-                yield execute_cell(cell.spec, cell.repetition, collect_timings)
+        yield from execute_group(
+            spec, [cell.repetition for cell in group], collect_timings
+        )
 
 
 def execute_cell_payload(
@@ -672,6 +700,53 @@ def execute_cell_payload(
     for module_name in extension_modules:
         importlib.import_module(module_name)
     return execute_cell(ScenarioSpec.from_json(spec_json), repetition, collect_timings)
+
+
+#: A picklable same-spec repetition group:
+#: ``(spec_json, repetitions, extension_modules, collect_timings)``.
+GroupPayload = Tuple[str, Tuple[int, ...], Tuple[str, ...], bool]
+
+
+def execute_group_payload(payload: GroupPayload) -> List[Tuple[Record, CellMeta]]:
+    """Worker entry point: rebuild the spec and run a whole repetition group.
+
+    The batch-parallel analogue of :func:`execute_cell_payload`: one task
+    per *group*, so a worker process runs all lanes of a vectorizable grid
+    cell in one batch-kernel pass while other groups occupy other cores.
+    """
+    spec_json, repetitions, extension_modules, collect_timings = payload
+    for module_name in extension_modules:
+        importlib.import_module(module_name)
+    return execute_group(
+        ScenarioSpec.from_json(spec_json), list(repetitions), collect_timings
+    )
+
+
+def group_payloads(
+    pending: Sequence["PlanCell"],
+    extensions: Tuple[str, ...],
+    collect_timings: bool,
+) -> List[GroupPayload]:
+    """Pack pending cells into worker tasks, one per batch group.
+
+    Vectorizable groups travel whole (one ``run_batch`` per worker task);
+    everything else ships as single-cell groups so the pool still spreads
+    serial cells across cores.  Flattening the per-task outcome lists in
+    task order reproduces plan order exactly.
+    """
+    import itertools
+
+    payloads: List[GroupPayload] = []
+    for spec, group in itertools.groupby(pending, key=lambda cell: cell.spec):
+        repetitions = tuple(cell.repetition for cell in group)
+        if vectorizable_group(spec, len(repetitions)):
+            payloads.append((spec.to_json(), repetitions, extensions, collect_timings))
+        else:
+            payloads.extend(
+                (spec.to_json(), (repetition,), extensions, collect_timings)
+                for repetition in repetitions
+            )
+    return payloads
 
 
 class RunSet:
@@ -776,21 +851,25 @@ class RunSet:
                     start=start,
                 )
             else:
-                payloads = [
-                    (
-                        cell.spec.to_json(),
-                        cell.repetition,
-                        plan.extensions,
-                        plan.collect_timings,
-                    )
-                    for cell in pending
-                ]
+                payloads = group_payloads(
+                    pending, plan.extensions, plan.collect_timings
+                )
+                workers = min(workers, len(payloads))
                 with multiprocessing.Pool(processes=workers) as pool:
                     # imap (not imap_unordered) keeps batch order, which keeps
-                    # parallel output byte-identical to the serial path.
+                    # parallel output byte-identical to the serial path.  Each
+                    # task is one batch group; flattening its outcome list in
+                    # task order restores the per-cell plan order.
+                    task_results = pool.imap(
+                        execute_group_payload, payloads, chunksize=1
+                    )
                     yield from self._interleave(
                         remaining,
-                        pool.imap(execute_cell_payload, payloads, chunksize=1),
+                        (
+                            outcome
+                            for outcomes in task_results
+                            for outcome in outcomes
+                        ),
                         start=start,
                     )
         finally:

@@ -44,6 +44,27 @@ def can_vectorize(algorithm, adversary) -> bool:
     )
 
 
+def batch_program_names() -> List[str]:
+    """Registry names of the algorithms with a vectorized batch program.
+
+    Capability discovery instead of a hardcoded allowlist, mirroring
+    :func:`repro.backends.bitset.fast_path_names`: every registered
+    algorithm is instantiated with its registry defaults and probed through
+    :meth:`~repro.algorithms.base.TokenForwardingAlgorithm.batch_program_factory`.
+    """
+    from repro.scenarios.registry import ALGORITHM_REGISTRY
+
+    names = []
+    for name in ALGORITHM_REGISTRY.names():
+        try:
+            algorithm = ALGORITHM_REGISTRY.create(name)
+        except Exception:  # pragma: no cover - misconfigured third-party entry
+            continue
+        if algorithm.batch_program_factory() is not None:
+            names.append(name)
+    return names
+
+
 def can_vectorize_spec(spec) -> bool:
     """True iff the scenario named by ``spec`` can run in lockstep lanes.
 

@@ -237,20 +237,100 @@ def _sweep_one_shot_spec(num_nodes: int, repetitions: int) -> ScenarioSpec:
     )
 
 
+def _sweep_naive_unicast_spec(num_nodes: int, repetitions: int) -> ScenarioSpec:
+    k = (num_nodes * 3) // 4
+    return ScenarioSpec(
+        problem="multi-source",
+        problem_params={"num_nodes": num_nodes, "num_tokens": k, "num_sources": 4},
+        algorithm="naive-unicast",
+        adversary="churn",
+        adversary_params={"changes_per_round": 2},
+        repetitions=repetitions,
+        name=f"sweep-naive-unicast-n{num_nodes}-k{k}-r{repetitions}",
+    )
+
+
+def _sweep_single_source_spec(num_nodes: int, repetitions: int) -> ScenarioSpec:
+    k = num_nodes + num_nodes // 3
+    return ScenarioSpec(
+        problem="single-source",
+        problem_params={"num_nodes": num_nodes, "num_tokens": k},
+        algorithm="single-source",
+        adversary="churn",
+        adversary_params={"changes_per_round": 2},
+        repetitions=repetitions,
+        name=f"sweep-single-source-n{num_nodes}-k{k}-r{repetitions}",
+    )
+
+
+def _sweep_spanning_tree_spec(num_nodes: int, repetitions: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        problem="single-source",
+        problem_params={"num_nodes": num_nodes, "num_tokens": num_nodes},
+        algorithm="spanning-tree",
+        adversary="static-random",
+        adversary_params={"num_nodes": num_nodes, "edge_probability": 0.3},
+        repetitions=repetitions,
+        name=f"sweep-spanning-tree-n{num_nodes}-k{num_nodes}-r{repetitions}",
+    )
+
+
+def _sweep_multi_source_spec(num_nodes: int, repetitions: int) -> ScenarioSpec:
+    k = (num_nodes * 5) // 6
+    return ScenarioSpec(
+        problem="multi-source",
+        problem_params={"num_nodes": num_nodes, "num_tokens": k, "num_sources": 3},
+        algorithm="multi-source",
+        adversary="churn",
+        adversary_params={"changes_per_round": 2},
+        repetitions=repetitions,
+        name=f"sweep-multi-source-n{num_nodes}-k{k}-r{repetitions}",
+    )
+
+
+def _sweep_oblivious_spec(num_nodes: int, repetitions: int) -> ScenarioSpec:
+    # The registry default forces the two-phase variant, so every lane runs
+    # real random-walk phase-1 rounds before the multi-source replay.  The
+    # walks are RNG-sequential by design and run at parity lane-for-lane;
+    # the batch win comes from amortizing setup across many repetitions,
+    # hence the small-n, high-repetition cell.
+    return ScenarioSpec(
+        problem="multi-source",
+        problem_params={"num_nodes": num_nodes, "num_tokens": num_nodes, "num_sources": 2},
+        algorithm="oblivious",
+        adversary="churn",
+        adversary_params={"changes_per_round": 2},
+        repetitions=repetitions,
+        name=f"sweep-oblivious-n{num_nodes}-k{num_nodes}-r{repetitions}",
+    )
+
+
 def sweep_grid(quick: bool) -> List[ScenarioSpec]:
     """The multi-repetition sweep grid; ``quick`` is the CI-sized subset.
 
-    Both grids include the 32-repetition flooding sweep at n=128 — the
-    scenario the batch perf gate (``--min-batch-speedup``) is pinned to.
+    Both grids cover one cell per batch-vectorized algorithm — all seven
+    registered algorithms — and include the 32-repetition flooding sweep
+    at n=128, the scenario the batch perf gate (``--min-batch-speedup``)
+    is pinned to.  Cell sizes are tuned per algorithm: the bulk-vectorized
+    programs (flooding, one-shot-flooding, naive-unicast) win on large
+    lockstep rounds, while the per-lane replay programs (the unicast
+    family) win on setup amortization, so their cells are small-n,
+    many-repetition sweeps.
     """
+    grid = [
+        _sweep_flooding_spec(128, 32),
+        _sweep_one_shot_spec(64, 16),
+        _sweep_naive_unicast_spec(32, 16),
+        _sweep_single_source_spec(12, 64),
+        _sweep_spanning_tree_spec(12, 96),
+        _sweep_multi_source_spec(12, 64),
+        _sweep_oblivious_spec(8, 160),
+    ]
     if quick:
-        return [
-            _sweep_flooding_spec(128, 32),
-            _sweep_one_shot_spec(64, 16),
-        ]
+        return grid
     return [
         _sweep_flooding_spec(64, 32),
-        _sweep_flooding_spec(128, 32),
+        *grid,
         _sweep_one_shot_spec(96, 32),
     ]
 
@@ -263,13 +343,21 @@ def run_sweep_entry(spec: ScenarioSpec, *, repeat: int = 1) -> Dict[str, Any]:
     seed — so the measured speedup is the real sweep-level win.  Both sides
     run with ``keep_trace=False`` and every repetition is diffed
     field-by-field.
+
+    Timing trials are *interleaved* (serial, batch, serial, batch, ...)
+    rather than run as two back-to-back blocks: on a noisy box, load drift
+    during an all-serial-then-all-batch measurement lands entirely on one
+    side and skews the ratio, while paired trials sample the same
+    conditions.  Each side still reports its best-of-``repeat``.
     """
     from repro.batch.backend import BatchBackend
 
     repetitions = list(range(spec.repetitions))
     seeds = [repetition_seed(spec, repetition) for repetition in repetitions]
     serial_backend = get_backend("bitset")
+    batch_backend = BatchBackend()
     serial_best = float("inf")
+    batch_best = float("inf")
     for _ in range(max(1, repeat)):
         start = time.perf_counter()
         serial_results = []
@@ -287,9 +375,6 @@ def run_sweep_entry(spec: ScenarioSpec, *, repeat: int = 1) -> Dict[str, Any]:
             )
         serial_best = min(serial_best, time.perf_counter() - start)
 
-    batch_backend = BatchBackend()
-    batch_best = float("inf")
-    for _ in range(max(1, repeat)):
         start = time.perf_counter()
         batch_results = batch_backend.run_batch(
             spec, repetitions, keep_trace=False
@@ -327,17 +412,91 @@ def run_sweep_entry(spec: ScenarioSpec, *, repeat: int = 1) -> Dict[str, Any]:
 def batch_speedup_gate(
     entries: Sequence[Dict[str, Any]], min_speedup: float
 ) -> Tuple[bool, str]:
-    """Check the flooding-sweep-at-largest-n batch speedup against a floor."""
+    """Gate every sweep entry, then the flooding-at-largest-n floor.
+
+    Two checks, both mandatory:
+
+    * **every** entry must show a batch speedup of at least 1.0x — any
+      cell where the vectorized backend lost to the serial loop fails the
+      gate loudly, naming the entry (no averaging across the grid);
+    * the flooding sweep at the largest ``n`` must additionally clear
+      ``min_speedup``.
+    """
+    slow = [
+        entry for entry in entries if entry["speedup"].get("batch", 0.0) < 1.0
+    ]
+    if slow:
+        worst = min(slow, key=lambda e: e["speedup"].get("batch", 0.0))
+        return False, (
+            f"batch speedup gate: {len(slow)} of {len(entries)} entries below "
+            f"1.0x — worst is {worst['scenario']} at "
+            f"{worst['speedup'].get('batch', 0.0)}x (every swept cell must "
+            f"beat the serial loop)"
+        )
     flooding = [entry for entry in entries if entry["algorithm"] == "flooding"]
     if not flooding:
         return False, "batch speedup gate: no flooding sweep in the executed grid"
     entry = max(flooding, key=lambda e: e["n"])
     observed = entry["speedup"].get("batch", 0.0)
     message = (
-        f"batch speedup gate: batch {observed}x vs serial bitset on "
-        f"{entry['scenario']} (required >= {min_speedup}x)"
+        f"batch speedup gate: all {len(entries)} entries >= 1.0x; batch "
+        f"{observed}x vs serial bitset on {entry['scenario']} "
+        f"(required >= {min_speedup}x)"
     )
     return observed >= min_speedup, message
+
+
+def parallel_group_entry(
+    *, workers: int = 2, repeat: int = 1
+) -> Dict[str, Any]:
+    """Wall-clock of whole batch groups fanned out to a worker pool.
+
+    Executes a four-cell vectorizable flooding grid (each cell = one batch
+    group of 16 repetitions) twice through the ``RunSet`` streaming path:
+    once in-process (``workers=1``, the serial-group baseline) and once
+    through the process pool (one ``run_batch`` payload per group).  Wall-clock includes pool startup — that is what a user pays —
+    and ``cpu_count`` rides along so single-core readings (where the pool
+    can only add overhead) are interpretable.  Records must be identical
+    between the two paths.
+    """
+    from repro.api import Experiment
+
+    def grid():
+        return (
+            Experiment.grid(
+                algorithm="flooding",
+                adversary="static-random",
+                num_nodes=[48, 64, 80, 96],
+                num_tokens=32,
+            )
+            .backend("batch")
+            .seeds(16)
+        )
+
+    serial_best = float("inf")
+    parallel_best = float("inf")
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        serial_records = grid().run(workers=1).records()
+        serial_best = min(serial_best, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        parallel_records = grid().run(workers=workers).records()
+        parallel_best = min(parallel_best, time.perf_counter() - start)
+
+    return {
+        "grid": "flooding static-random n=[48,64,80,96] k=32 x16 reps",
+        "cells": len(serial_records),
+        "groups": 4,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "seconds": {
+            "serial_groups": round(serial_best, 4),
+            "parallel_groups": round(parallel_best, 4),
+        },
+        "speedup": {"parallel": round(serial_best / parallel_best, 2)},
+        "equal": serial_records == parallel_records,
+    }
 
 
 def _record_entry_metrics(
@@ -390,11 +549,27 @@ def run_sweep_benchmark(
             _run_grid()
     else:
         _run_grid()
+    parallel = parallel_group_entry(repeat=repeat)
+    registry.histogram("bench.sweep.parallel_speedup").observe(
+        parallel["speedup"]["parallel"]
+    )
+    if progress is not None:
+        progress(
+            f"parallel groups: {parallel['groups']} groups x "
+            f"{parallel['cells'] // parallel['groups']} reps, serial "
+            f"{parallel['seconds']['serial_groups']}s vs "
+            f"{parallel['workers']} workers "
+            f"{parallel['seconds']['parallel_groups']}s "
+            f"({parallel['speedup']['parallel']}x on "
+            f"{parallel['cpu_count']} cpus) "
+            f"[{'ok' if parallel['equal'] else 'MISMATCH'}]"
+        )
     return {
         "benchmark": "batch-sweeps",
         "grid": "quick" if quick else "full",
         "backends": list(SWEEP_BACKENDS),
         "entries": entries,
+        "parallel_groups": parallel,
         "metrics": registry.snapshot(),
     }
 

@@ -1297,6 +1297,7 @@ def command_verify_backend(args: argparse.Namespace) -> int:
 
 def command_list(args: argparse.Namespace) -> int:
     from repro.backends.bitset import fast_path_names
+    from repro.batch.backend import batch_program_names
 
     registries: List[Registry] = [
         ALGORITHM_REGISTRY,
@@ -1305,14 +1306,17 @@ def command_list(args: argparse.Namespace) -> int:
         BACKEND_REGISTRY,
     ]
     # Capability discovery, not a hardcoded allowlist: the algorithms are
-    # probed for native bit-level round programs.
+    # probed for native bit-level round programs and vectorized batch
+    # programs.
     fast_paths = fast_path_names()
+    batch_programs = batch_program_names()
     if args.json:
         payload = {
             _REGISTRY_PLURALS[registry.kind]: [entry.describe() for entry in registry.entries()]
             for registry in registries
         }
         payload["bitset_fast_paths"] = fast_paths
+        payload["batch_programs"] = batch_programs
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     for registry in registries:
@@ -1324,9 +1328,12 @@ def command_list(args: argparse.Namespace) -> int:
             )
             suffix = f"  ({parameters})" if parameters else ""
             description = f" — {entry.description}" if entry.description else ""
-            marker = " [bitset fast path]" if (
-                registry is ALGORITHM_REGISTRY and entry.name in fast_paths
-            ) else ""
+            marker = ""
+            if registry is ALGORITHM_REGISTRY:
+                if entry.name in fast_paths:
+                    marker += " [bitset fast path]"
+                if entry.name in batch_programs:
+                    marker += " [batch program]"
             print(f"  {entry.name}{description}{suffix}{marker}")
         print()
     return 0
@@ -1385,6 +1392,12 @@ def command_bench(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}")
     if not all(entry["equal"] for entry in payload["entries"]):
         print("backend results diverged; see the differences fields", file=sys.stderr)
+        return 1
+    if not payload.get("parallel_groups", {"equal": True})["equal"]:
+        print(
+            "parallel group execution diverged from the serial-group baseline",
+            file=sys.stderr,
+        )
         return 1
     if args.sweeps and args.min_batch_speedup is not None:
         passed, message = batch_speedup_gate(

@@ -26,10 +26,11 @@ subscribers catch up identically.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.api import Experiment, ExperimentPlan, PlanCell
+from repro.api import Experiment, ExperimentPlan, PlanCell, vectorizable_group
 from repro.obs.events import (
     CellCached,
     CellCompleted,
@@ -168,35 +169,58 @@ class Scheduler:
         job = Job(f"job-{self._next_job:04d}", plan)
         self._next_job += 1
         self.jobs[job.id] = job
-        claims = {
-            index: self._claim(job, cell)
-            for index, cell in enumerate(plan.cells)
-            if not cell.cached
-        }
+        claims = self._claim_cells(job, plan)
         job.task = asyncio.get_running_loop().create_task(
             self._run_job(job, claims), name=f"repro-{job.id}"
         )
         return job
 
-    def _claim(
-        self, job: Job, cell: PlanCell
-    ) -> Tuple["asyncio.Future", bool]:
-        """Attach to (or create) the physical execution of one cell."""
-        key: ExecutionKey = (
-            cell.spec.scenario_key(),
-            cell.repetition,
-            cell.spec.max_rounds,
-        )
-        execution = self._executions.get(key)
-        if execution is not None:
-            return execution.future, False
-        future = asyncio.get_running_loop().create_future()
-        execution = _Execution(key, job.id, future)
-        self._executions[key] = execution
-        asyncio.get_running_loop().create_task(
-            self._run_execution(execution, cell)
-        )
-        return future, True
+    def _claim_cells(
+        self, job: Job, plan: ExperimentPlan
+    ) -> Dict[int, Tuple["asyncio.Future", bool]]:
+        """Claim every pending cell, dispatching vectorizable groups whole.
+
+        Plan order is spec-major, so consecutive grouping recovers each grid
+        cell's pending repetitions.  The repetitions of a group that are not
+        already claimed by an in-flight execution (a sibling job's cell —
+        those coalesce exactly as before) go to the pool as *one* batch
+        payload when the scenario vectorizes, and cell by cell otherwise.
+        """
+        loop = asyncio.get_running_loop()
+        claims: Dict[int, Tuple["asyncio.Future", bool]] = {}
+        pending = [
+            (index, cell)
+            for index, cell in enumerate(plan.cells)
+            if not cell.cached
+        ]
+        for spec, group in itertools.groupby(pending, key=lambda pair: pair[1].spec):
+            fresh: List[Tuple[_Execution, PlanCell]] = []
+            for index, cell in group:
+                key: ExecutionKey = (
+                    cell.spec.scenario_key(),
+                    cell.repetition,
+                    cell.spec.max_rounds,
+                )
+                execution = self._executions.get(key)
+                if execution is not None:
+                    claims[index] = (execution.future, False)
+                    continue
+                execution = _Execution(key, job.id, loop.create_future())
+                self._executions[key] = execution
+                claims[index] = (execution.future, True)
+                fresh.append((execution, cell))
+            if not fresh:
+                continue
+            # Pools predating run_group (third-party stubs) degrade to the
+            # per-cell path instead of failing every claimed cell.
+            if vectorizable_group(spec, len(fresh)) and hasattr(
+                self.pool, "run_group"
+            ):
+                loop.create_task(self._run_group_execution(spec, fresh))
+            else:
+                for execution, cell in fresh:
+                    loop.create_task(self._run_execution(execution, cell))
+        return claims
 
     async def _run_execution(self, execution: _Execution, cell: PlanCell) -> None:
         """Run one physical cell on the pool, persist, resolve, un-claim.
@@ -227,6 +251,41 @@ class Scheduler:
         self.store.add([record], replace=True)
         self._executions.pop(execution.key, None)
         execution.future.set_result(("ok", record, meta))
+
+    async def _run_group_execution(
+        self, spec: ScenarioSpec, entries: List[Tuple[_Execution, PlanCell]]
+    ) -> None:
+        """Run one batch group on the pool, then settle each cell in turn.
+
+        One worker task executes all repetitions of the group as lockstep
+        lanes of a single batch kernel; the outcome list comes back in
+        repetition order and each cell keeps the exactly-once semantics of
+        :meth:`_run_execution` — persist, resolve, un-claim per record, with
+        no ``await`` in between.  A group failure fails every claimed cell
+        (they shared the one physical execution).
+        """
+        payload = (
+            spec.to_json(),
+            tuple(cell.repetition for _, cell in entries),
+            self.extensions,
+            self.collect_timings,
+        )
+        try:
+            outcomes = await self.pool.run_group(payload)
+        except Exception as error:  # worker death, unpicklable spec, ...
+            logger.error(
+                "batch group execution failed: %s x%d: %s",
+                spec.label, len(entries), error,
+            )
+            message = f"{type(error).__name__}: {error}"
+            for execution, _ in entries:
+                self._executions.pop(execution.key, None)
+                execution.future.set_result(("error", message))
+            return
+        for (execution, _), (record, meta) in zip(entries, outcomes):
+            self.store.add([record], replace=True)
+            self._executions.pop(execution.key, None)
+            execution.future.set_result(("ok", record, meta))
 
     # -- the job task ------------------------------------------------------
 

@@ -9,7 +9,10 @@ full submit/coalesce/persist path without forking.
 Cells travel as the same picklable payload tuples the parallel
 :class:`~repro.api.RunSet` path ships to ``multiprocessing.Pool``:
 ``(spec_json, repetition, extension_modules, collect_timings)`` executed
-by :func:`repro.api.execute_cell_payload`.
+by :func:`repro.api.execute_cell_payload`, and whole batch groups as
+``(spec_json, repetitions, extension_modules, collect_timings)`` executed
+by :func:`repro.api.execute_group_payload` — one vectorized batch-kernel
+pass per worker task.
 """
 
 from __future__ import annotations
@@ -18,9 +21,9 @@ import asyncio
 import multiprocessing
 import os
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, List, Tuple
 
-from repro.api import execute_cell_payload
+from repro.api import execute_cell_payload, execute_group_payload
 from repro.utils.validation import ConfigurationError
 
 __all__ = ["WorkerPool"]
@@ -73,6 +76,20 @@ class WorkerPool:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
             self._executor, execute_cell_payload, payload
+        )
+
+    async def run_group(
+        self, payload: Tuple[str, Tuple[int, ...], Tuple[str, ...], bool]
+    ) -> List[CellOutcome]:
+        """Execute one batch-group payload on the pool and await its outcomes.
+
+        The outcome list is in the payload's repetition order — one
+        ``(record, meta)`` per repetition, exactly as if each cell had been
+        shipped through :meth:`run` individually.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, execute_group_payload, payload
         )
 
     def shutdown(self, wait: bool = True) -> None:

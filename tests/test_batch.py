@@ -360,6 +360,186 @@ class TestExperimentAutoBatching:
         assert len(plan.cached) == 6
 
 
+def assert_batch_matches_serial(spec):
+    """Run ``spec`` both ways and require field-identical records."""
+    assert can_vectorize_spec(spec), spec.algorithm
+    serial = run_spec(spec)
+    results = BatchBackend().run_batch(spec)
+    batch = [
+        record_from_result(spec, repetition, repetition_seed(spec, repetition), result)
+        for repetition, result in enumerate(results)
+    ]
+    assert batch == serial, spec.label
+
+
+class TestFullGridIdentity:
+    """Per-round lockstep identity for the programs added to the grid.
+
+    Every registered algorithm now ships a batch program; these tests pin
+    the per-lane replay programs (multi-source, oblivious two-phase) and
+    the bulk-vectorized rewrites (one-shot-flooding, naive-unicast) to the
+    serial bitset kernel, field for field — rounds, message statistics,
+    event order, completion — under both churning and steady topologies.
+    """
+
+    def multi_source_spec(self, **overrides):
+        fields = dict(
+            problem="multi-source",
+            problem_params={"num_nodes": 10, "num_tokens": 8, "num_sources": 3},
+            algorithm="multi-source",
+            adversary="churn",
+            adversary_params={"changes_per_round": 2},
+            seed=29,
+            repetitions=4,
+            name="batch-grid-test",
+        )
+        fields.update(overrides)
+        return ScenarioSpec(**fields)
+
+    def test_multi_source_batch_program_matches_serial(self):
+        for adversary, params in (
+            ("churn", {"changes_per_round": 2}),
+            ("static-random", {"num_nodes": 10}),
+        ):
+            assert_batch_matches_serial(
+                self.multi_source_spec(adversary=adversary, adversary_params=params)
+            )
+
+    def test_oblivious_two_phase_matches_serial(self):
+        """Real phase 1: every lane walks its own RNG-driven random walks."""
+        assert_batch_matches_serial(
+            self.multi_source_spec(
+                algorithm="oblivious",
+                algorithm_params={"force_two_phase": True},
+                seed=31,
+            )
+        )
+
+    def test_oblivious_phase_skip_matches_serial(self):
+        """Below-threshold regime: phase 1 skipped, machines active from setup."""
+        assert_batch_matches_serial(
+            self.multi_source_spec(
+                algorithm="oblivious",
+                algorithm_params={"force_two_phase": False},
+                seed=37,
+            )
+        )
+
+    def test_oblivious_phase1_round_limit_matches_serial(self):
+        """The force-delivery safeguard (limit expiry) must match serially."""
+        assert_batch_matches_serial(
+            self.multi_source_spec(
+                algorithm="oblivious",
+                algorithm_params={"force_two_phase": True, "phase1_round_limit": 3},
+                seed=41,
+            )
+        )
+
+    def test_one_shot_flooding_bulk_matches_serial(self):
+        """The bulk matmul rewrite must keep serial event order exactly.
+
+        Serial order: receivers ascending, senders ascending within a
+        receiver, and a learned token's event lands at its lowest-index
+        delivering sender — the lexsort in the program reproduces this.
+        """
+        for num_tokens in (10, 70):  # one word and two words of queue state
+            assert_batch_matches_serial(
+                self.multi_source_spec(
+                    problem="random-placement",
+                    problem_params={"num_nodes": 12, "num_tokens": num_tokens},
+                    algorithm="one-shot-flooding",
+                    algorithm_params={},
+                    adversary="churn",
+                    adversary_params={"changes_per_round": 3},
+                    seed=43,
+                )
+            )
+
+    def test_naive_unicast_bulk_matches_serial(self):
+        """The lowest-set-bit rewrite must pick serial tokens per pair.
+
+        k=70 forces multi-word know/sent masks (the uint64 word loop), and
+        churn exercises the considered-pairs quiescence bookkeeping.
+        """
+        for num_tokens in (8, 70):
+            assert_batch_matches_serial(
+                self.multi_source_spec(
+                    problem_params={
+                        "num_nodes": 10,
+                        "num_tokens": num_tokens,
+                        "num_sources": 3,
+                    },
+                    algorithm="naive-unicast",
+                    algorithm_params={},
+                    seed=47,
+                )
+            )
+
+    def test_every_registered_algorithm_has_a_batch_program(self):
+        from repro.batch.backend import batch_program_names
+        from repro.scenarios.registry import ALGORITHM_REGISTRY
+
+        assert batch_program_names() == sorted(ALGORITHM_REGISTRY.names())
+
+
+class TestBatchSpeedupGate:
+    def entry(self, scenario, algorithm, n, speedup):
+        return {
+            "scenario": scenario,
+            "algorithm": algorithm,
+            "n": n,
+            "speedup": {"batch": speedup},
+        }
+
+    def test_any_entry_below_one_fails_and_is_named(self):
+        from repro.benchmark import batch_speedup_gate
+
+        entries = [
+            self.entry("sweep-flooding-n128", "flooding", 128, 4.0),
+            self.entry("sweep-oblivious-n8", "oblivious", 8, 0.91),
+        ]
+        passed, message = batch_speedup_gate(entries, 3.0)
+        assert not passed
+        assert "sweep-oblivious-n8" in message
+        assert "0.91" in message
+
+    def test_worst_offender_is_reported(self):
+        from repro.benchmark import batch_speedup_gate
+
+        entries = [
+            self.entry("sweep-flooding-n128", "flooding", 128, 4.0),
+            self.entry("sweep-multi-source-n12", "multi-source", 12, 0.97),
+            self.entry("sweep-oblivious-n8", "oblivious", 8, 0.85),
+        ]
+        passed, message = batch_speedup_gate(entries, 3.0)
+        assert not passed
+        assert "2 of 3 entries" in message
+        assert "sweep-oblivious-n8" in message
+
+    def test_flooding_floor_still_applies(self):
+        from repro.benchmark import batch_speedup_gate
+
+        entries = [
+            self.entry("sweep-flooding-n128", "flooding", 128, 2.5),
+            self.entry("sweep-oblivious-n8", "oblivious", 8, 1.1),
+        ]
+        passed, message = batch_speedup_gate(entries, 3.0)
+        assert not passed
+        assert "sweep-flooding-n128" in message
+
+    def test_all_entries_passing_clears_the_gate(self):
+        from repro.benchmark import batch_speedup_gate
+
+        entries = [
+            self.entry("sweep-flooding-n64", "flooding", 64, 3.2),
+            self.entry("sweep-flooding-n128", "flooding", 128, 4.1),
+            self.entry("sweep-oblivious-n8", "oblivious", 8, 1.1),
+        ]
+        passed, message = batch_speedup_gate(entries, 3.0)
+        assert passed
+        assert "4.1" in message
+
+
 class TestNumpyGate:
     def test_supports_refuses_without_numpy(self, monkeypatch):
         import repro.batch.backend as backend_module

@@ -171,8 +171,12 @@ class TestListCommand:
         assert main(["list", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert set(payload) == {
-            "algorithms", "adversaries", "problems", "backends", "bitset_fast_paths",
+            "algorithms", "adversaries", "problems", "backends",
+            "bitset_fast_paths", "batch_programs",
         }
+        assert payload["batch_programs"] == sorted(
+            entry["name"] for entry in payload["algorithms"]
+        )
         names = {entry["name"] for entry in payload["algorithms"]}
         assert "flooding" in names
         backend_names = {entry["name"] for entry in payload["backends"]}
